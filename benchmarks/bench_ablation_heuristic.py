@@ -1,0 +1,64 @@
+"""Ablation: Algorithm 2 vs exhaustive exploration vs naive defaults.
+
+For every device: explore all legal configurations for the bilateral
+filter, then compare (a) the heuristic's pick, (b) the common naive
+choices (128x1, maximum block), against the exhaustive optimum.  The
+heuristic must stay within 10% of optimal everywhere — the paper's
+claim — while naive choices can be far off.
+"""
+
+from repro.dsl.boundary import Boundary
+from repro.evaluation.figure4 import figure4_exploration
+from repro.hwmodel import EVALUATION_DEVICES, get_device
+from repro.reporting.tables import format_table, shape_check
+
+
+def run_heuristic_ablation():
+    results = {}
+    for name in EVALUATION_DEVICES:
+        dev = get_device(name)
+        backend = "cuda" if dev.vendor == "NVIDIA" else "opencl"
+        r = figure4_exploration(device=dev, backend=backend)
+        by_block = {p.block: p.time_ms for p in r.points}
+        naive_128 = by_block.get((128, 1))
+        max_block = max(by_block, key=lambda b: b[0] * b[1])
+        results[name] = {
+            "optimum": r.best.time_ms,
+            "heuristic": r.heuristic_ms,
+            "128x1": naive_128 if naive_128 is not None else float("nan"),
+            "max block": by_block[max_block],
+            "worst": max(p.time_ms for p in r.points),
+        }
+    return results
+
+
+def test_heuristic_vs_exploration(benchmark):
+    table = benchmark(run_heuristic_ablation)
+    print()
+    print(format_table(
+        table, ["optimum", "heuristic", "128x1", "max block", "worst"],
+        title="Ablation — Algorithm 2 vs exhaustive exploration "
+              "(bilateral 13x13, ms)"))
+
+    failures = []
+
+    def check(name, cond, detail=""):
+        print(shape_check(name, cond, detail))
+        if not cond:
+            failures.append(name)
+
+    for name, row in table.items():
+        ratio = row["heuristic"] / row["optimum"]
+        check(f"{name}: heuristic within 10% of optimum", ratio <= 1.10,
+              f"{ratio:.3f}x")
+        spread = row["worst"] / row["optimum"]
+        if name == "Tesla C2050":
+            # Fermi can reach very low occupancy (1 warp x 8 blocks of a
+            # 48-warp budget) — the Figure 4 spread
+            check(f"{name}: configuration spread is real", spread > 1.5,
+                  f"{spread:.2f}x")
+        else:
+            # GT200 warp-pair allocation and AMD's 256-thread cap floor
+            # occupancy at ~0.5, so the modelled spread is small there
+            print(f"       {name}: spread {spread:.2f}x (informational)")
+    assert not failures, failures

@@ -1,0 +1,74 @@
+"""Ablation: where border specialisation pays — image-size crossover.
+
+The paper evaluates only 4096^2.  This ablation sweeps image sizes for
+the worst-case boundary mode (Constant): the benefit of the nine-region
+dispatch over inline conditionals should grow as the border-block
+fraction shrinks, and collapse for images so small that every block is a
+border block (the degenerate layout).
+"""
+
+from repro.backends.base import BorderMode
+from repro.dsl.boundary import Boundary
+from repro.evaluation.variants import VariantSpec, evaluate_bilateral_cell
+from repro.backends.border import classify_regions
+from repro.reporting.tables import format_table, shape_check
+
+SIZES = [128, 256, 512, 1024, 2048, 4096, 8192]
+
+SPEC = VariantSpec("spec", "generated", use_mask=True)
+INLINE = VariantSpec("inline", "manual", use_mask=True)
+
+
+def run_size_sweep():
+    table = {}
+    for size in SIZES:
+        spec_ms = evaluate_bilateral_cell(
+            "Tesla C2050", "cuda", SPEC, Boundary.CONSTANT,
+            width=size, height=size)
+        inline_ms = evaluate_bilateral_cell(
+            "Tesla C2050", "cuda", INLINE, Boundary.CONSTANT,
+            width=size, height=size)
+        layout = classify_regions(size, size, (128, 1), (13, 13))
+        table[f"{size}x{size}"] = {
+            "specialized": spec_ms,
+            "inline": inline_ms,
+            "benefit": inline_ms / spec_ms,
+            "border frac": layout.border_block_fraction,
+        }
+    return table
+
+
+def test_image_size_crossover(benchmark):
+    table = benchmark(run_size_sweep)
+    print()
+    print(format_table(table,
+                       ["specialized", "inline", "benefit",
+                        "border frac"],
+                       title="Ablation — border specialisation benefit "
+                             "vs image size (bilateral 13x13, Constant "
+                             "mode, ms)", digits=3))
+
+    failures = []
+
+    def check(name, cond, detail=""):
+        print(shape_check(name, cond, detail))
+        if not cond:
+            failures.append(name)
+
+    benefit = {int(k.split("x")[0]): v["benefit"]
+               for k, v in table.items()}
+    frac = {int(k.split("x")[0]): v["border frac"]
+            for k, v in table.items()}
+    check("benefit grows with image size",
+          benefit[4096] > benefit[512] > benefit[128],
+          f"{benefit[128]:.2f}x -> {benefit[512]:.2f}x -> "
+          f"{benefit[4096]:.2f}x")
+    check("border fraction shrinks with image size",
+          frac[4096] < frac[512] < 1.0)
+    check("specialisation never loses",
+          all(b >= 0.99 for b in benefit.values()),
+          str({k: round(v, 2) for k, v in benefit.items()}))
+    check("benefit saturates near the paper's 4096^2 setting",
+          abs(benefit[8192] - benefit[4096]) / benefit[4096] < 0.10,
+          f"{benefit[4096]:.2f}x vs {benefit[8192]:.2f}x")
+    assert not failures, failures

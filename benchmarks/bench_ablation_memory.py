@@ -1,0 +1,72 @@
+"""Ablation: memory-path selection (texture / scratchpad / constant
+memory) per device — the decisions the optimization database automates.
+
+Sweeps the memory knobs for a representative local operator on every
+evaluation device and verifies the database's choices are the measured
+winners.
+"""
+
+from repro.backends.base import BorderMode, MaskMemory
+from repro.dsl.boundary import Boundary
+from repro.evaluation.opencv_cmp import generated_gaussian_time
+from repro.evaluation.variants import VariantSpec, evaluate_bilateral_cell
+from repro.hwmodel import EVALUATION_DEVICES, get_device
+from repro.mapping.optdb import default_database
+from repro.reporting.tables import format_table, shape_check
+
+
+def run_memory_ablation():
+    table = {}
+    for name in EVALUATION_DEVICES:
+        dev = get_device(name)
+        backend = "cuda" if dev.vendor == "NVIDIA" else "opencl"
+        row = {}
+        for label, tex, smem in (("plain", False, False),
+                                 ("texture", True, False),
+                                 ("scratchpad", False, True)):
+            row[label] = generated_gaussian_time(
+                dev, 5, Boundary.CLAMP, backend,
+                use_texture=tex, use_smem=smem)
+        # constant vs recomputed mask on the bilateral
+        row["mask const"] = evaluate_bilateral_cell(
+            dev, backend,
+            VariantSpec("m", "generated", use_mask=True), Boundary.CLAMP)
+        row["mask recompute"] = evaluate_bilateral_cell(
+            dev, backend,
+            VariantSpec("m", "generated", use_mask=False), Boundary.CLAMP)
+        table[name] = row
+    return table
+
+
+def test_memory_path_ablation(benchmark):
+    table = benchmark(run_memory_ablation)
+    print()
+    print(format_table(
+        table, ["plain", "texture", "scratchpad", "mask const",
+                "mask recompute"],
+        title="Ablation — memory paths (Gaussian 5x5 / bilateral 13x13, "
+              "ms)"))
+
+    db = default_database()
+    failures = []
+
+    def check(name, cond, detail=""):
+        print(shape_check(name, cond, detail))
+        if not cond:
+            failures.append(name)
+
+    for name in EVALUATION_DEVICES:
+        dev = get_device(name)
+        backend = "cuda" if dev.vendor == "NVIDIA" else "opencl"
+        row = table[name]
+        entry = db.lookup(dev, backend)
+        measured_tex_wins = row["texture"] < row["plain"]
+        check(f"{name}: optdb texture decision matches measurement",
+              entry.texture_beneficial == measured_tex_wins,
+              f"db={entry.texture_beneficial} measured gain "
+              f"{row['plain'] / row['texture']:.2f}x")
+        check(f"{name}: scratchpad loses for small windows",
+              row["scratchpad"] > min(row["plain"], row["texture"]))
+        check(f"{name}: constant-memory mask wins",
+              row["mask const"] < row["mask recompute"])
+    assert not failures, failures

@@ -1,0 +1,78 @@
+"""Real wall-time benchmarks of the compiler pipeline and the functional
+simulator — the throughput of *this* implementation (not modelled GPU
+time): parse, type check, optimization passes, code generation, and
+simulated execution of a full image.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Boundary, CodegenOptions, compile_kernel
+from repro.backends import generate
+from repro.frontend import parse_kernel
+from repro.ir import typecheck_kernel, unroll_loops, propagate_constants
+from repro.ir.optimize import optimize_for_device
+from repro.filters.bilateral import make_bilateral
+from repro.filters.gaussian import make_gaussian
+
+
+@pytest.fixture(scope="module")
+def bilateral_ir():
+    kernel, _, _ = make_bilateral(64, 64, sigma_d=3, sigma_r=5.0)
+    return typecheck_kernel(parse_kernel(kernel))
+
+
+def test_frontend_parse(benchmark):
+    kernel, _, _ = make_bilateral(64, 64, sigma_d=3, sigma_r=5.0)
+    benchmark(lambda: typecheck_kernel(parse_kernel(kernel)))
+
+
+def test_constant_propagation(benchmark, bilateral_ir):
+    benchmark(propagate_constants, bilateral_ir)
+
+
+def test_unrolling(benchmark):
+    kernel, _, _ = make_gaussian(64, 64, size=5)
+    ir = propagate_constants(typecheck_kernel(parse_kernel(kernel)))
+    benchmark(unroll_loops, ir)
+
+
+def test_device_optimization_passes(benchmark, bilateral_ir):
+    benchmark(optimize_for_device, bilateral_ir)
+
+
+@pytest.mark.parametrize("backend", ["cuda", "opencl"])
+def test_codegen(benchmark, bilateral_ir, backend):
+    options = CodegenOptions(backend=backend, use_texture=True)
+    src = benchmark(generate, bilateral_ir, options, (4096, 4096))
+    assert src.num_variants == 9
+
+
+def test_full_compile(benchmark):
+    def compile_fresh():
+        kernel, _, _ = make_bilateral(64, 64, sigma_d=3, sigma_r=5.0)
+        return compile_kernel(kernel, backend="cuda",
+                              device="Tesla C2050")
+    compiled = benchmark(compile_fresh)
+    assert compiled.source.device_lines > 100
+
+
+def test_simulator_throughput_gaussian(benchmark):
+    kernel, img_in, img_out = make_gaussian(512, 512, size=5)
+    rng = np.random.default_rng(0)
+    img_in.set_data(rng.random((512, 512)).astype(np.float32))
+    compiled = compile_kernel(kernel, backend="cuda")
+
+    benchmark(compiled.execute)
+    assert img_out.get_data().std() > 0
+
+
+def test_simulator_throughput_bilateral(benchmark):
+    kernel, img_in, img_out = make_bilateral(128, 128, sigma_d=2,
+                                             sigma_r=0.1)
+    rng = np.random.default_rng(1)
+    img_in.set_data(rng.random((128, 128)).astype(np.float32))
+    compiled = compile_kernel(kernel, backend="cuda")
+
+    benchmark(compiled.execute)
+    assert img_out.get_data().std() > 0

@@ -1,0 +1,67 @@
+"""Figure 4 — configuration-space exploration, bilateral 13x13 on the
+Tesla C2050 (CUDA).
+
+The exploration sweeps every legal block configuration and tiling
+(Section V-D); the heuristic (Algorithm 2) must land within 10% of the
+best point, the spread between best and worst must be wide (~2.5x in the
+paper), and the selected configuration is the published 32x6.
+"""
+
+from repro.evaluation import paper_data
+from repro.evaluation.figure4 import figure4_exploration
+from repro.reporting.tables import shape_check
+
+
+def run_exploration():
+    return figure4_exploration()
+
+
+def test_figure4(benchmark):
+    result = benchmark(run_exploration)
+
+    worst = max(p.time_ms for p in result.points)
+    print()
+    print(f"Figure 4 — explored {len(result.points)} configurations")
+    print(f"  optimum: {result.best.block[0]}x{result.best.block[1]} at "
+          f"{result.best.time_ms:.2f} ms "
+          f"(paper: {paper_data.FIGURE4_OPTIMUM_BLOCK[0]}x"
+          f"{paper_data.FIGURE4_OPTIMUM_BLOCK[1]} at "
+          f"{paper_data.FIGURE4_OPTIMUM_MS} ms)")
+    print(f"  worst: {worst:.2f} ms  "
+          f"(paper outlier: ~{paper_data.FIGURE4_WORST_MS} ms)")
+    print(f"  heuristic: {result.heuristic_block[0]}x"
+          f"{result.heuristic_block[1]} at {result.heuristic_ms:.2f} ms "
+          f"({result.heuristic_within:.3f}x of optimum)")
+
+    # per-thread-count series, as Figure 4 plots
+    series = {}
+    for p in result.points:
+        series.setdefault(p.threads, []).append(p.time_ms)
+    print("  threads -> [best, worst] ms per tiling:")
+    for threads in sorted(series)[:12]:
+        times = series[threads]
+        print(f"    {threads:>5}: [{min(times):7.2f}, {max(times):7.2f}] "
+              f"({len(times)} tilings)")
+
+    failures = []
+
+    def check(name, cond, detail=""):
+        print(shape_check(name, cond, detail))
+        if not cond:
+            failures.append(name)
+
+    check("heuristic within 10% of optimum",
+          result.heuristic_within <= paper_data.FIGURE4_HEURISTIC_WITHIN,
+          f"{result.heuristic_within:.3f}x")
+    check("heuristic selects the paper's 32x6",
+          result.heuristic_block == paper_data.FIGURE4_OPTIMUM_BLOCK,
+          str(result.heuristic_block))
+    check("best-to-worst spread ~2x+", worst / result.best.time_ms > 1.8,
+          f"{worst / result.best.time_ms:.2f}x")
+    lo, hi = paper_data.FIGURE4_RANGE_MS
+    check("optimum in the paper's range band",
+          lo * 0.8 <= result.best.time_ms <= hi * 1.2,
+          f"{result.best.time_ms:.1f} ms")
+    check("multiple tilings explored per thread count",
+          any(len(v) > 2 for v in series.values()))
+    assert not failures, failures

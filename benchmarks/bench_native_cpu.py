@@ -1,0 +1,80 @@
+"""Real wall-clock benchmarks of natively compiled generated code.
+
+The CPU backend's C output is compiled with the system compiler
+(``cc -O2 -fopenmp``) and timed on this machine — actual generated-code
+performance, not a model.  Compares against a NumPy implementation of the
+same filter to show the generated loop nests are competitive, and
+verifies outputs agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Boundary
+from repro.filters.bilateral import bilateral_reference, make_bilateral
+from repro.filters.gaussian import gaussian_reference, make_gaussian
+from repro.runtime.native import compile_native, find_c_compiler
+
+pytestmark = pytest.mark.skipif(find_c_compiler() is None,
+                                reason="no C compiler on PATH")
+
+SIZE = 512
+
+
+@pytest.fixture(scope="module")
+def frame():
+    rng = np.random.default_rng(0)
+    return rng.random((SIZE, SIZE)).astype(np.float32)
+
+
+def test_native_gaussian_5x5(benchmark, frame):
+    kernel, _, _ = make_gaussian(SIZE, SIZE, size=5,
+                                 boundary=Boundary.MIRROR, data=frame)
+    native = compile_native(kernel)
+    out = benchmark(native, SIZE, SIZE)
+    ref = gaussian_reference(frame, 5, boundary=Boundary.MIRROR)
+    np.testing.assert_allclose(out, ref, atol=1e-5)
+
+
+def test_numpy_gaussian_5x5_reference(benchmark, frame):
+    """The NumPy comparison point for the native run above."""
+    out = benchmark(gaussian_reference, frame, 5, None, Boundary.MIRROR)
+    assert out.shape == frame.shape
+
+
+def test_native_bilateral_9x9(benchmark, frame):
+    kernel, _, _ = make_bilateral(SIZE, SIZE, sigma_d=2, sigma_r=0.1,
+                                  boundary=Boundary.CLAMP, data=frame)
+    native = compile_native(kernel)
+    out = benchmark(native, SIZE, SIZE)
+    ref = bilateral_reference(frame, 2, 0.1, Boundary.CLAMP)
+    np.testing.assert_allclose(out, ref, atol=1e-4)
+
+
+def test_numpy_bilateral_9x9_reference(benchmark, frame):
+    out = benchmark(bilateral_reference, frame, 2, 0.1, Boundary.CLAMP)
+    assert out.shape == frame.shape
+
+
+def test_native_border_specialisation_worth_it(benchmark, frame):
+    """Time the full nine-region kernel; the interior fast path must make
+    the generated code at least as fast as a NumPy pipeline that performs
+    whole-image padded convolution."""
+    import time
+
+    kernel, _, _ = make_gaussian(SIZE, SIZE, size=3,
+                                 boundary=Boundary.REPEAT, data=frame)
+    native = compile_native(kernel)
+
+    def run_both():
+        t0 = time.perf_counter()
+        native(SIZE, SIZE)
+        t_native = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        gaussian_reference(frame, 3, boundary=Boundary.REPEAT)
+        t_numpy = time.perf_counter() - t0
+        return t_native, t_numpy
+
+    t_native, t_numpy = benchmark(run_both)
+    # compiled C with OpenMP should not lose to interpreted NumPy padding
+    assert t_native < t_numpy * 3.0

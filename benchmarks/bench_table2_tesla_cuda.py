@@ -1,0 +1,16 @@
+"""Table II — bilateral 13x13, Tesla C2050, CUDA.
+
+Regenerates the published table through the full pipeline and checks its
+shape claims; pytest-benchmark times the pipeline run.
+"""
+
+from .common import report_bilateral, run_bilateral_table
+
+DEVICE = "Tesla C2050"
+BACKEND = "cuda"
+TITLE = "Table II — bilateral 13x13, Tesla C2050, CUDA"
+
+
+def test_table2(benchmark):
+    table = benchmark(run_bilateral_table, DEVICE, BACKEND)
+    report_bilateral(table, DEVICE, BACKEND, TITLE)

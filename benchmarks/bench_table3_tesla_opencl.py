@@ -1,0 +1,16 @@
+"""Table III — bilateral 13x13, Tesla C2050, OpenCL.
+
+Regenerates the published table through the full pipeline and checks its
+shape claims; pytest-benchmark times the pipeline run.
+"""
+
+from .common import report_bilateral, run_bilateral_table
+
+DEVICE = "Tesla C2050"
+BACKEND = "opencl"
+TITLE = "Table III — bilateral 13x13, Tesla C2050, OpenCL"
+
+
+def test_table3(benchmark):
+    table = benchmark(run_bilateral_table, DEVICE, BACKEND)
+    report_bilateral(table, DEVICE, BACKEND, TITLE)

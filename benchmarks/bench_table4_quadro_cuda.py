@@ -1,0 +1,16 @@
+"""Table IV — bilateral 13x13, Quadro FX 5800, CUDA.
+
+Regenerates the published table through the full pipeline and checks its
+shape claims; pytest-benchmark times the pipeline run.
+"""
+
+from .common import report_bilateral, run_bilateral_table
+
+DEVICE = "Quadro FX 5800"
+BACKEND = "cuda"
+TITLE = "Table IV — bilateral 13x13, Quadro FX 5800, CUDA"
+
+
+def test_table4(benchmark):
+    table = benchmark(run_bilateral_table, DEVICE, BACKEND)
+    report_bilateral(table, DEVICE, BACKEND, TITLE)

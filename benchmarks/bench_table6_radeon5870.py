@@ -1,0 +1,16 @@
+"""Table VI — bilateral 13x13, Radeon HD 5870, OpenCL.
+
+Regenerates the published table through the full pipeline and checks its
+shape claims; pytest-benchmark times the pipeline run.
+"""
+
+from .common import report_bilateral, run_bilateral_table
+
+DEVICE = "Radeon HD 5870"
+BACKEND = "opencl"
+TITLE = "Table VI — bilateral 13x13, Radeon HD 5870, OpenCL"
+
+
+def test_table6(benchmark):
+    table = benchmark(run_bilateral_table, DEVICE, BACKEND)
+    report_bilateral(table, DEVICE, BACKEND, TITLE)

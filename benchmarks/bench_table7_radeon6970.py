@@ -1,0 +1,16 @@
+"""Table VII — bilateral 13x13, Radeon HD 6970, OpenCL.
+
+Regenerates the published table through the full pipeline and checks its
+shape claims; pytest-benchmark times the pipeline run.
+"""
+
+from .common import report_bilateral, run_bilateral_table
+
+DEVICE = "Radeon HD 6970"
+BACKEND = "opencl"
+TITLE = "Table VII — bilateral 13x13, Radeon HD 6970, OpenCL"
+
+
+def test_table7(benchmark):
+    table = benchmark(run_bilateral_table, DEVICE, BACKEND)
+    report_bilateral(table, DEVICE, BACKEND, TITLE)

@@ -1,0 +1,18 @@
+"""Table VIII — Gaussian 3x3 and 5x5 vs OpenCV on the Tesla C2050.
+
+Regenerates both filter-size blocks of the table, checks the OpenCV
+PPT/mode/smem shape claims; pytest-benchmark times the pipeline run.
+"""
+
+import pytest
+
+from .common import report_gaussian, run_gaussian_table
+
+DEVICE = "Tesla C2050"
+
+
+@pytest.mark.parametrize("size", [3, 5])
+def test_table8(benchmark, size):
+    table = benchmark(run_gaussian_table, DEVICE, size)
+    report_gaussian(table, DEVICE, size,
+                    f"Table VIII — Gaussian {size}x{size}, {DEVICE}")

@@ -1,0 +1,14 @@
+"""Table IX — Gaussian 3x3 and 5x5 vs OpenCV on the Quadro FX 5800."""
+
+import pytest
+
+from .common import report_gaussian, run_gaussian_table
+
+DEVICE = "Quadro FX 5800"
+
+
+@pytest.mark.parametrize("size", [3, 5])
+def test_table9(benchmark, size):
+    table = benchmark(run_gaussian_table, DEVICE, size)
+    report_gaussian(table, DEVICE, size,
+                    f"Table IX — Gaussian {size}x{size}, {DEVICE}")

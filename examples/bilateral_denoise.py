@@ -1,0 +1,83 @@
+"""Angiography denoising with the bilateral filter — the paper's running
+example (Listings 1-5) on a synthetic fluoroscopy frame.
+
+Shows the paper's two headline effects:
+
+* constant-memory masks: the +Mask kernel computes one ``exp`` per tap
+  instead of three and is ~1.5x faster;
+* nine-region boundary specialisation: generated-code timing is flat
+  across boundary modes, while the manual (inline-conditional) variant
+  varies strongly.
+
+Run:  python examples/bilateral_denoise.py
+"""
+
+import numpy as np
+
+from repro import Boundary, compile_kernel
+from repro.data import angiography_image
+from repro.filters.bilateral import bilateral_reference, make_bilateral
+
+
+def main():
+    size = 384
+    sigma_d, sigma_r = 2, 0.08
+    frame = angiography_image(size, size, seed=7, noise_sigma=0.04)
+
+    # --- denoise and check against the NumPy golden reference ----------
+    kernel, img_in, img_out = make_bilateral(
+        size, size, sigma_d=sigma_d, sigma_r=sigma_r,
+        boundary=Boundary.MIRROR, data=frame)
+    compiled = compile_kernel(kernel, backend="cuda", device="Tesla C2050")
+    report = compiled.execute()
+    denoised = img_out.get_data()
+    ref = bilateral_reference(frame, sigma_d, sigma_r, Boundary.MIRROR)
+    err = np.abs(denoised - ref).max()
+
+    noise_before = np.std(frame - angiography_image(size, size, seed=7,
+                                                    noise_sigma=0.0))
+    noise_after = np.std(denoised - angiography_image(size, size, seed=7,
+                                                      noise_sigma=0.0))
+    print(f"bilateral {4*sigma_d+1}x{4*sigma_d+1} on {size}x{size} frame")
+    print(f"  selected config: {compiled.options.block}, "
+          f"simulated {report.time_ms:.2f} ms on {compiled.device.name}")
+    print(f"  residual noise: {noise_before:.4f} -> {noise_after:.4f}")
+    print(f"  max abs error vs golden reference: {err:.2e}")
+    assert err < 1e-4
+
+    # --- mask vs no-mask (the Listing 1 vs Listing 5 comparison) --------
+    for use_mask in (False, True):
+        k, _, _ = make_bilateral(size, size, sigma_d=sigma_d,
+                                 sigma_r=sigma_r, use_mask=use_mask)
+        c = compile_kernel(k, backend="cuda", device="Tesla C2050")
+        label = "+Mask (Listing 5)" if use_mask else "no mask (Listing 1)"
+        print(f"  {label:<22} modelled "
+              f"{c.estimate_time().total_ms:8.3f} ms")
+
+    # --- boundary-mode sensitivity: generated vs manual -----------------
+    print("\nboundary-mode sensitivity (modelled ms, 4096x4096, 13x13):")
+    from repro.evaluation.variants import (
+        BILATERAL_MODES,
+        VariantSpec,
+        evaluate_bilateral_cell,
+    )
+    rows = [
+        VariantSpec("manual (inline conditionals)", "manual",
+                    use_mask=True),
+        VariantSpec("generated (9-region dispatch)", "generated",
+                    use_mask=True),
+    ]
+    header = "".join(f"{m.value:>12}" for m in BILATERAL_MODES)
+    print(f"{'variant':<32}{header}")
+    for variant in rows:
+        cells = []
+        for mode in BILATERAL_MODES:
+            v = evaluate_bilateral_cell("Tesla C2050", "cuda", variant,
+                                        mode)
+            cells.append(f"{v:>12.1f}" if isinstance(v, float)
+                         else f"{v:>12}")
+        print(f"{variant.name:<32}" + "".join(cells))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Configuration exploration and Algorithm 2 across the device database.
+
+Reproduces the Figure 4 experiment (all legal block configurations for the
+bilateral filter on the Tesla C2050) and then runs the Algorithm-2
+heuristic on every modelled GPU, showing how the selected configuration and
+tiling change with the hardware — the paper's core "device-specific
+mapping" point.
+
+Run:  python examples/device_exploration.py
+"""
+
+from repro import EVALUATION_DEVICES, get_device
+from repro.evaluation.figure4 import figure4_exploration
+from repro.mapping.heuristic import select_configuration
+
+
+def ascii_plot(points, width=64, height=14):
+    """Tiny ASCII rendering of the Figure 4 scatter."""
+    times = [p.time_ms for p in points]
+    threads = [p.threads for p in points]
+    t_lo, t_hi = min(times), max(times)
+    n_lo, n_hi = min(threads), max(threads)
+    grid = [[" "] * width for _ in range(height)]
+    for p in points:
+        x = int((p.threads - n_lo) / max(n_hi - n_lo, 1) * (width - 1))
+        y = int((p.time_ms - t_lo) / max(t_hi - t_lo, 1e-9) * (height - 1))
+        grid[height - 1 - y][x] = "o"
+    print(f"{t_hi:7.1f} ms ┐")
+    for row in grid:
+        print("           │" + "".join(row))
+    print(f"{t_lo:7.1f} ms ┴" + "─" * width)
+    print(f"            {n_lo} … {n_hi} threads per block")
+
+
+def main():
+    print("=== Figure 4: exploration on the Tesla C2050 (13x13 "
+          "bilateral, 4096^2) ===")
+    result = figure4_exploration()
+    ascii_plot(result.points)
+    print(f"explored {len(result.points)} configurations")
+    print(f"optimum: {result.best.block[0]}x{result.best.block[1]} at "
+          f"{result.best.time_ms:.2f} ms")
+    print(f"heuristic picked {result.heuristic_block[0]}x"
+          f"{result.heuristic_block[1]} at {result.heuristic_ms:.2f} ms "
+          f"({result.heuristic_within:.3f}x of optimum)")
+    worst = max(p.time_ms for p in result.points)
+    print(f"configuration spread: {worst / result.best.time_ms:.2f}x "
+          f"between best and worst\n")
+
+    print("=== Algorithm 2 on every device (border handling on) ===")
+    print(f"{'device':<18}{'arch':<8}{'block':>9}{'occupancy':>11}"
+          f"{'bh threads':>12}")
+    for name in EVALUATION_DEVICES + ["GeForce GTX 480",
+                                      "GeForce 8800 GTX"]:
+        dev = get_device(name)
+        sel = select_configuration(dev, regs_per_thread=24,
+                                   border_handling=True,
+                                   image_size=(4096, 4096),
+                                   window=(13, 13))
+        print(f"{name:<18}{dev.architecture:<8}"
+              f"{sel.block[0]}x{sel.block[1]:<6}"
+              f"{sel.occupancy:>9.0%}{sel.boundary_threads:>12,}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Digital Subtraction Angiography (DSA) pipeline.
+
+The clinical workflow HIPAcc targets at Siemens: subtract a contrast frame
+from a mask frame to isolate vessels, denoise, and normalise for display.
+Exercises the full operator taxonomy of the paper's Section I:
+
+* point operators  — AbsDiff (subtraction), Scale (window/level),
+* local operators  — median prefilter, bilateral denoising,
+* global operators — Min/Max reductions for automatic display windowing,
+
+plus the Section-VIII vectorization path on the AMD device.
+
+Run:  python examples/dsa_pipeline.py
+"""
+
+import numpy as np
+
+from repro import (
+    Accessor,
+    Boundary,
+    BoundaryCondition,
+    Image,
+    IterationSpace,
+    MaxReduction,
+    MinReduction,
+    compile_kernel,
+    compile_reduction,
+)
+from repro.data import angiography_image
+from repro.filters.bilateral import BilateralFilter, closeness_mask
+from repro.filters.median import Median3x3
+from repro.filters.point_ops import AbsDiff, Scale
+
+
+def main():
+    size = 512
+    # mask frame (no contrast agent) vs fill frame (vessels opacified)
+    mask_frame = angiography_image(size, size, seed=21, contrast=0.0,
+                                   noise_sigma=0.03)
+    fill_frame = angiography_image(size, size, seed=21, contrast=0.55,
+                                   noise_sigma=0.03)
+
+    img_mask = Image(size, size).set_data(mask_frame)
+    img_fill = Image(size, size).set_data(fill_frame)
+
+    # 1. subtraction (two-input point operator)
+    img_sub = Image(size, size)
+    sub = AbsDiff(IterationSpace(img_sub), Accessor(img_mask),
+                  Accessor(img_fill))
+    t_sub = compile_kernel(sub, device="Tesla C2050").execute().time_ms
+
+    # 2. median prefilter (impulse noise)
+    img_med = Image(size, size)
+    med = Median3x3(IterationSpace(img_med),
+                    Accessor(BoundaryCondition(img_sub, 3, 3,
+                                               Boundary.MIRROR)))
+    t_med = compile_kernel(med, device="Tesla C2050").execute().time_ms
+
+    # 3. bilateral denoise — vectorized float4 on the AMD device
+    img_den = Image(size, size)
+    bc = BoundaryCondition(img_med, 9, 9, Boundary.MIRROR)
+    bil = BilateralFilter(IterationSpace(img_den), Accessor(bc),
+                          closeness_mask(2), 2, 0.08)
+    # explicit 32x4 work-group: with the x4 vector width each block
+    # covers 128 pixels, leaving a real interior for the vload4 fast path
+    compiled = compile_kernel(bil, backend="opencl",
+                              device="Radeon HD 5870", vectorize=4,
+                              block=(32, 4))
+    t_den = compiled.execute().time_ms
+    assert "vload4" in compiled.device_code
+
+    # 4. automatic window/level via global reductions
+    acc_den = Accessor(img_den)
+    space = IterationSpace(img_den)
+    lo = compile_reduction(MinReduction(space, acc_den)).execute().value
+    hi = compile_reduction(MaxReduction(space, acc_den)).execute().value
+
+    # 5. normalise to [0, 1] for display (point operator with the
+    #    reduction results baked in)
+    img_disp = Image(size, size)
+    scale = Scale(IterationSpace(img_disp), Accessor(img_den),
+                  factor=1.0 / max(hi - lo, 1e-6),
+                  offset=-lo / max(hi - lo, 1e-6))
+    t_disp = compile_kernel(scale, device="Tesla C2050").execute().time_ms
+
+    display = img_disp.get_data()
+    vessel_signal = np.percentile(display, 99)
+    background = np.percentile(display, 50)
+    print(f"DSA pipeline on {size}x{size} frames:")
+    print(f"  subtraction           {t_sub:8.3f} ms")
+    print(f"  median prefilter      {t_med:8.3f} ms")
+    print(f"  bilateral (float4, HD 5870) {t_den:.3f} ms")
+    print(f"  display window: [{lo:.4f}, {hi:.4f}] -> [0, 1] "
+          f"({t_disp:.3f} ms)")
+    print(f"  vessel/background separation: {vessel_signal:.3f} vs "
+          f"{background:.3f}")
+    assert 0.0 <= display.min() and display.max() <= 1.0 + 1e-5
+    assert vessel_signal > background + 0.2
+
+
+if __name__ == "__main__":
+    main()

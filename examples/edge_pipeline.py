@@ -1,0 +1,105 @@
+"""Multi-kernel edge-detection pipeline on a noisy angiography frame.
+
+Chains four compiled kernels on the simulated GPU — exactly how a clinical
+pre-processing chain composes DSL operators:
+
+1. 3x3 median (min/max network) removes impulse noise,
+2. Sobel-x and Sobel-y derivative convolutions,
+3. gradient magnitude (a two-input point operator).
+
+Also demonstrates the ``convolve()`` lambda syntax from the paper's
+outlook (Section VIII) as an alternative spelling of step 2.
+
+Run:  python examples/edge_pipeline.py
+"""
+
+import numpy as np
+
+from repro import (
+    Accessor,
+    Boundary,
+    BoundaryCondition,
+    Image,
+    IterationSpace,
+    Kernel,
+    Mask,
+    Reduce,
+    compile_kernel,
+)
+from repro.data import impulse_noise_image
+from repro.filters.median import Median3x3
+from repro.filters.sobel import SOBEL_X, SOBEL_Y, GradientMagnitude, SobelX
+
+
+class SobelConvolve(Kernel):
+    """Sobel via the Section-VIII convolve() syntax."""
+
+    def __init__(self, iteration_space, inp, smask):
+        super().__init__(iteration_space)
+        self.inp = inp
+        self.smask = smask
+        self.add_accessor(inp)
+
+    def kernel(self):
+        self.output(self.convolve(self.smask, Reduce.SUM,
+                                  lambda: self.smask() * self.inp(self.smask)))
+
+
+def run(kernel, device="Tesla C2050"):
+    compiled = compile_kernel(kernel, backend="cuda", device=device)
+    report = compiled.execute()
+    return report.time_ms
+
+
+def main():
+    size = 256
+    frame = impulse_noise_image(size, size, seed=11, density=0.03)
+
+    # 1. median prefilter
+    img0 = Image(size, size, float).set_data(frame)
+    img1 = Image(size, size, float)
+    median = Median3x3(IterationSpace(img1),
+                       Accessor(BoundaryCondition(img0, 3, 3,
+                                                  Boundary.MIRROR)))
+    t1 = run(median)
+
+    # 2. derivatives (classic loop syntax and convolve() syntax)
+    img_gx = Image(size, size, float)
+    img_gy = Image(size, size, float)
+    acc1x = Accessor(BoundaryCondition(img1, 3, 3, Boundary.CLAMP))
+    acc1y = Accessor(BoundaryCondition(img1, 3, 3, Boundary.CLAMP))
+    sx = SobelX(IterationSpace(img_gx), acc1x, Mask(3, 3).set(SOBEL_X))
+    sy = SobelConvolve(IterationSpace(img_gy), acc1y,
+                       Mask(3, 3).set(SOBEL_Y))
+    t2 = run(sx)
+    t3 = run(sy)
+
+    # 3. gradient magnitude (two-input point operator)
+    img_mag = Image(size, size, float)
+    mag = GradientMagnitude(IterationSpace(img_mag), Accessor(img_gx),
+                            Accessor(img_gy))
+    t4 = run(mag)
+
+    edges = img_mag.get_data()
+    print(f"pipeline on {size}x{size} frame (simulated Tesla C2050):")
+    print(f"  median 3x3      {t1:8.3f} ms")
+    print(f"  sobel-x (loops) {t2:8.3f} ms")
+    print(f"  sobel-y (convolve syntax) {t3:5.3f} ms")
+    print(f"  magnitude       {t4:8.3f} ms")
+    print(f"  edge response: mean {edges.mean():.4f}, "
+          f"p99 {np.percentile(edges, 99):.4f}")
+
+    # sanity: convolve() syntax produces the same numbers as the loops
+    img_gy2 = Image(size, size, float)
+    sy_loops = SobelX(IterationSpace(img_gy2),
+                      Accessor(BoundaryCondition(img1, 3, 3,
+                                                 Boundary.CLAMP)),
+                      Mask(3, 3).set(SOBEL_Y))
+    run(sy_loops)
+    err = np.abs(img_gy.get_data() - img_gy2.get_data()).max()
+    print(f"  convolve() vs explicit loops: max abs diff {err:.2e}")
+    assert err < 1e-5
+
+
+if __name__ == "__main__":
+    main()

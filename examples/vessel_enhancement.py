@@ -1,0 +1,65 @@
+"""Vessel enhancement via morphological top-hat.
+
+A classic angiography pre-processing chain built entirely from DSL
+operators on the simulated GPU:
+
+1. invert the frame (vessels become bright) — point operator,
+2. white top-hat (image minus its opening) with a structuring element
+   wider than any vessel — isolates the vessel tree from the smoothly
+   varying background,
+3. min/max global reductions for automatic contrast stretch.
+
+Run:  python examples/vessel_enhancement.py
+"""
+
+import numpy as np
+
+from repro import (
+    Accessor,
+    Image,
+    IterationSpace,
+    MaxReduction,
+    MinReduction,
+    compile_kernel,
+    compile_reduction,
+)
+from repro.data import angiography_image, vessel_tree
+from repro.filters.morphology import top_hat
+from repro.filters.point_ops import Scale
+
+
+def main():
+    size = 256
+    frame = angiography_image(size, size, seed=5, noise_sigma=0.02)
+    truth = vessel_tree(size, size, seed=5) > 0.4
+
+    # 1. invert: vessels (dark, contrast-filled) become the bright signal
+    inverted = 1.0 - frame
+
+    # 2. white top-hat with a 9x9 structuring element
+    vessels = top_hat(inverted, size=9, device="Tesla C2050")
+
+    # 3. contrast stretch from global reductions
+    img = Image(size, size).set_data(vessels)
+    space, acc = IterationSpace(img), Accessor(img)
+    lo = compile_reduction(MinReduction(space, acc)).execute().value
+    hi = compile_reduction(MaxReduction(space, acc)).execute().value
+    out_img = Image(size, size)
+    stretch = Scale(IterationSpace(out_img), Accessor(img),
+                    factor=1.0 / max(hi - lo, 1e-6),
+                    offset=-lo / max(hi - lo, 1e-6))
+    compile_kernel(stretch).execute()
+    enhanced = out_img.get_data()
+
+    inside = enhanced[truth].mean() if truth.any() else 0.0
+    outside = enhanced[~truth].mean()
+    print(f"vessel enhancement on {size}x{size} frame")
+    print(f"  top-hat range before stretch: [{lo:.4f}, {hi:.4f}]")
+    print(f"  mean response on vessels:     {inside:.3f}")
+    print(f"  mean response on background:  {outside:.3f}")
+    print(f"  separation: {inside - outside:.3f}")
+    assert inside > outside + 0.1, "vessels must light up"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,193 @@
+"""Regenerate EXPERIMENTS.md: paper-vs-model for every table and figure.
+
+Run:  python scripts/generate_experiments.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.evaluation import paper_data
+from repro.evaluation.figure4 import figure4_exploration
+from repro.evaluation.opencv_cmp import gaussian_table
+from repro.evaluation.variants import bilateral_table
+from repro.reporting.tables import (
+    format_comparison_table,
+    marker_agreement,
+    relative_errors,
+)
+
+TABLE_META = [
+    ("II", "Tesla C2050", "cuda"),
+    ("III", "Tesla C2050", "opencl"),
+    ("IV", "Quadro FX 5800", "cuda"),
+    ("V", "Quadro FX 5800", "opencl"),
+    ("VI", "Radeon HD 5870", "opencl"),
+    ("VII", "Radeon HD 6970", "opencl"),
+]
+
+
+def bilateral_sections():
+    out = []
+    summary = []
+    for num, device, backend in TABLE_META:
+        model = bilateral_table(device, backend)
+        paper = paper_data.ALL_BILATERAL_TABLES[(device, backend)]
+        errs = relative_errors(model, paper, paper_data.MODE_ORDER)
+        markers = list(marker_agreement(model, paper,
+                                        paper_data.MODE_ORDER))
+        out.append(f"### Table {num} — bilateral 13x13, {device}, "
+                   f"{backend.upper()}\n")
+        out.append("```")
+        out.append(format_comparison_table(model, paper,
+                                           paper_data.MODE_ORDER))
+        out.append("```")
+        out.append(f"- mean relative error: **{np.mean(errs):.1%}** "
+                   f"(max {np.max(errs):.1%}, {len(errs)} numeric cells)")
+        if markers:
+            out.append(f"- marker mismatches: {markers}")
+        else:
+            out.append("- all crash / n-a markers match the paper")
+        out.append("")
+        summary.append((f"Table {num}", device, backend,
+                        float(np.mean(errs)), len(markers)))
+    return out, summary
+
+
+def gaussian_sections():
+    out = []
+    summary = []
+    for num, device in (("VIII", "Tesla C2050"),
+                        ("IX", "Quadro FX 5800")):
+        for size in (3, 5):
+            model = gaussian_table(device, size)
+            paper = paper_data.ALL_GAUSSIAN_TABLES[device][size]
+            aligned = dict(model)
+            if "OpenCL(+Tex)" in paper:
+                aligned["OpenCL(+Tex)"] = aligned["OpenCL(+Img)"]
+            errs = relative_errors(aligned, paper,
+                                   paper_data.GAUSSIAN_MODE_ORDER)
+            out.append(f"### Table {num} — Gaussian {size}x{size}, "
+                       f"{device}\n")
+            out.append("```")
+            out.append(format_comparison_table(
+                aligned, paper, paper_data.GAUSSIAN_MODE_ORDER))
+            out.append("```")
+            out.append(f"- mean relative error: **{np.mean(errs):.1%}** "
+                       f"({len(errs)} cells)")
+            out.append("")
+            summary.append((f"Table {num} ({size}x{size})", device,
+                            "cuda/opencl", float(np.mean(errs)), 0))
+    return out, summary
+
+
+def figure4_section():
+    r = figure4_exploration()
+    worst = max(p.time_ms for p in r.points)
+    lines = [
+        "### Figure 4 — configuration exploration, Tesla C2050\n",
+        "| quantity | paper | model |",
+        "|---|---|---|",
+        f"| explored configurations | \"all valid\" | {len(r.points)} |",
+        f"| optimal configuration | 32x6 | "
+        f"{r.best.block[0]}x{r.best.block[1]} |",
+        f"| optimal time | {paper_data.FIGURE4_OPTIMUM_MS} ms | "
+        f"{r.best.time_ms:.2f} ms |",
+        f"| worst configuration | ~{paper_data.FIGURE4_WORST_MS:.0f} ms "
+        f"(32 threads) | {worst:.2f} ms |",
+        f"| heuristic pick | 32x6 (optimal) | "
+        f"{r.heuristic_block[0]}x{r.heuristic_block[1]} "
+        f"({r.heuristic_within:.3f}x of optimum) |",
+        f"| best-to-worst spread | ~2.5x | "
+        f"{worst / r.best.time_ms:.2f}x |",
+        "",
+    ]
+    return lines
+
+
+HEADER = """# EXPERIMENTS — paper vs. model, every table and figure
+
+All numbers regenerate with ``pytest benchmarks/ --benchmark-only`` (per
+table) or this file with ``python scripts/generate_experiments.py``.
+
+**Substrate.** The paper measured four real GPUs; this reproduction runs a
+mechanisms-based analytical timing model on an abstract hardware model of
+the same devices (see DESIGN.md section 2), plus a functional simulator
+for outputs.  Absolute milliseconds are therefore model estimates
+calibrated per device; the claims the paper makes are *relative*, and all
+of them are asserted by the benchmark suite:
+
+1. generated code is near-constant across boundary modes (< 12% spread)
+   while manual implementations vary up to ~2x with Constant worst;
+2. constant-memory filter masks give ~1.4-1.7x on NVIDIA, muted on AMD
+   VLIW;
+3. the CUDA texture path helps (esp. uncached GT200); OpenCL image objects
+   never beat buffers; hardware boundary handling covers only
+   Clamp/Repeat (+Constant 0/1 on OpenCL) — the published "n/a" cells;
+4. generated >= best manual; >= 2x over RapidMind; RapidMind's Repeat
+   crashes on the Tesla and is ~3x slower on the Quadro; Mirror is n/a
+   for RapidMind — all markers reproduced from mechanisms, not lookup;
+5. OpenCV's PPT=8 beats PPT=1; OpenCV varies per mode while generated
+   stays flat and lands in PPT=1's ballpark;
+6. scratchpad staging *slows down* small-window filters (Tables VIII/IX
+   +Smem/+Lmem rows);
+7. exploration shows a >= 1.8x configuration spread on Fermi with the
+   Algorithm 2 heuristic within 10% of optimal (picking the paper's
+   32x6);
+8. on AMD VLIW, per-mode boundary costs flatten (predication) and the
+   mask benefit shrinks — and Section VIII's vectorization gives ~2x
+   (bench_ablation_vectorization).
+
+**Known deviations** (documented, not hidden):
+
+* Table III's "+Mask" OpenCL rows run anomalously fast in the paper
+  (nearly CUDA speed while the no-mask rows show the full OpenCL gap);
+  our SFU-centred model of the OpenCL gap over-prices them by ~40%.
+  This is the dominant contribution to Table III's mean error.
+* The paper's AMD tables contain erratic outliers it itself calls "not
+  predictable" (e.g. *Generated* Repeat at 470 ms on the HD 5870 while
+  *Manual* Repeat is 405 ms); a deterministic mechanism model cannot and
+  does not reproduce those inversions.
+* RapidMind's Constant mode is modelled slightly slower than measured
+  (its managed-array bounds path is priced flat at 10 ops/read).
+
+"""
+
+
+def main(path="EXPERIMENTS.md"):
+    bil, bil_summary = bilateral_sections()
+    gau, gau_summary = gaussian_sections()
+    fig = figure4_section()
+
+    summary_lines = [
+        "## Summary\n",
+        "| experiment | device | backend | mean rel. error | "
+        "marker mismatches |",
+        "|---|---|---|---|---|",
+    ]
+    for name, device, backend, err, mism in bil_summary + gau_summary:
+        summary_lines.append(
+            f"| {name} | {device} | {backend} | {err:.1%} | {mism} |")
+    summary_lines.append("")
+
+    body = [HEADER] + summary_lines + \
+        ["## Bilateral-filter tables (II-VII)\n"] + bil + \
+        ["## Gaussian / OpenCV tables (VIII-IX)\n"] + gau + \
+        ["## Figure 4\n"] + fig + [
+        "## Section VI-C — generated-code size\n",
+        "The paper: 317 CUDA lines from a 16-line DSL kernel.  Our "
+        "generated bilateral (9 border variants, texture path) is "
+        "asserted in `tests/test_backends_codegen.py::"
+        "TestGeneratedCodeSize` to land in the same regime "
+        "(150-700 lines from a <= 20-line kernel body).\n",
+    ]
+    text = "\n".join(body)
+    with open(path, "w") as fh:
+        fh.write(text)
+    print(f"wrote {path} ({len(text.splitlines())} lines)")
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:])

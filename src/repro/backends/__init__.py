@@ -1,0 +1,19 @@
+"""Code-generation backends (paper Section IV).
+
+Lower a type-checked kernel IR to CUDA or OpenCL source text, applying the
+paper's device-specific transformations: texture/image reads, scratchpad
+staging, constant-memory filter masks and nine-region boundary-handling
+specialisation.  The functional GPU simulator consumes exactly the same
+lowering decisions (:class:`CodegenOptions` + :mod:`repro.backends.border`),
+so what we simulate is what we print.
+"""
+
+from .base import CodegenOptions, KernelSource, MaskMemory, generate  # noqa: F401
+from .border import (  # noqa: F401
+    BorderRegion,
+    Side,
+    classify_regions,
+    region_grid_predicate,
+)
+from .cuda import CudaBackend  # noqa: F401
+from .opencl import OpenCLBackend  # noqa: F401

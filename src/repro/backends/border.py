@@ -1,0 +1,212 @@
+"""Boundary-handling region specialisation (paper Section IV-B, Figure 3).
+
+"Special boundary handling mode is added for each border — resulting in nine
+different kernel implementations ... the source-to-source compiler creates
+one big kernel that hosts all nine implementations, but executes only the
+required one depending on the currently processed image region."
+
+A :class:`BorderRegion` names which image sides a block of threads may cross
+(none / low / high per axis).  :func:`classify_regions` computes, for a
+given grid/block/window geometry, the nine regions with their block-index
+ranges; both the code generators (emitting the Listing-8 dispatch) and the
+launch simulator (executing region variants) use it, guaranteeing the
+printed code and the simulated semantics agree.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from typing import List, Tuple
+
+
+class Side(enum.Enum):
+    """Which side(s) of one axis a region's accesses may cross."""
+
+    NONE = "none"
+    LO = "lo"
+    HI = "hi"
+    BOTH = "both"
+
+    def needs_lo(self) -> bool:
+        return self in (Side.LO, Side.BOTH)
+
+    def needs_hi(self) -> bool:
+        return self in (Side.HI, Side.BOTH)
+
+
+#: Canonical label per (side_x, side_y) — matches Figure 3's layout.
+_REGION_LABELS = {
+    (Side.LO, Side.LO): "TL",
+    (Side.NONE, Side.LO): "T",
+    (Side.HI, Side.LO): "TR",
+    (Side.LO, Side.NONE): "L",
+    (Side.NONE, Side.NONE): "NO",
+    (Side.HI, Side.NONE): "R",
+    (Side.LO, Side.HI): "BL",
+    (Side.NONE, Side.HI): "B",
+    (Side.HI, Side.HI): "BR",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class BorderRegion:
+    """One specialised kernel variant: guarded sides + block-index range.
+
+    Block ranges are half-open: ``bx_lo <= blockIdx.x < bx_hi`` and likewise
+    for y.  ``label`` is the goto label used in generated code (``TL_BH``).
+    """
+
+    side_x: Side
+    side_y: Side
+    bx_lo: int
+    bx_hi: int
+    by_lo: int
+    by_hi: int
+
+    @property
+    def label(self) -> str:
+        return _REGION_LABELS.get((self.side_x, self.side_y), "FULL") + "_BH"
+
+    @property
+    def is_interior(self) -> bool:
+        return self.side_x == Side.NONE and self.side_y == Side.NONE
+
+    @property
+    def num_blocks(self) -> int:
+        return max(0, self.bx_hi - self.bx_lo) * max(0, self.by_hi -
+                                                     self.by_lo)
+
+
+@dataclasses.dataclass(frozen=True)
+class RegionLayout:
+    """Full region decomposition of a launch grid."""
+
+    grid: Tuple[int, int]           # (grid_x, grid_y) in blocks
+    block: Tuple[int, int]
+    window: Tuple[int, int]
+    regions: Tuple[BorderRegion, ...]
+    degenerate: bool                # border spans overlap: single BOTH region
+
+    @property
+    def total_blocks(self) -> int:
+        return self.grid[0] * self.grid[1]
+
+    @property
+    def border_blocks(self) -> int:
+        return sum(r.num_blocks for r in self.regions
+                   if not r.is_interior)
+
+    @property
+    def border_block_fraction(self) -> float:
+        total = self.total_blocks
+        return self.border_blocks / total if total else 0.0
+
+
+def grid_for(width: int, height: int,
+             block: Tuple[int, int]) -> Tuple[int, int]:
+    """Launch grid (in blocks) covering a width x height iteration space."""
+    bx, by = block
+    return (math.ceil(width / bx), math.ceil(height / by))
+
+
+def border_block_counts(width: int, height: int, block: Tuple[int, int],
+                        window: Tuple[int, int]) -> Tuple[int, int, int, int]:
+    """(left, right, top, bottom) block counts whose accesses may cross the
+    respective image side, given the local-operator *window*."""
+    bx, by = block
+    half_x, half_y = window[0] // 2, window[1] // 2
+    grid_x, grid_y = grid_for(width, height, block)
+    left = min(grid_x, math.ceil(half_x / bx)) if half_x else 0
+    top = min(grid_y, math.ceil(half_y / by)) if half_y else 0
+    # high-side blocks: those whose last pixel + half crosses width-1;
+    # the last block may also be partial (grid overshoot), which always
+    # needs a high-side guard to stay inside the iteration space.
+    right = 0
+    for b in range(grid_x - 1, -1, -1):
+        if (b + 1) * bx - 1 + half_x >= width or (b + 1) * bx > width:
+            right += 1
+        else:
+            break
+    bottom = 0
+    for b in range(grid_y - 1, -1, -1):
+        if (b + 1) * by - 1 + half_y >= height or (b + 1) * by > height:
+            bottom += 1
+        else:
+            break
+    return left, min(right, grid_x), top, min(bottom, grid_y)
+
+
+def classify_regions(width: int, height: int, block: Tuple[int, int],
+                     window: Tuple[int, int]) -> RegionLayout:
+    """Decompose the launch grid into boundary-handling regions.
+
+    Returns the nine Figure-3 regions when the low/high border block spans
+    do not overlap.  When they do (image narrower than two border spans),
+    falls back to a single degenerate region guarding both sides of both
+    axes — semantically always correct, just without the interior fast
+    path.
+    """
+    grid_x, grid_y = grid_for(width, height, block)
+    left, right, top, bottom = border_block_counts(width, height, block,
+                                                   window)
+
+    if left + right > grid_x or top + bottom > grid_y:
+        region = BorderRegion(Side.BOTH, Side.BOTH, 0, grid_x, 0, grid_y)
+        return RegionLayout((grid_x, grid_y), block, window, (region,), True)
+
+    x_bands = [
+        (Side.LO, 0, left),
+        (Side.NONE, left, grid_x - right),
+        (Side.HI, grid_x - right, grid_x),
+    ]
+    y_bands = [
+        (Side.LO, 0, top),
+        (Side.NONE, top, grid_y - bottom),
+        (Side.HI, grid_y - bottom, grid_y),
+    ]
+    regions: List[BorderRegion] = []
+    for sy, ylo, yhi in y_bands:
+        for sx, xlo, xhi in x_bands:
+            region = BorderRegion(sx, sy, xlo, xhi, ylo, yhi)
+            if region.num_blocks > 0 or (sx, sy) == (Side.NONE, Side.NONE):
+                regions.append(region)
+    return RegionLayout((grid_x, grid_y), block, window, tuple(regions),
+                        False)
+
+
+def region_grid_predicate(region: BorderRegion, backend: str) -> str:
+    """C predicate (on block indices) selecting *region* — the conditions
+    of the Listing-8 dispatch.  Uses the generated constants ``BH_X_LO``
+    etc. that the backend defines from the region layout."""
+    if backend == "cuda":
+        bid_x, bid_y = "blockIdx.x", "blockIdx.y"
+    else:
+        bid_x, bid_y = "get_group_id(0)", "get_group_id(1)"
+    parts = []
+    if region.side_x == Side.LO:
+        parts.append(f"{bid_x} < BH_X_LO")
+    elif region.side_x == Side.HI:
+        parts.append(f"{bid_x} >= BH_X_HI")
+    elif region.side_x == Side.NONE:
+        parts.append(f"{bid_x} >= BH_X_LO && {bid_x} < BH_X_HI")
+    if region.side_y == Side.LO:
+        parts.append(f"{bid_y} < BH_Y_LO")
+    elif region.side_y == Side.HI:
+        parts.append(f"{bid_y} >= BH_Y_HI")
+    elif region.side_y == Side.NONE:
+        parts.append(f"{bid_y} >= BH_Y_LO && {bid_y} < BH_Y_HI")
+    if region.side_x == Side.BOTH and region.side_y == Side.BOTH:
+        return "1"
+    return " && ".join(parts) if parts else "1"
+
+
+def border_thread_count(width: int, height: int, block: Tuple[int, int],
+                        window: Tuple[int, int]) -> int:
+    """Number of threads that execute boundary-handling conditionals —
+    the quantity Algorithm 2's tiling heuristic minimises."""
+    layout = classify_regions(width, height, block, window)
+    bx, by = block
+    return sum(r.num_blocks for r in layout.regions
+               if not r.is_interior) * bx * by

@@ -1,0 +1,246 @@
+"""Code generation for global reductions.
+
+Emits the canonical two-stage GPU reduction HIPAcc uses for its global
+operators:
+
+* **stage 1** — every block grid-strides over the iteration space
+  accumulating into a register, stages the per-thread value into
+  scratchpad memory and tree-reduces it; thread 0 writes one partial per
+  block;
+* **stage 2** — one block tree-reduces the partials to the final scalar.
+
+The user's combine expression is emitted once as a ``REDUCE(a, b)`` macro
+so both stages share it — mirroring HIPAcc's generated reductions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import CodegenError
+from ..frontend.reduction import LEFT, RIGHT, ReductionIR
+from ..ir.nodes import OutputWrite
+from .base import CExprPrinter, CodegenOptions, CStmtPrinter, KernelSource
+
+
+def _combine_macro(ir: ReductionIR, backend: str) -> str:
+    """Emit the combine as a macro; multi-statement bodies become a
+    statement-expression-free inline function instead."""
+    if len(ir.body) == 1 and isinstance(ir.body[0], OutputWrite):
+        printer = CExprPrinter(
+            backend,
+            lower_read=_no_reads,
+            lower_mask=_no_reads,
+            param_names={LEFT: "(a)", RIGHT: "(b)"},
+        )
+        expr = printer.print(ir.body[0].value)
+        return f"#define REDUCE(a, b) ({expr})"
+    # general case: an inline device function
+    qualifier = "__device__ inline" if backend == "cuda" else "inline"
+    t = ir.pixel_type.cuda_name if backend == "cuda" \
+        else ir.pixel_type.opencl_name
+    printer = CExprPrinter(backend, _no_reads, _no_reads,
+                           param_names={LEFT: "a", RIGHT: "b"})
+    stmts = CStmtPrinter(printer, lower_write=lambda v: f"return {v};")
+    lines = [f"{qualifier} {t} reduce_op({t} a, {t} b) {{"]
+    lines += stmts.print_body(ir.body, 1)
+    lines.append("}")
+    lines.append("#define REDUCE(a, b) reduce_op(a, b)")
+    return "\n".join(lines)
+
+
+def _no_reads(name: str, dx: str, dy: str) -> str:
+    raise CodegenError(
+        "reduction combine functions cannot read accessors or masks")
+
+
+def generate_reduction(ir: ReductionIR, options: CodegenOptions,
+                       block_size: int = 256) -> KernelSource:
+    """Generate two-stage reduction source for *ir*."""
+    options.validate()
+    backend = options.backend
+    if block_size & (block_size - 1):
+        raise CodegenError("reduction block size must be a power of two")
+    t = ir.pixel_type.cuda_name if backend == "cuda" \
+        else ir.pixel_type.opencl_name
+    entry = f"{ir.name}_reduce"
+
+    lines: List[str] = [
+        f"// {ir.name}: generated two-stage global reduction "
+        f"({backend} backend)",
+        _combine_macro(ir, backend),
+        f"#define RED_BS {block_size}",
+        "",
+    ]
+    if backend == "cuda":
+        lines += _cuda_stage(entry, t)
+    else:
+        lines += _opencl_stage(entry, t)
+    device_code = "\n".join(lines) + "\n"
+    host_code = _host_code(entry, t, backend, block_size)
+    return KernelSource(
+        entry=entry,
+        device_code=device_code,
+        host_code=host_code,
+        backend=backend,
+        options=options,
+        smem_bytes=block_size * ir.pixel_type.size,
+        num_variants=2,      # stage 1 + stage 2
+    )
+
+
+def _cuda_stage(entry: str, t: str) -> List[str]:
+    return [
+        f'extern "C" __global__ void {entry}_stage1(const {t} * IN, '
+        "int stride, int width, int height, "
+        f"{t} * partials) {{",
+        f"    __shared__ {t} _sdata[RED_BS];",
+        "    const int tid = threadIdx.x;",
+        "    int idx = blockIdx.x * RED_BS + tid;",
+        "    const int total = width * height;",
+        "    const int step = gridDim.x * RED_BS;",
+        "    // grid-stride accumulation (first element seeds)",
+        f"    {t} acc;",
+        "    bool seeded = false;",
+        "    while (idx < total) {",
+        "        int y = idx / width;",
+        "        int x = idx - y * width;",
+        f"        {t} v = IN[y * stride + x];",
+        "        acc = seeded ? REDUCE(acc, v) : v;",
+        "        seeded = true;",
+        "        idx += step;",
+        "    }",
+        "    _sdata[tid] = acc;",
+        "    __syncthreads();",
+        "    // block tree reduction; inactive lanes hold no element",
+        "    int live = min(RED_BS, total - blockIdx.x * RED_BS);",
+        "    for (int s = RED_BS / 2; s > 0; s >>= 1) {",
+        "        if (tid < s && tid + s < live) {",
+        "            _sdata[tid] = REDUCE(_sdata[tid], _sdata[tid + s]);",
+        "        }",
+        "        __syncthreads();",
+        "    }",
+        "    if (tid == 0) partials[blockIdx.x] = _sdata[0];",
+        "}",
+        "",
+        f'extern "C" __global__ void {entry}_stage2({t} * partials, '
+        "int n) {",
+        f"    __shared__ {t} _sdata[RED_BS];",
+        "    const int tid = threadIdx.x;",
+        "    if (tid < n) _sdata[tid] = partials[tid];",
+        "    __syncthreads();",
+        "    for (int s = RED_BS / 2; s > 0; s >>= 1) {",
+        "        if (tid < s && tid + s < n) {",
+        "            _sdata[tid] = REDUCE(_sdata[tid], _sdata[tid + s]);",
+        "        }",
+        "        __syncthreads();",
+        "    }",
+        "    if (tid == 0) partials[0] = _sdata[0];",
+        "}",
+    ]
+
+
+def _opencl_stage(entry: str, t: str) -> List[str]:
+    return [
+        f"__kernel void {entry}_stage1(__global const {t} * IN, "
+        "int stride, int width, int height, "
+        f"__global {t} * partials) {{",
+        f"    __local {t} _sdata[RED_BS];",
+        "    const int tid = get_local_id(0);",
+        "    int idx = get_group_id(0) * RED_BS + tid;",
+        "    const int total = width * height;",
+        "    const int step = get_num_groups(0) * RED_BS;",
+        f"    {t} acc;",
+        "    bool seeded = false;",
+        "    while (idx < total) {",
+        "        int y = idx / width;",
+        "        int x = idx - y * width;",
+        f"        {t} v = IN[y * stride + x];",
+        "        acc = seeded ? REDUCE(acc, v) : v;",
+        "        seeded = true;",
+        "        idx += step;",
+        "    }",
+        "    _sdata[tid] = acc;",
+        "    barrier(CLK_LOCAL_MEM_FENCE);",
+        "    int live = min(RED_BS, total - (int)get_group_id(0) * "
+        "RED_BS);",
+        "    for (int s = RED_BS / 2; s > 0; s >>= 1) {",
+        "        if (tid < s && tid + s < live) {",
+        "            _sdata[tid] = REDUCE(_sdata[tid], _sdata[tid + s]);",
+        "        }",
+        "        barrier(CLK_LOCAL_MEM_FENCE);",
+        "    }",
+        "    if (tid == 0) partials[get_group_id(0)] = _sdata[0];",
+        "}",
+        "",
+        f"__kernel void {entry}_stage2(__global {t} * partials, int n) {{",
+        f"    __local {t} _sdata[RED_BS];",
+        "    const int tid = get_local_id(0);",
+        "    if (tid < n) _sdata[tid] = partials[tid];",
+        "    barrier(CLK_LOCAL_MEM_FENCE);",
+        "    for (int s = RED_BS / 2; s > 0; s >>= 1) {",
+        "        if (tid < s && tid + s < n) {",
+        "            _sdata[tid] = REDUCE(_sdata[tid], _sdata[tid + s]);",
+        "        }",
+        "        barrier(CLK_LOCAL_MEM_FENCE);",
+        "    }",
+        "    if (tid == 0) partials[0] = _sdata[0];",
+        "}",
+    ]
+
+
+def _host_code(entry: str, t: str, backend: str,
+               block_size: int) -> str:
+    if backend == "cuda":
+        return "\n".join([
+            f"// host driver for {entry} (CUDA)",
+            f"{t} run_{entry}(const {t} *host_in, int width, "
+            "int height) {",
+            "    int total = width * height;",
+            f"    int blocks = min(1024, (total + {block_size} - 1) / "
+            f"{block_size});",
+            f"    {t} *dev_in = NULL, *dev_partials = NULL;",
+            f"    cudaMalloc(&dev_in, (size_t)total * sizeof({t}));",
+            f"    cudaMalloc(&dev_partials, blocks * sizeof({t}));",
+            "    cudaMemcpy(dev_in, host_in, "
+            f"(size_t)total * sizeof({t}), cudaMemcpyHostToDevice);",
+            f"    {entry}_stage1<<<blocks, {block_size}>>>(dev_in, width,"
+            " width, height, dev_partials);",
+            f"    {entry}_stage2<<<1, {block_size}>>>(dev_partials, "
+            "blocks);",
+            f"    {t} result;",
+            "    cudaMemcpy(&result, dev_partials, "
+            f"sizeof({t}), cudaMemcpyDeviceToHost);",
+            "    cudaFree(dev_in); cudaFree(dev_partials);",
+            "    return result;",
+            "}",
+        ]) + "\n"
+    return "\n".join([
+        f"// host driver for {entry} (OpenCL)",
+        "// (context/queue setup as in the kernel host files)",
+        f"{t} run_{entry}(cl_command_queue queue, cl_kernel stage1, "
+        "cl_kernel stage2,",
+        "                cl_mem dev_in, cl_mem dev_partials, int width, "
+        "int height) {",
+        "    int total = width * height;",
+        f"    size_t local = {block_size};",
+        f"    int blocks = (total + {block_size} - 1) / {block_size};",
+        "    if (blocks > 1024) blocks = 1024;",
+        "    size_t global1 = (size_t)blocks * local;",
+        "    clSetKernelArg(stage1, 0, sizeof(cl_mem), &dev_in);",
+        "    clSetKernelArg(stage1, 1, sizeof(int), &width);",
+        "    clSetKernelArg(stage1, 2, sizeof(int), &width);",
+        "    clSetKernelArg(stage1, 3, sizeof(int), &height);",
+        "    clSetKernelArg(stage1, 4, sizeof(cl_mem), &dev_partials);",
+        "    clEnqueueNDRangeKernel(queue, stage1, 1, NULL, &global1, "
+        "&local, 0, NULL, NULL);",
+        "    clSetKernelArg(stage2, 0, sizeof(cl_mem), &dev_partials);",
+        "    clSetKernelArg(stage2, 1, sizeof(int), &blocks);",
+        "    clEnqueueNDRangeKernel(queue, stage2, 1, NULL, &local, "
+        "&local, 0, NULL, NULL);",
+        f"    {t} result;",
+        "    clEnqueueReadBuffer(queue, dev_partials, CL_TRUE, 0, "
+        f"sizeof({t}), &result, 0, NULL, NULL);",
+        "    return result;",
+        "}",
+    ]) + "\n"

@@ -1,0 +1,15 @@
+"""Baseline implementations from the paper's evaluation (Section VI).
+
+* :mod:`repro.baselines.manual` — hand-written CUDA/OpenCL variants
+  (straightforward, +Tex/+Img, +2DTex/+ImgBH, +Mask combinations);
+* :mod:`repro.baselines.rapidmind` — the RapidMind multi-core development
+  platform modelled as an array-programming framework without border
+  specialisation;
+* :mod:`repro.baselines.opencv` — OpenCV's GPU separable filters (PPT=8 /
+  PPT=1), including a *functional* separable execution path on the
+  simulator for numerical comparison against the generated 2-D kernels.
+"""
+
+from .manual import ManualVariant, manual_bilateral_time, manual_variant_names  # noqa: F401
+from .rapidmind import RapidMindProgram, rapidmind_bilateral_time  # noqa: F401
+from .opencv import OpenCVSeparableFilter, opencv_gaussian_time  # noqa: F401

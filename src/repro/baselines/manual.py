@@ -1,0 +1,73 @@
+"""Manual CUDA/OpenCL implementations (paper Section VI-A.1).
+
+"The basic version of the manual implementations uses straightforward
+CUDA/OpenCL code.  These versions are then subsequently improved to utilize
+linear texture memory in CUDA (image objects in OpenCL), constant memory to
+store the filter masks, and combinations of both."
+
+A manual implementation differs from generated code in exactly two ways our
+pipeline can express:
+
+* boundary handling is *inline* — per-access conditionals evaluated by every
+  thread ("the conditional statements have to be evaluated for each pixel,
+  although it is only required at the image border"), or delegated to
+  texture-hardware address modes (+2DTex / +ImgBH);
+* no automatic configuration selection — the fixed 128x1 block of the
+  tables.
+
+This module exposes them as named variants; the timing comes from the same
+mechanisms-based model as everything else.  For functional output, compile
+the corresponding filter kernel with ``border="inline"`` /
+``border="hardware"`` — the simulator then executes exactly the manual
+semantics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Union
+
+from ..dsl.boundary import Boundary
+from ..evaluation.variants import (
+    CellValue,
+    VariantSpec,
+    cuda_variants,
+    evaluate_bilateral_cell,
+    opencl_variants,
+)
+from ..hwmodel.device import DeviceSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class ManualVariant:
+    """A named manual-implementation configuration."""
+
+    name: str
+    use_texture: bool
+    hardware_border: bool
+    use_mask: bool
+
+    def to_spec(self) -> VariantSpec:
+        return VariantSpec(self.name, "manual", use_mask=self.use_mask,
+                           use_texture=self.use_texture,
+                           hardware_border=self.hardware_border)
+
+
+def manual_variant_names(backend: str) -> List[str]:
+    """The manual rows of the tables for *backend*."""
+    source = cuda_variants() if backend == "cuda" else opencl_variants()
+    return [v.name for v in source if v.kind == "manual"]
+
+
+def manual_bilateral_time(device: Union[str, DeviceSpec], backend: str,
+                          variant_name: str, mode: Boundary,
+                          **kwargs) -> CellValue:
+    """Modelled execution time of one manual bilateral variant."""
+    source = cuda_variants() if backend == "cuda" else opencl_variants()
+    for variant in source:
+        if variant.name == variant_name and variant.kind == "manual":
+            return evaluate_bilateral_cell(device, backend, variant, mode,
+                                           **kwargs)
+    raise KeyError(
+        f"no manual variant {variant_name!r} for backend {backend!r}; "
+        f"available: {manual_variant_names(backend)}")

@@ -1,0 +1,108 @@
+"""RapidMind baseline (paper Sections VI-A.2 and VII).
+
+RapidMind was a commercial array-programming platform (successor of Sh,
+absorbed into Intel ArBB): kernels are written against managed arrays whose
+bounds behaviour is a property of the data, neighbouring elements are read
+with ``shift()``, and the JIT generates unspecialised GPU code.
+
+Modelled characteristics (each grounded in a published observation):
+
+* no boundary-region specialisation — every access goes through the managed
+  array's bounds machinery (a flat per-read cost);
+* no constant-memory filter masks — coefficients are recomputed or streamed;
+* framework overhead from the managed runtime (the ~1.5-2x gap of Tables
+  II/IV);
+* the Repeat mode is a software path that *crashes* on the memory-protected
+  Tesla and runs ~3x slower on the Quadro;
+* Mirror does not exist ("In addition to the boundary handling modes
+  supported in RapidMind, we support also mirroring").
+
+``RapidMindProgram`` also offers a functional path: it executes the same
+bilateral kernel on the simulator with inline boundary handling, so output
+images can be compared numerically with generated code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Union
+
+import numpy as np
+
+from ..backends.base import BorderMode, CodegenOptions
+from ..dsl.boundary import Boundary
+from ..errors import DeviceFault, DslError
+from ..evaluation.variants import (
+    CellValue,
+    cuda_variants,
+    evaluate_bilateral_cell,
+)
+from ..filters.bilateral import make_bilateral
+from ..frontend.parser import accessor_objects, parse_kernel
+from ..hwmodel.database import get_device
+from ..hwmodel.device import DeviceSpec
+from ..ir.typecheck import typecheck_kernel
+from ..sim.launch import simulate_launch
+
+#: Boundary modes RapidMind supports (no Mirror).
+SUPPORTED_MODES = (Boundary.UNDEFINED, Boundary.CLAMP, Boundary.REPEAT,
+                   Boundary.CONSTANT)
+
+
+def rapidmind_bilateral_time(device: Union[str, DeviceSpec],
+                             backend: str, mode: Boundary,
+                             use_texture: bool = False,
+                             **kwargs) -> CellValue:
+    """Modelled execution time of the RapidMind bilateral filter."""
+    name = "RapidMind+Tex" if use_texture else "RapidMind"
+    for variant in cuda_variants():
+        if variant.name == name:
+            return evaluate_bilateral_cell(device, backend, variant, mode,
+                                           **kwargs)
+    raise KeyError(name)
+
+
+@dataclasses.dataclass
+class RapidMindProgram:
+    """A RapidMind-style program: bilateral filter over managed arrays.
+
+    ``run`` executes functionally on the simulated device (inline boundary
+    handling — no specialisation) and raises :class:`DeviceFault` for the
+    Repeat-on-Tesla crash, mirroring the published behaviour.
+    """
+
+    sigma_d: int = 3
+    sigma_r: float = 5.0
+    mode: Boundary = Boundary.CLAMP
+    constant: float = 0.0
+
+    def __post_init__(self):
+        self.mode = Boundary.coerce(self.mode)
+        if self.mode not in SUPPORTED_MODES:
+            raise DslError(
+                f"RapidMind does not support boundary mode "
+                f"{self.mode.value!r} (no mirroring)")
+
+    def run(self, data: np.ndarray,
+            device: Union[str, DeviceSpec] = "Tesla C2050",
+            backend: str = "cuda") -> np.ndarray:
+        dev = get_device(device) if isinstance(device, str) else device
+        if self.mode == Boundary.REPEAT and dev.faults_on_oob:
+            raise DeviceFault(
+                "RapidMind Repeat boundary handling crashes on "
+                f"{dev.name} (as measured in the paper)")
+        h, w = data.shape
+        kernel, img_in, img_out = make_bilateral(
+            w, h, sigma_d=self.sigma_d, sigma_r=self.sigma_r,
+            boundary=self.mode, boundary_constant=self.constant,
+            data=data)
+        ir = typecheck_kernel(parse_kernel(kernel))
+        options = CodegenOptions(
+            backend=backend,
+            border=(BorderMode.NONE if self.mode == Boundary.UNDEFINED
+                    else BorderMode.INLINE),
+            block=(128, 1),
+        )
+        simulate_launch(ir, accessor_objects(kernel),
+                        kernel.iteration_space, options, dev)
+        return img_out.get_data()

@@ -1,0 +1,252 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``devices``  — the modelled GPU database (the abstract hardware model);
+* ``codegen``  — emit CUDA/OpenCL/CPU source for a built-in filter;
+* ``table``    — regenerate one of the paper's tables (II-IX) with the
+  published numbers side by side;
+* ``figure4``  — the configuration-space exploration;
+* ``explore``  — Algorithm 2 vs exhaustive exploration on any device;
+* ``demo``     — compile + simulate a filter on a synthetic angiography
+  frame and report timing/configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _build_filter(name: str, size: int, boundary: str, data):
+    from .dsl.boundary import Boundary
+    from .filters.bilateral import make_bilateral
+    from .filters.gaussian import make_gaussian
+    from .filters.laplacian import make_laplacian
+    from .filters.median import make_median
+    from .filters.sobel import make_sobel
+
+    mode = Boundary.coerce(boundary)
+    h, w = data.shape
+    if name == "bilateral":
+        return make_bilateral(w, h, sigma_d=2, sigma_r=0.1,
+                              boundary=mode, data=data)
+    if name == "gaussian":
+        return make_gaussian(w, h, size=5, boundary=mode, data=data)
+    if name == "sobel":
+        return make_sobel(w, h, axis="x", boundary=mode, data=data)
+    if name == "laplacian":
+        return make_laplacian(w, h, boundary=mode, data=data)
+    if name == "median":
+        return make_median(w, h, boundary=mode, data=data)
+    raise SystemExit(f"unknown filter {name!r}")
+
+
+FILTERS = ["bilateral", "gaussian", "sobel", "laplacian", "median"]
+
+
+def cmd_devices(args) -> int:
+    from .hwmodel import DEVICES
+
+    print(f"{'device':<18}{'vendor':<8}{'arch':<7}{'SIMDs':>6}"
+          f"{'ALUs':>6}{'clock':>7}{'BW GB/s':>9}{'max blk':>9}")
+    for dev in DEVICES.values():
+        print(f"{dev.name:<18}{dev.vendor:<8}{dev.architecture:<7}"
+              f"{dev.num_simd_units:>6}{dev.total_alus:>6}"
+              f"{dev.clock_ghz:>6.2f}G"
+              f"{dev.memory.bandwidth_gbps:>9.1f}"
+              f"{dev.max_threads_per_block:>9}")
+    return 0
+
+
+def cmd_codegen(args) -> int:
+    rng = np.random.default_rng(0)
+    data = rng.random((args.size, args.size)).astype(np.float32)
+    kernel, _, _ = _build_filter(args.filter, args.size, args.boundary,
+                                 data)
+    if args.backend == "cpu":
+        # the CPU target has no device model; generate directly
+        from .backends.base import CodegenOptions, generate
+        from .frontend.parser import parse_kernel
+        from .ir.typecheck import typecheck_kernel
+
+        ir = typecheck_kernel(parse_kernel(kernel))
+        source = generate(ir, CodegenOptions(backend="cpu"),
+                          launch_geometry=(args.size, args.size))
+        print(source.host_code if args.host else source.device_code)
+        print(f"// {source.num_variants} loop nests, "
+              f"{source.device_lines} lines", file=sys.stderr)
+        return 0
+    from .runtime.compile import compile_kernel
+
+    compiled = compile_kernel(kernel, backend=args.backend,
+                              device=args.device,
+                              vectorize=args.vectorize,
+                              pixels_per_thread=args.ppt)
+    if args.host:
+        print(compiled.host_code)
+    else:
+        print(compiled.device_code)
+    print(f"// block {compiled.options.block}, "
+          f"{compiled.resources.registers_per_thread} regs/thread, "
+          f"{compiled.source.num_variants} border variants, "
+          f"{compiled.source.device_lines} lines", file=sys.stderr)
+    return 0
+
+
+def cmd_demo(args) -> int:
+    from .data.synthetic import angiography_image
+    from .runtime.compile import compile_kernel
+
+    frame = angiography_image(args.size, args.size, seed=0)
+    kernel, _, out_img = _build_filter(args.filter, args.size,
+                                       args.boundary, frame)
+    compiled = compile_kernel(kernel, backend=args.backend,
+                              device=args.device)
+    report = compiled.execute()
+    out = out_img.get_data()
+    print(f"{args.filter} on {args.size}x{args.size} angiography frame")
+    print(f"  device:    {compiled.device.name} ({args.backend})")
+    print(f"  config:    {compiled.options.block[0]}x"
+          f"{compiled.options.block[1]} "
+          f"(occupancy {report.timing.occupancy:.0%})")
+    print(f"  generated: {compiled.source.device_lines} lines, "
+          f"{compiled.source.num_variants} border variants")
+    print(f"  modelled:  {report.time_ms:.3f} ms "
+          f"(compute {report.timing.compute_ms:.3f}, "
+          f"memory {report.timing.memory_ms:.3f})")
+    print(f"  output:    mean {out.mean():.4f}, std {out.std():.4f}")
+    return 0
+
+
+def cmd_table(args) -> int:
+    from .evaluation import paper_data
+    from .evaluation.opencv_cmp import gaussian_table
+    from .evaluation.variants import bilateral_table
+    from .reporting.tables import format_comparison_table
+
+    mapping = {
+        "2": ("Tesla C2050", "cuda"), "3": ("Tesla C2050", "opencl"),
+        "4": ("Quadro FX 5800", "cuda"),
+        "5": ("Quadro FX 5800", "opencl"),
+        "6": ("Radeon HD 5870", "opencl"),
+        "7": ("Radeon HD 6970", "opencl"),
+    }
+    key = args.number
+    if key in mapping:
+        device, backend = mapping[key]
+        model = bilateral_table(device, backend)
+        paper = paper_data.ALL_BILATERAL_TABLES[(device, backend)]
+        print(format_comparison_table(
+            model, paper, paper_data.MODE_ORDER,
+            title=f"Table {key}: bilateral 13x13, {device}, {backend}"))
+        return 0
+    if key in ("8", "9"):
+        device = "Tesla C2050" if key == "8" else "Quadro FX 5800"
+        for size in (3, 5):
+            model = gaussian_table(device, size)
+            paper = paper_data.ALL_GAUSSIAN_TABLES[device][size]
+            aligned = dict(model)
+            if "OpenCL(+Tex)" in paper:
+                aligned["OpenCL(+Tex)"] = aligned["OpenCL(+Img)"]
+            print(format_comparison_table(
+                aligned, paper, paper_data.GAUSSIAN_MODE_ORDER,
+                title=f"Table {key}: Gaussian {size}x{size}, {device}"))
+            print()
+        return 0
+    raise SystemExit(f"unknown table {key!r} (expected 2-9)")
+
+
+def cmd_figure4(args) -> int:
+    from .evaluation.figure4 import figure4_exploration
+
+    result = figure4_exploration()
+    worst = max(p.time_ms for p in result.points)
+    print(f"Figure 4: {len(result.points)} configurations explored")
+    print(f"  optimum   {result.best.block[0]}x{result.best.block[1]} "
+          f"at {result.best.time_ms:.2f} ms")
+    print(f"  heuristic {result.heuristic_block[0]}x"
+          f"{result.heuristic_block[1]} at {result.heuristic_ms:.2f} ms "
+          f"({result.heuristic_within:.3f}x of optimum)")
+    print(f"  spread    {worst / result.best.time_ms:.2f}x")
+    return 0
+
+
+def cmd_explore(args) -> int:
+    from .evaluation.figure4 import figure4_exploration
+    from .hwmodel import get_device
+
+    dev = get_device(args.device)
+    backend = "cuda" if dev.vendor == "NVIDIA" else "opencl"
+    result = figure4_exploration(device=dev, backend=backend)
+    print(f"{'block':>10}{'time ms':>10}{'occupancy':>11}")
+    for p in sorted(result.points, key=lambda p: p.time_ms)[:args.top]:
+        print(f"{p.block[0]:>5}x{p.block[1]:<4}{p.time_ms:>10.2f}"
+              f"{p.occupancy:>10.0%}")
+    print(f"heuristic: {result.heuristic_block[0]}x"
+          f"{result.heuristic_block[1]} "
+          f"({result.heuristic_within:.3f}x of optimum)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="hipacc-py: device-specific GPU code generation for "
+                    "local operators (IPDPS 2012 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list the modelled GPUs")
+
+    p = sub.add_parser("codegen", help="emit source for a built-in filter")
+    p.add_argument("--filter", choices=FILTERS, default="bilateral")
+    p.add_argument("--backend", choices=["cuda", "opencl", "cpu"],
+                   default="cuda")
+    p.add_argument("--device", default="Tesla C2050")
+    p.add_argument("--boundary", default="clamp")
+    p.add_argument("--size", type=int, default=2048)
+    p.add_argument("--vectorize", type=int, default=1)
+    p.add_argument("--ppt", type=int, default=1)
+    p.add_argument("--host", action="store_true",
+                   help="print the host code instead of the kernel")
+
+    p = sub.add_parser("demo", help="compile + simulate on synthetic data")
+    p.add_argument("--filter", choices=FILTERS, default="bilateral")
+    p.add_argument("--backend", choices=["cuda", "opencl"],
+                   default="cuda")
+    p.add_argument("--device", default="Tesla C2050")
+    p.add_argument("--boundary", default="mirror")
+    p.add_argument("--size", type=int, default=256)
+
+    p = sub.add_parser("table", help="regenerate a paper table (2-9)")
+    p.add_argument("number")
+
+    sub.add_parser("figure4", help="the Figure 4 exploration")
+
+    p = sub.add_parser("explore",
+                       help="configuration exploration on any device")
+    p.add_argument("--device", default="Tesla C2050")
+    p.add_argument("--top", type=int, default=10)
+    return parser
+
+
+COMMANDS = {
+    "devices": cmd_devices,
+    "codegen": cmd_codegen,
+    "demo": cmd_demo,
+    "table": cmd_table,
+    "figure4": cmd_figure4,
+    "explore": cmd_explore,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

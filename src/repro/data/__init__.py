@@ -1,0 +1,8 @@
+"""Synthetic input data (the paper's angiography domain)."""
+
+from .synthetic import (  # noqa: F401
+    angiography_image,
+    gradient_image,
+    impulse_noise_image,
+    vessel_tree,
+)

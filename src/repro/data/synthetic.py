@@ -1,0 +1,104 @@
+"""Synthetic X-ray-angiography-like test images.
+
+The paper's framework targets Siemens angiography pipelines; real patient
+data is obviously unavailable, so these generators produce images with the
+relevant spatial statistics: a dark vessel tree over a bright, smoothly
+varying background, quantum (Poisson-like) noise, and occasional impulse
+noise — exactly what bilateral/median/multiresolution filtering is run on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def vessel_tree(width: int, height: int, seed: int = 0,
+                n_roots: int = 3, depth: int = 5) -> np.ndarray:
+    """Binary-ish vessel-tree map in [0, 1]: recursive branching random
+    walks with width tapering, blurred slightly for partial volume."""
+    rng = np.random.default_rng(seed)
+    canvas = np.zeros((height, width), dtype=np.float32)
+
+    def draw_segment(x, y, angle, length, thickness, level):
+        steps = max(2, int(length))
+        for _ in range(steps):
+            angle += rng.normal(0.0, 0.08)
+            x += np.cos(angle)
+            y += np.sin(angle)
+            ix, iy = int(round(x)), int(round(y))
+            r = max(1, int(round(thickness)))
+            x0, x1 = max(0, ix - r), min(width, ix + r + 1)
+            y0, y1 = max(0, iy - r), min(height, iy + r + 1)
+            if x0 < x1 and y0 < y1:
+                canvas[y0:y1, x0:x1] = 1.0
+            if not (0 <= x < width and 0 <= y < height):
+                return
+        if level < depth:
+            n_branches = rng.integers(1, 3)
+            for _ in range(n_branches):
+                branch_angle = angle + rng.normal(0.0, 0.6)
+                draw_segment(x, y, branch_angle, length * 0.75,
+                             thickness * 0.7, level + 1)
+
+    for _ in range(n_roots):
+        x0 = rng.uniform(0.2, 0.8) * width
+        y0 = 0.0
+        draw_segment(x0, y0, np.pi / 2 + rng.normal(0, 0.3),
+                     height * 0.35, max(2.0, width / 200), 0)
+
+    # cheap separable box blur for partial-volume softening
+    k = 3
+    blurred = canvas.copy()
+    for axis in (0, 1):
+        acc = np.zeros_like(blurred)
+        for off in range(-k // 2, k // 2 + 1):
+            acc += np.roll(blurred, off, axis=axis)
+        blurred = acc / (k + 1)
+    return np.clip(blurred, 0.0, 1.0)
+
+
+def angiography_image(width: int, height: int, seed: int = 0,
+                      noise_sigma: float = 0.02,
+                      contrast: float = 0.55) -> np.ndarray:
+    """Synthetic fluoroscopy frame in [0, 1]: bright vignetted background,
+    dark contrast-agent vessels, quantum noise."""
+    rng = np.random.default_rng(seed)
+    yy, xx = np.mgrid[0:height, 0:width].astype(np.float32)
+    cx, cy = width / 2.0, height / 2.0
+    r2 = ((xx - cx) / (0.75 * width)) ** 2 + \
+        ((yy - cy) / (0.75 * height)) ** 2
+    background = 0.9 - 0.25 * r2
+    background += 0.03 * np.sin(xx / width * 7.1) * \
+        np.cos(yy / height * 5.3)
+    vessels = vessel_tree(width, height, seed=seed)
+    image = background - contrast * vessels
+    # signal-dependent quantum noise (Poisson-like, Gaussian approximated)
+    noise = rng.normal(0.0, 1.0, size=image.shape).astype(np.float32)
+    image = image + noise_sigma * np.sqrt(np.clip(image, 0.01, 1.0)) * noise
+    return np.clip(image, 0.0, 1.0).astype(np.float32)
+
+
+def impulse_noise_image(width: int, height: int, seed: int = 0,
+                        density: float = 0.02,
+                        base: Optional[np.ndarray] = None) -> np.ndarray:
+    """Image with salt-and-pepper impulses (median-filter workload)."""
+    rng = np.random.default_rng(seed)
+    if base is None:
+        base = angiography_image(width, height, seed=seed)
+    image = np.array(base, dtype=np.float32, copy=True)
+    mask = rng.random(image.shape)
+    image[mask < density / 2] = 0.0
+    image[mask > 1.0 - density / 2] = 1.0
+    return image
+
+
+def gradient_image(width: int, height: int,
+                   direction: Tuple[float, float] = (1.0, 0.5)
+                   ) -> np.ndarray:
+    """Deterministic ramp — handy for boundary-handling unit tests."""
+    yy, xx = np.mgrid[0:height, 0:width].astype(np.float32)
+    dx, dy = direction
+    ramp = dx * xx / max(width - 1, 1) + dy * yy / max(height - 1, 1)
+    return (ramp / max(ramp.max(), 1e-9)).astype(np.float32)

@@ -1,0 +1,31 @@
+"""The HIPAcc-style embedded DSL (paper Sections II and III).
+
+Public classes mirror the C++ framework one-to-one:
+
+* :class:`Image` — pixel storage,
+* :class:`IterationSpace` — region of interest in the output image,
+* :class:`Accessor` — how a kernel sees an input image,
+* :class:`BoundaryCondition` / :class:`Boundary` — out-of-bounds behaviour,
+* :class:`Mask` — constant filter-mask coefficients,
+* :class:`Kernel` — base class users derive their operators from,
+* :class:`Uniform` — a scalar parameter kept as a runtime kernel argument,
+* :func:`reduce_identity` and the ``convolve`` helpers — the lambda-based
+  convolution syntax from the paper's outlook (Section VIII).
+"""
+
+from .boundary import Boundary, BoundaryCondition, adjust_indices  # noqa: F401
+from .image import Image  # noqa: F401
+from .iteration_space import IterationSpace  # noqa: F401
+from .accessor import Accessor  # noqa: F401
+from .mask import Mask  # noqa: F401
+from .kernel import Kernel, Uniform  # noqa: F401
+from .convolve import Reduce, reduce_identity  # noqa: F401
+from .domain import Domain, cross_domain, disk_domain  # noqa: F401
+from .interpolate import Interpolation, InterpolatedAccessor, resize  # noqa: F401
+from .reduction import (  # noqa: F401
+    AbsMaxReduction,
+    GlobalReduction,
+    MaxReduction,
+    MinReduction,
+    SumReduction,
+)

@@ -1,0 +1,101 @@
+"""Accessor: the access metadata (paper Sections II and III-A).
+
+An Accessor describes *how* a kernel sees an input image.  It holds no pixel
+memory.  Constructed on a plain :class:`Image` it performs no boundary
+handling (mode Undefined); constructed on a :class:`BoundaryCondition` it
+carries that mode and window.  "Tying the boundary handling mode to an
+Accessor instead of an Image has the additional benefit that multiple
+boundary handling modes can be defined on the same image."
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..errors import DslError
+from .boundary import (
+    Boundary,
+    BoundaryCondition,
+    adjust_indices,
+    out_of_bounds_mask,
+)
+from .image import Image
+
+
+class Accessor:
+    """View of an input Image, optionally through a BoundaryCondition."""
+
+    def __init__(self, source: Union[Image, BoundaryCondition]):
+        if isinstance(source, BoundaryCondition):
+            self.image = source.image
+            self.bc: BoundaryCondition = source
+        elif isinstance(source, Image):
+            self.image = source
+            self.bc = None
+        else:
+            raise DslError(
+                "Accessor requires an Image or a BoundaryCondition, got "
+                f"{type(source).__name__}")
+
+    @property
+    def boundary_mode(self) -> Boundary:
+        return self.bc.mode if self.bc is not None else Boundary.UNDEFINED
+
+    @property
+    def boundary_constant(self) -> float:
+        return self.bc.constant if self.bc is not None else 0.0
+
+    @property
+    def window(self) -> Tuple[int, int]:
+        """Declared local-operator window (1x1 when no BoundaryCondition)."""
+        return self.bc.window if self.bc is not None else (1, 1)
+
+    @property
+    def pixel_type(self):
+        return self.image.pixel_type
+
+    # -- simulator-side sampling -------------------------------------------
+
+    def sample(self, ix, iy) -> np.ndarray:
+        """Read pixels at absolute indices applying this accessor's
+        boundary handling.  Used by the functional simulator and golden
+        tests; semantics identical to the index adjustment the generated
+        device code performs.
+
+        For UNDEFINED, out-of-bounds reads raise — this is how the simulated
+        Tesla C2050 "crash" manifests (callers catch and convert it).
+        """
+        img = self.image
+        ix = np.asarray(ix)
+        iy = np.asarray(iy)
+        mode = self.boundary_mode
+        if mode == Boundary.UNDEFINED:
+            oob = out_of_bounds_mask(ix, iy, img.width, img.height)
+            if np.any(oob):
+                raise IndexError(
+                    f"undefined boundary handling: access outside "
+                    f"{img.width}x{img.height}")
+            return img.pixels[iy, ix]
+        if mode == Boundary.CONSTANT:
+            oob = out_of_bounds_mask(ix, iy, img.width, img.height)
+            cx = np.clip(ix, 0, img.width - 1)
+            cy = np.clip(iy, 0, img.height - 1)
+            values = img.pixels[cy, cx]
+            const = img.pixel_type.np_dtype.type(self.boundary_constant)
+            return np.where(oob, const, values)
+        ax, ay = adjust_indices(ix, iy, img.width, img.height, mode)
+        return img.pixels[ay, ax]
+
+    # The parser intercepts calls like ``self.input(dx, dy)`` inside a
+    # kernel body; calling an Accessor outside a kernel is an error that
+    # would otherwise fail confusingly, so give it a clear message.
+    def __call__(self, *args):
+        raise DslError(
+            "Accessor objects are only callable inside a Kernel.kernel() "
+            "body, where the compiler translates the call into a pixel read")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Accessor({self.image.name}, mode="
+                f"{self.boundary_mode.value}, window={self.window})")

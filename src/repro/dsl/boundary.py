@@ -1,0 +1,138 @@
+"""Boundary handling modes and their index-adjustment semantics.
+
+The paper's Table I defines five modes (Undefined, Repeat, Clamp, Mirror,
+Constant); Figure 2 visualises them.  HIPAcc implements boundary handling by
+*adjusting the index* of the accessed pixel to one inside the image
+(Section III-A, approach b).  :func:`adjust_indices` is the authoritative
+NumPy implementation of those index formulas; the CUDA/OpenCL backends print
+the same formulas in C, and a property-based test pins them to the
+equivalent ``np.pad`` modes (clamp = "edge", mirror = "symmetric",
+repeat = "wrap").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import DslError
+
+
+class Boundary(enum.Enum):
+    """Out-of-bounds behaviour for an :class:`Accessor` (paper Table I)."""
+
+    UNDEFINED = "undefined"
+    REPEAT = "repeat"
+    CLAMP = "clamp"
+    MIRROR = "mirror"
+    CONSTANT = "constant"
+
+    @classmethod
+    def coerce(cls, value) -> "Boundary":
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls(value.lower())
+            except ValueError:
+                pass
+        raise DslError(f"unknown boundary mode: {value!r}")
+
+
+#: np.pad mode equivalent for every handled mode (None = not expressible).
+NUMPY_PAD_MODE = {
+    Boundary.CLAMP: "edge",
+    Boundary.MIRROR: "symmetric",
+    Boundary.REPEAT: "wrap",
+    Boundary.CONSTANT: "constant",
+}
+
+
+def _clamp_axis(idx: np.ndarray, n: int) -> np.ndarray:
+    return np.clip(idx, 0, n - 1)
+
+
+def _repeat_axis(idx: np.ndarray, n: int) -> np.ndarray:
+    return np.mod(idx, n)
+
+
+def _mirror_axis(idx: np.ndarray, n: int) -> np.ndarray:
+    """Symmetric mirroring *including* the edge pixel (Figure 2d):
+    index -1 maps to 0, -2 to 1, n to n-1, n+1 to n-2...
+
+    The folding period is 2n; this is exact for arbitrarily far
+    out-of-bounds indices, matching ``np.pad(mode="symmetric")``.
+    """
+    period = 2 * n
+    m = np.mod(idx, period)
+    return np.where(m < n, m, period - 1 - m)
+
+
+def adjust_indices(ix, iy, width: int, height: int,
+                   mode: Boundary) -> Tuple[np.ndarray, np.ndarray]:
+    """Map (possibly out-of-bounds) pixel indices into the image.
+
+    *ix*, *iy* are integer scalars or arrays.  For :data:`Boundary.CONSTANT`
+    and :data:`Boundary.UNDEFINED` the indices are returned unchanged — the
+    caller must handle the out-of-bounds mask itself (constant substitution
+    or fault detection respectively).
+    """
+    ix = np.asarray(ix)
+    iy = np.asarray(iy)
+    if mode == Boundary.CLAMP:
+        return _clamp_axis(ix, width), _clamp_axis(iy, height)
+    if mode == Boundary.REPEAT:
+        return _repeat_axis(ix, width), _repeat_axis(iy, height)
+    if mode == Boundary.MIRROR:
+        return _mirror_axis(ix, width), _mirror_axis(iy, height)
+    if mode in (Boundary.CONSTANT, Boundary.UNDEFINED):
+        return ix, iy
+    raise DslError(f"unhandled boundary mode {mode}")
+
+
+def out_of_bounds_mask(ix, iy, width: int, height: int) -> np.ndarray:
+    """Boolean mask of indices lying outside the image."""
+    ix = np.asarray(ix)
+    iy = np.asarray(iy)
+    return (ix < 0) | (ix >= width) | (iy < 0) | (iy >= height)
+
+
+class BoundaryCondition:
+    """Ties a boundary mode and a local-operator window to an Image.
+
+    Matches the paper's ``BoundaryCondition<float> BcIn(IN, size_x, size_y,
+    BOUNDARY_CLAMP)`` (Listing 3).  Window sizes must be odd — local
+    operators are centred ("implies a window size (2m+1) x (2n+1) ... to be
+    uneven", Section III).  No pixel data is held here; an Accessor defines
+    the view.
+    """
+
+    def __init__(self, image, size_x: int, size_y: Optional[int] = None,
+                 mode=Boundary.CLAMP, constant: float = 0.0):
+        from .image import Image
+        if not isinstance(image, Image):
+            raise DslError("BoundaryCondition requires an Image")
+        size_y = size_x if size_y is None else size_y
+        for label, size in (("x", size_x), ("y", size_y)):
+            if size < 1 or size % 2 == 0:
+                raise DslError(
+                    f"window size_{label} must be odd and positive, got "
+                    f"{size}")
+        mode = Boundary.coerce(mode)
+        if mode == Boundary.CONSTANT and constant is None:
+            raise DslError("CONSTANT boundary mode requires a constant value")
+        self.image = image
+        self.size_x = int(size_x)
+        self.size_y = int(size_y)
+        self.mode = mode
+        self.constant = constant
+
+    @property
+    def window(self) -> Tuple[int, int]:
+        return (self.size_x, self.size_y)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BoundaryCondition({self.image!r}, {self.size_x}x"
+                f"{self.size_y}, {self.mode.value})")

@@ -1,0 +1,63 @@
+"""Reduction modes for the ``convolve`` kernel syntax (paper Section VIII).
+
+The paper proposes ``output() = convolve(cMask, SUM, [&](){ return
+cMask()*Input(cMask); })``.  Our frontend supports the Python equivalent::
+
+    self.output(self.convolve(self.cmask, Reduce.SUM,
+                              lambda: self.cmask() * self.input(self.cmask)))
+
+which the parser expands into the doubly-nested loop over the mask window
+with the chosen reduction — then constant propagation and unrolling apply
+(exactly the optimizations the paper says this syntax enables).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import DslError
+
+
+class Reduce(enum.Enum):
+    """Reduction combining the per-tap values of a convolve expression."""
+
+    SUM = "sum"
+    MIN = "min"
+    MAX = "max"
+    PROD = "prod"
+
+    @classmethod
+    def coerce(cls, value) -> "Reduce":
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls(value.lower())
+            except ValueError:
+                pass
+        raise DslError(f"unknown reduce mode: {value!r}")
+
+
+def reduce_identity(mode: Reduce) -> float:
+    """Identity element of *mode* (seed of the accumulator)."""
+    mode = Reduce.coerce(mode)
+    if mode == Reduce.SUM:
+        return 0.0
+    if mode == Reduce.PROD:
+        return 1.0
+    if mode == Reduce.MIN:
+        return float("inf")
+    if mode == Reduce.MAX:
+        return float("-inf")
+    raise DslError(f"unhandled reduce mode {mode}")
+
+
+#: IR-level combine: (mode) -> (accumulator expr, value expr) -> expr builder
+#: lives in the frontend, which knows the node types; this table only maps
+#: the mode onto the binary operation / intrinsic used.
+REDUCE_COMBINE_OP = {
+    Reduce.SUM: ("+", None),
+    Reduce.PROD: ("*", None),
+    Reduce.MIN: (None, "min"),
+    Reduce.MAX: (None, "max"),
+}

@@ -1,0 +1,105 @@
+"""Domain: a boolean iteration mask for ``convolve()``.
+
+HIPAcc's Domain restricts which taps of a local operator's window are
+visited — e.g. a cross-shaped Laplacian or a circular structuring element.
+Because the enabled offsets are compile-time constants, ``convolve()``
+over a Domain expands into straight-line code containing *only* the
+enabled taps: disabled positions cost nothing, in generated code and in
+the timing model alike.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import DslError
+
+
+class Domain:
+    """An odd-sized boolean window centred at (0, 0).
+
+    All taps start enabled.  Configure with :meth:`set_enabled` (full
+    array) or :meth:`disable` (single offsets).
+    """
+
+    _counter = 0
+
+    def __init__(self, size_x: int, size_y: Optional[int] = None,
+                 name: Optional[str] = None):
+        size_y = size_x if size_y is None else size_y
+        for label, size in (("x", size_x), ("y", size_y)):
+            if size < 1 or size % 2 == 0:
+                raise DslError(
+                    f"domain size_{label} must be odd and positive, got "
+                    f"{size}")
+        self.size_x = int(size_x)
+        self.size_y = int(size_y)
+        Domain._counter += 1
+        self.name = name or f"dom{Domain._counter}"
+        self._enabled = np.ones((self.size_y, self.size_x), dtype=bool)
+
+    @property
+    def size(self) -> Tuple[int, int]:
+        return (self.size_x, self.size_y)
+
+    @property
+    def half(self) -> Tuple[int, int]:
+        return (self.size_x // 2, self.size_y // 2)
+
+    def set_enabled(self, values) -> "Domain":
+        arr = np.asarray(values, dtype=bool)
+        if arr.shape != (self.size_y, self.size_x):
+            raise DslError(
+                f"domain expects shape ({self.size_y}, {self.size_x}), "
+                f"got {arr.shape}")
+        if not arr.any():
+            raise DslError("domain must enable at least one tap")
+        self._enabled = arr.copy()
+        return self
+
+    def disable(self, dx: int, dy: int) -> "Domain":
+        hx, hy = self.half
+        if not (-hx <= dx <= hx and -hy <= dy <= hy):
+            raise DslError(f"offset ({dx}, {dy}) outside the domain")
+        self._enabled[dy + hy, dx + hx] = False
+        if not self._enabled.any():
+            raise DslError("domain must enable at least one tap")
+        return self
+
+    def enabled_offsets(self) -> List[Tuple[int, int]]:
+        """Centre-relative (dx, dy) of every enabled tap, row-major."""
+        hx, hy = self.half
+        ys, xs = np.nonzero(self._enabled)
+        return [(int(x) - hx, int(y) - hy) for y, x in zip(ys, xs)]
+
+    def is_enabled(self, dx: int, dy: int) -> bool:
+        hx, hy = self.half
+        return bool(self._enabled[dy + hy, dx + hx])
+
+    def __call__(self, *args):
+        raise DslError(
+            "Domain objects are only usable inside convolve() in a "
+            "Kernel.kernel() body")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Domain({self.name!r}, {self.size_x}x{self.size_y}, "
+                f"{int(self._enabled.sum())} taps)")
+
+
+def cross_domain(size: int) -> Domain:
+    """Plus-shaped domain (the 4-connected Laplacian stencil shape)."""
+    dom = Domain(size, size)
+    enabled = np.zeros((size, size), dtype=bool)
+    enabled[size // 2, :] = True
+    enabled[:, size // 2] = True
+    return dom.set_enabled(enabled)
+
+
+def disk_domain(size: int) -> Domain:
+    """Circular structuring element inscribed in the window."""
+    dom = Domain(size, size)
+    half = size // 2
+    yy, xx = np.mgrid[-half:half + 1, -half:half + 1]
+    return dom.set_enabled(xx * xx + yy * yy <= half * half)

@@ -1,0 +1,51 @@
+"""IterationSpace: the execute metadata (paper Section II).
+
+Describes a rectangular region of interest in the *output* image; each point
+in the region maps 1:1 to one work-item ("we assume that the iteration space
+is independent in all dimensions and has a 1:1 mapping to work-items").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import DslError
+from .image import Image
+
+
+class IterationSpace:
+    """Region of interest ``[offset_x, offset_x+width) x [offset_y, ...)``
+    in an output image; defaults to the whole image."""
+
+    def __init__(self, image: Image, width: Optional[int] = None,
+                 height: Optional[int] = None, offset_x: int = 0,
+                 offset_y: int = 0):
+        if not isinstance(image, Image):
+            raise DslError("IterationSpace requires an Image")
+        width = image.width if width is None else int(width)
+        height = image.height if height is None else int(height)
+        if width < 1 or height < 1:
+            raise DslError(f"invalid iteration space {width}x{height}")
+        if (offset_x < 0 or offset_y < 0
+                or offset_x + width > image.width
+                or offset_y + height > image.height):
+            raise DslError(
+                f"iteration space {width}x{height}+{offset_x}+{offset_y} "
+                f"exceeds image {image.width}x{image.height}")
+        self.image = image
+        self.width = width
+        self.height = height
+        self.offset_x = int(offset_x)
+        self.offset_y = int(offset_y)
+
+    @property
+    def pixel_type(self):
+        return self.image.pixel_type
+
+    @property
+    def size(self) -> int:
+        return self.width * self.height
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"IterationSpace({self.image.name}, {self.width}x"
+                f"{self.height}+{self.offset_x}+{self.offset_y})")

@@ -1,0 +1,101 @@
+"""Kernel base class (paper Section II, Listing 1).
+
+Users derive from :class:`Kernel`, register accessors in ``__init__`` and
+implement :meth:`Kernel.kernel`.  The body is *never executed as Python* —
+the compiler frontend parses its source into the kernel IR.  The methods
+below (``output``, ``x``, ``y``, ``convolve``) therefore only exist so that
+calling them *outside* a kernel body produces a clear error, and so editors
+can resolve the names.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from ..errors import DslError
+from ..types import TypeLike, as_scalar_type
+from .accessor import Accessor
+from .iteration_space import IterationSpace
+
+
+@dataclasses.dataclass
+class Uniform:
+    """A scalar kernel parameter passed at launch time instead of being
+    baked into the generated code as a literal.
+
+    ``self.threshold = Uniform(0.5)`` keeps ``threshold`` as a kernel
+    function argument, so the same compiled kernel can be re-launched with a
+    different value.  Plain ``int``/``float`` attributes are baked.
+    """
+
+    value: object
+    type: TypeLike = float
+
+    def __post_init__(self):
+        self.type = as_scalar_type(self.type)
+
+
+class Kernel:
+    """Base class for user-defined operators.
+
+    Subclass, call ``super().__init__(iteration_space)``, store Accessors /
+    Masks / scalars as attributes, register input accessors with
+    :meth:`add_accessor`, and implement :meth:`kernel`.
+    """
+
+    def __init__(self, iteration_space: IterationSpace):
+        if not isinstance(iteration_space, IterationSpace):
+            raise DslError("Kernel requires an IterationSpace")
+        self.iteration_space = iteration_space
+        self._registered_accessors: List[Accessor] = []
+
+    def add_accessor(self, accessor: Accessor) -> None:
+        """Register an input accessor (C++ ``addAccessor``)."""
+        if not isinstance(accessor, Accessor):
+            raise DslError("add_accessor expects an Accessor")
+        if accessor not in self._registered_accessors:
+            self._registered_accessors.append(accessor)
+
+    @property
+    def accessors(self) -> List[Accessor]:
+        return list(self._registered_accessors)
+
+    # -- methods only meaningful inside a kernel body -----------------------
+
+    def kernel(self) -> None:
+        """Per-pixel program; must be overridden."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement kernel()")
+
+    def output(self, value=None):
+        """Write the output pixel: ``self.output(expr)``."""
+        raise DslError("output() may only be used inside kernel()")
+
+    def x(self):
+        """Column index of the current pixel within the iteration space."""
+        raise DslError("x() may only be used inside kernel()")
+
+    def y(self):
+        """Row index of the current pixel within the iteration space."""
+        raise DslError("y() may only be used inside kernel()")
+
+    def convolve(self, mask, reduce_mode, fn):
+        """Reduce ``fn()`` over the mask window (paper Section VIII)."""
+        raise DslError("convolve() may only be used inside kernel()")
+
+    # -- convenience: compile + run on the simulator ------------------------
+
+    def execute(self, device: Optional[str] = None, backend: str = "cuda",
+                **options):
+        """Compile this kernel and execute it on the simulated *device*.
+
+        Mirrors ``BF.execute()`` from Listing 2.  Returns the
+        :class:`~repro.runtime.program.LaunchResult` (timing and
+        configuration); the output lands in the iteration space's image.
+        """
+        from ..runtime.compile import compile_kernel
+
+        compiled = compile_kernel(self, backend=backend, device=device,
+                                  **options)
+        return compiled.execute()

@@ -1,0 +1,107 @@
+"""Mask: constant filter-mask coefficients (paper Section III-B).
+
+"A Mask holds the precalculated values used by the convolution filter
+function.  Since the filter mask is constant for one kernel, this allows the
+source-to-source compiler to apply optimizations such as constant
+propagation."  Masks land in ``__constant__`` memory; when the coefficients
+are known at compile time the backend emits a statically initialised array,
+otherwise a dynamically initialised one (Section IV-C).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import DslError
+from ..types import TypeLike, as_scalar_type
+
+
+class Mask:
+    """A ``size_x x size_y`` coefficient window centred at (0, 0).
+
+    Window sizes must be odd.  Assign coefficients with :meth:`set` (the
+    C++ ``operator=`` of Listing 4).  ``compile_time_constant`` controls
+    static vs. dynamic constant-memory initialisation in generated code.
+    """
+
+    _counter = 0
+
+    def __init__(self, size_x: int, size_y: Optional[int] = None,
+                 pixel_type: TypeLike = float,
+                 compile_time_constant: bool = True,
+                 name: Optional[str] = None):
+        size_y = size_x if size_y is None else size_y
+        for label, size in (("x", size_x), ("y", size_y)):
+            if size < 1 or size % 2 == 0:
+                raise DslError(
+                    f"mask size_{label} must be odd and positive, got "
+                    f"{size}")
+        self.size_x = int(size_x)
+        self.size_y = int(size_y)
+        self.pixel_type = as_scalar_type(pixel_type)
+        self.compile_time_constant = bool(compile_time_constant)
+        Mask._counter += 1
+        self.name = name or f"mask{Mask._counter}"
+        self._coefficients: Optional[np.ndarray] = None
+
+    def set(self, values) -> "Mask":
+        """Assign coefficients; accepts a flat or (size_y, size_x) array."""
+        arr = np.asarray(values, dtype=self.pixel_type.np_dtype)
+        if arr.ndim == 1:
+            if arr.size != self.size_x * self.size_y:
+                raise DslError(
+                    f"mask expects {self.size_x * self.size_y} "
+                    f"coefficients, got {arr.size}")
+            arr = arr.reshape(self.size_y, self.size_x)
+        elif arr.shape != (self.size_y, self.size_x):
+            raise DslError(
+                f"mask expects shape ({self.size_y}, {self.size_x}), got "
+                f"{arr.shape}")
+        self._coefficients = arr.copy()
+        return self
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        if self._coefficients is None:
+            raise DslError(
+                f"mask {self.name!r} has no coefficients assigned; call "
+                f"Mask.set(...) before compiling the kernel")
+        return self._coefficients
+
+    @property
+    def is_set(self) -> bool:
+        return self._coefficients is not None
+
+    @property
+    def size(self) -> Tuple[int, int]:
+        return (self.size_x, self.size_y)
+
+    @property
+    def half(self) -> Tuple[int, int]:
+        return (self.size_x // 2, self.size_y // 2)
+
+    def at(self, dx: int, dy: int):
+        """Coefficient at centre-relative offset (host-side helper)."""
+        hx, hy = self.half
+        return self.coefficients[dy + hy, dx + hx]
+
+    def __call__(self, *args):
+        raise DslError(
+            "Mask objects are only callable inside a Kernel.kernel() body")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Mask({self.name!r}, {self.size_x}x{self.size_y})"
+
+
+def gaussian_mask(size: int, sigma: Optional[float] = None) -> Mask:
+    """Convenience constructor: normalised 2-D Gaussian coefficients."""
+    if sigma is None:
+        sigma = size / 4.0
+    half = size // 2
+    ax = np.arange(-half, half + 1, dtype=np.float64)
+    g1 = np.exp(-0.5 * (ax / sigma) ** 2)
+    g2 = np.outer(g1, g1)
+    g2 /= g2.sum()
+    return Mask(size, size).set(g2)

@@ -1,0 +1,41 @@
+"""Math functions usable inside kernel bodies.
+
+The compiler resolves calls *by name* against the intrinsic registry
+(:mod:`repro.intrinsics`), so importing these is not required for
+compilation — but importing them keeps kernel bodies valid, runnable Python
+(each function is a thin NumPy wrapper), which is handy for debugging a
+kernel outside the compiler.
+
+Both plain (``exp``) and CUDA-style suffixed (``expf``) spellings exist,
+mirroring the paper's function-mapping table (Section V-A).
+"""
+
+from __future__ import annotations
+
+import numpy as _np
+
+from ..intrinsics import INTRINSICS as _INTRINSICS
+
+__all__ = []
+
+
+def _make(intr):
+    def fn(*args):
+        result = intr.np_func(*args)
+        if isinstance(result, _np.generic):
+            return result.item()
+        return result
+    fn.__name__ = intr.name
+    fn.__doc__ = (f"{intr.name}: kernel math intrinsic "
+                  f"(CUDA: {intr.cuda_f32}, OpenCL: {intr.opencl})")
+    return fn
+
+
+for _name, _intr in _INTRINSICS.items():
+    _fn = _make(_intr)
+    globals()[_name] = _fn
+    __all__.append(_name)
+    _suffixed = _name + "f"
+    if _suffixed not in globals():
+        globals()[_suffixed] = _fn
+        __all__.append(_suffixed)

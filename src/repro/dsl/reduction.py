@@ -1,0 +1,96 @@
+"""Global operators: image-wide reductions (paper Sections I and VIII).
+
+The paper's operator taxonomy includes global operators — "produce one
+output for the operator applied to all pixels of the image (e.g., compute
+the sum of all pixels)" — and its outlook asks for "a similar syntax that
+allows the programmer to define operations that merge/reduce two pixels".
+
+:class:`GlobalReduction` provides exactly that: the user implements
+``reduce(left, right)``, a binary combine over pixel values, parsed by the
+same frontend into IR.  The backend lowers it to the canonical two-stage
+GPU reduction (block-level tree reduction in scratchpad memory, then a
+second kernel over the per-block partials), and the simulator executes the
+same tree order so floating-point results match device semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import DslError
+from .accessor import Accessor
+from .iteration_space import IterationSpace
+
+
+class GlobalReduction:
+    """Base class for user-defined image-wide reductions.
+
+    Subclass and implement :meth:`reduce`, a pure binary function over two
+    pixel values written in the same restricted Python subset as
+    ``Kernel.kernel()``.  The initial accumulator is the first pixel of
+    the iteration space (HIPAcc semantics), so any associative,
+    commutative combine works without an explicit identity.
+
+    Example::
+
+        class SumReduction(GlobalReduction):
+            def reduce(self, left, right):
+                return left + right
+
+        total = compile_reduction(SumReduction(space, acc)).execute()
+    """
+
+    def __init__(self, iteration_space: IterationSpace,
+                 accessor: Accessor):
+        if not isinstance(iteration_space, IterationSpace):
+            raise DslError("GlobalReduction requires an IterationSpace")
+        if not isinstance(accessor, Accessor):
+            raise DslError("GlobalReduction requires an Accessor")
+        self.iteration_space = iteration_space
+        self.accessor = accessor
+
+    def reduce(self, left, right):
+        """Binary combine; must be overridden."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement reduce(left, right)")
+
+    def execute(self, device: Optional[str] = None,
+                backend: str = "cuda"):
+        """Compile and run on the simulated device; returns the scalar."""
+        from ..runtime.reduce import compile_reduction
+
+        compiled = compile_reduction(self, backend=backend, device=device)
+        return compiled.execute().value
+
+
+class SumReduction(GlobalReduction):
+    """Sum of all pixels in the iteration space."""
+
+    def reduce(self, left, right):
+        return left + right
+
+
+class MinReduction(GlobalReduction):
+    """Minimum pixel value."""
+
+    def reduce(self, left, right):
+        return min(left, right)
+
+
+class MaxReduction(GlobalReduction):
+    """Maximum pixel value."""
+
+    def reduce(self, left, right):
+        return max(left, right)
+
+
+class AbsMaxReduction(GlobalReduction):
+    """Largest magnitude — e.g. for normalising derivative images."""
+
+    def reduce(self, left, right):
+        return max(fabs(left), fabs(right))
+
+
+# intrinsic names used by the built-in reductions, importable so the
+# classes above are plain runnable Python too
+from .math import fabs, max, min  # noqa: E402,F401,A004

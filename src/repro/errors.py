@@ -1,0 +1,78 @@
+"""Exception hierarchy for hipacc-py.
+
+Every error raised by the framework derives from :class:`HipaccError` so that
+callers can catch framework failures without masking programming errors in
+their own code.  The hierarchy mirrors the pipeline stages: DSL construction,
+frontend parsing, IR verification, code generation, device mapping, and the
+simulated GPU runtime.
+"""
+
+from __future__ import annotations
+
+
+class HipaccError(Exception):
+    """Base class for every error raised by the framework."""
+
+
+class DslError(HipaccError):
+    """Invalid use of the DSL objects (Image/Accessor/Mask/Kernel...)."""
+
+
+class FrontendError(HipaccError):
+    """The kernel body uses Python constructs outside the supported subset.
+
+    Carries an optional source location so diagnostics can point at the
+    offending line of the user's ``kernel()`` method.
+    """
+
+    def __init__(self, message: str, lineno: int | None = None,
+                 source_line: str | None = None):
+        self.lineno = lineno
+        self.source_line = source_line
+        loc = f" (line {lineno})" if lineno is not None else ""
+        snippet = f"\n    {source_line.strip()}" if source_line else ""
+        super().__init__(f"{message}{loc}{snippet}")
+
+
+class TypeError_(HipaccError):
+    """Kernel IR failed type checking (named with a trailing underscore to
+    avoid shadowing the builtin)."""
+
+
+class VerificationError(HipaccError):
+    """The IR violates a structural invariant (use before def, bad loop...)."""
+
+
+class UnsupportedFunctionError(HipaccError):
+    """A function called inside a kernel has no mapping on the target backend.
+
+    Mirrors the paper's behaviour: "In case a function is not supported, our
+    compiler emits an error message to the user" (Section V-A).
+    """
+
+
+class CodegenError(HipaccError):
+    """The backend could not lower the kernel IR to target source."""
+
+
+class MappingError(HipaccError):
+    """Device-specific mapping failed (no legal kernel configuration...)."""
+
+
+class LaunchError(HipaccError):
+    """The simulated runtime rejected a kernel launch.
+
+    Equivalent to a CUDA/OpenCL launch failure, e.g. requesting more threads
+    or shared memory per block than the device provides ("Selecting a
+    configuration that allocates more resources than available results in a
+    kernel launch error at run-time", Section V-C).
+    """
+
+
+class DeviceFault(HipaccError):
+    """The simulated device faulted during execution.
+
+    Raised when a kernel with *undefined* boundary handling dereferences
+    memory outside every allocation on a device that enforces memory
+    protection (the paper's Tesla C2050 rows marked "crash").
+    """

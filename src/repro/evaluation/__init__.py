@@ -1,0 +1,24 @@
+"""Reconstruction of the paper's evaluation section.
+
+* :mod:`repro.evaluation.variants` — the variant matrix of Tables II-VII
+  (manual implementations ± texture ± hardware-border ± mask, generated
+  code, RapidMind) evaluated through the timing model;
+* :mod:`repro.evaluation.opencv_cmp` — the OpenCV separable-filter
+  comparison of Tables VIII/IX (PPT=8 / PPT=1);
+* :mod:`repro.evaluation.figure4` — the configuration-space exploration;
+* :mod:`repro.evaluation.paper_data` — the published numbers, transcribed,
+  for paper-vs-model reporting.
+"""
+
+from .variants import (  # noqa: F401
+    BILATERAL_MODES,
+    CellValue,
+    VariantSpec,
+    bilateral_table,
+    cuda_variants,
+    evaluate_bilateral_cell,
+    opencl_variants,
+)
+from .opencv_cmp import gaussian_table  # noqa: F401
+from .figure4 import figure4_exploration  # noqa: F401
+from . import paper_data  # noqa: F401

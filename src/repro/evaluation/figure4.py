@@ -1,0 +1,76 @@
+"""Figure 4: configuration-space exploration for the bilateral filter.
+
+"we generate code for the bilateral filter using the CUDA backend on the
+Tesla C2050 that explores all valid configurations ... The configuration
+selected by our framework, 32x6, is in this case also the optimal
+configuration ... the configurations selected by our heuristic are
+typically within 10% of the best configuration."
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple, Union
+
+from ..backends.base import BorderMode, MaskMemory
+from ..dsl.boundary import Boundary
+from ..hwmodel.database import get_device
+from ..hwmodel.device import DeviceSpec
+from ..hwmodel.resources import estimate_resources
+from ..mapping.explore import ExplorationPoint, explore_configurations
+from ..mapping.heuristic import select_configuration
+from .variants import _bilateral_ir
+
+
+@dataclasses.dataclass
+class Figure4Result:
+    points: List[ExplorationPoint]
+    best: ExplorationPoint
+    heuristic_block: Tuple[int, int]
+    heuristic_ms: float
+
+    @property
+    def heuristic_within(self) -> float:
+        """Heuristic time relative to the optimum (1.0 = optimal)."""
+        return self.heuristic_ms / self.best.time_ms
+
+    @property
+    def spread(self) -> float:
+        worst = max(p.time_ms for p in self.points)
+        return worst / self.best.time_ms
+
+
+def figure4_exploration(device: Union[str, DeviceSpec] = "Tesla C2050",
+                        backend: str = "cuda",
+                        width: int = 4096, height: int = 4096,
+                        sigma_d: int = 3, sigma_r: float = 5.0,
+                        boundary: Boundary = Boundary.CLAMP,
+                        use_mask: bool = True,
+                        use_texture: bool = True) -> Figure4Result:
+    """Explore all legal configurations and compare with Algorithm 2."""
+    dev = get_device(device) if isinstance(device, str) else device
+    ir = _bilateral_ir(use_mask, boundary.value, sigma_d, sigma_r)
+    window = (4 * sigma_d + 1, 4 * sigma_d + 1)
+    resources = estimate_resources(ir, dev, use_texture=use_texture,
+                                   border_variants=9)
+    points = explore_configurations(
+        dev, resources.instruction_mix, width, height, window,
+        boundary_mode=boundary, backend=backend,
+        border=BorderMode.SPECIALIZED, use_texture=use_texture,
+        mask_memory=MaskMemory.CONSTANT,
+        regs_per_thread=resources.registers_per_thread)
+    best = min(points, key=lambda p: p.time_ms)
+
+    selection = select_configuration(
+        dev, resources.registers_per_thread,
+        border_handling=True, image_size=(width, height), window=window)
+    chosen = selection.block
+    chosen_points = [p for p in points if p.block == chosen]
+    heuristic_ms = chosen_points[0].time_ms if chosen_points \
+        else best.time_ms
+    return Figure4Result(
+        points=points,
+        best=best,
+        heuristic_block=chosen,
+        heuristic_ms=heuristic_ms,
+    )

@@ -1,0 +1,189 @@
+"""The paper's published measurements, transcribed.
+
+Execution times in milliseconds for the bilateral filter (4096x4096,
+13x13 window, sigma_d = 3, kernel configuration 128x1) from Tables II-VII,
+the Gaussian comparison from Tables VIII/IX, and the Figure 4 anchors.
+``"crash"`` and ``"n/a"`` markers appear exactly as published.
+
+Row keys match :mod:`repro.evaluation.variants` variant names; column order
+is (Undefined, Clamp, Repeat, Mirror, Constant) for the bilateral tables
+and (Clamp, Repeat, Mirror, Constant) for the Gaussian tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+Cell = Union[float, str]
+
+MODE_ORDER: List[str] = ["undefined", "clamp", "repeat", "mirror",
+                         "constant"]
+GAUSSIAN_MODE_ORDER: List[str] = ["clamp", "repeat", "mirror", "constant"]
+
+# -- Table II: Tesla C2050, CUDA -------------------------------------------
+TABLE_II: Dict[str, List[Cell]] = {
+    "Manual": ["crash", 302.27, 363.96, 321.81, 568.46],
+    "+Tex": [260.03, 285.61, 362.70, 310.61, 520.25],
+    "+2DTex": [272.39, 272.40, 300.56, "n/a", "n/a"],
+    "+Mask": ["crash", 214.51, 281.89, 225.88, 481.76],
+    "+Mask+Tex": [170.79, 192.46, 259.26, 205.29, 425.13],
+    "+Mask+2DTex": [181.19, 181.19, 203.13, "n/a", "n/a"],
+    "Generated": ["crash", 285.29, 298.29, 289.22, 291.26],
+    "Generated+Tex": [276.76, 265.36, 285.57, 278.04, 268.01],
+    "Generated+Mask": ["crash", 181.45, 200.66, 193.16, 197.23],
+    "Generated+Mask+Tex": [172.60, 182.80, 180.38, 173.59, 175.52],
+    "RapidMind": [430.95, 489.94, "crash", "n/a", 539.69],
+    "RapidMind+Tex": [456.35, 514.63, "crash", "n/a", 518.49],
+}
+
+# -- Table III: Tesla C2050, OpenCL -----------------------------------------
+TABLE_III: Dict[str, List[Cell]] = {
+    "Manual": [449.86, 485.60, 552.83, 504.39, 505.11],
+    "+Img": [465.48, 487.80, 557.88, 501.18, 508.28],
+    "+ImgBH": [452.15, 452.39, 464.07, "n/a", 452.24],
+    "+Mask": [215.23, 250.67, 331.11, 261.05, 267.62],
+    "+Mask+Img": [228.29, 251.51, 322.61, 264.54, 288.08],
+    "+Mask+ImgBH": [214.68, 227.74, 215.07, "n/a", 215.07],
+    "Generated": [453.78, 466.49, 474.86, 455.59, 467.05],
+    "Generated+Img": [463.62, 466.61, 472.67, 468.43, 466.62],
+    "Generated+Mask": [217.95, 215.61, 222.78, 220.27, 220.16],
+    "Generated+Mask+Img": [219.49, 219.64, 238.81, 220.28, 232.57],
+}
+
+# -- Table IV: Quadro FX 5800, CUDA -----------------------------------------
+TABLE_IV: Dict[str, List[Cell]] = {
+    "Manual": [319.67, 349.32, 394.96, 393.00, 779.68],
+    "+Tex": [310.22, 336.46, 369.74, 378.47, 590.18],
+    "+2DTex": [330.50, 330.49, 369.06, "n/a", "n/a"],
+    "+Mask": [224.56, 321.55, 323.50, 321.46, 778.48],
+    "+Mask+Tex": [199.11, 237.60, 271.45, 278.89, 497.75],
+    "+Mask+2DTex": [214.53, 215.53, 348.92, "n/a", "n/a"],
+    "Generated": [321.24, 331.36, 404.81, 332.17, 436.77],
+    "Generated+Tex": [312.71, 313.74, 356.52, 316.08, 383.19],
+    "Generated+Mask": [225.58, 227.65, 281.82, 228.18, 290.78],
+    "Generated+Mask+Tex": [200.55, 204.45, 218.22, 204.53, 246.96],
+    "RapidMind": [737.69, 862.86, 2352.34, "n/a", 989.55],
+    "RapidMind+Tex": [679.52, 734.48, 2226.33, "n/a", 805.62],
+}
+
+# -- Table V: Quadro FX 5800, OpenCL -----------------------------------------
+TABLE_V: Dict[str, List[Cell]] = {
+    "Manual": [439.55, 504.79, 537.04, 528.47, 770.34],
+    "+Img": [509.95, 529.39, 560.77, 550.43, 732.55],
+    "+ImgBH": [509.82, 509.33, 509.38, "n/a", 509.65],
+    "+Mask": [355.70, 455.69, 458.90, 452.71, 775.83],
+    "+Mask+Img": [468.94, 466.67, 467.19, 464.62, 708.93],
+    "+Mask+ImgBH": [468.00, 470.04, 468.80, "n/a", 470.46],
+    "Generated": [446.24, 449.67, 514.89, 453.68, 460.68],
+    "Generated+Img": [511.38, 512.50, 553.23, 511.78, 654.08],
+    "Generated+Mask": [354.93, 357.77, 407.01, 357.72, 384.30],
+    "Generated+Mask+Img": [466.26, 465.70, 522.53, 461.56, 539.77],
+}
+
+# -- Table VI: Radeon HD 5870, OpenCL ----------------------------------------
+TABLE_VI: Dict[str, List[Cell]] = {
+    "Manual": [334.96, 408.36, 404.83, 419.59, 440.64],
+    "+Img": [353.93, 385.23, 405.81, 396.45, 484.25],
+    "+ImgBH": [353.93, 353.91, 353.96, "n/a", 353.95],
+    "+Mask": [311.85, 397.40, 434.36, 408.32, 402.59],
+    "+Mask+Img": [341.23, 373.93, 400.71, 375.48, 444.36],
+    "+Mask+ImgBH": [341.25, 341.24, 341.24, "n/a", 341.27],
+    "Generated": [342.67, 354.49, 472.20, 355.57, 351.83],
+    "Generated+Img": [372.14, 376.91, 482.28, 382.71, 446.98],
+    "Generated+Mask": [326.22, 357.96, 487.53, 359.72, 348.77],
+    "Generated+Mask+Img": [350.56, 364.34, 481.76, 364.39, 428.22],
+}
+
+# -- Table VII: Radeon HD 6970, OpenCL ---------------------------------------
+TABLE_VII: Dict[str, List[Cell]] = {
+    "Manual": [286.29, 337.13, 375.11, 346.18, 381.76],
+    "+Img": [286.38, 319.20, 364.59, 328.12, 435.16],
+    "+ImgBH": [286.44, 286.44, 286.43, "n/a", 286.46],
+    "+Mask": [265.57, 332.41, 387.81, 340.59, 349.37],
+    "+Mask+Img": [268.26, 310.84, 349.31, 311.42, 387.73],
+    "+Mask+ImgBH": [268.20, 268.23, 268.20, "n/a", 268.24],
+    "Generated": [291.30, 309.52, 470.90, 322.69, 321.19],
+    "Generated+Img": [303.36, 298.50, 465.30, 305.38, 438.74],
+    "Generated+Mask": [289.33, 296.20, 467.76, 332.91, 314.05],
+    "Generated+Mask+Img": [279.66, 291.49, 474.60, 291.58, 414.31],
+}
+
+# -- Table VIII: Gaussian on Tesla C2050 (Clamp, Repeat, Mirror, Const) ------
+TABLE_VIII: Dict[int, Dict[str, List[Cell]]] = {
+    3: {
+        "OpenCV: PPT=8": [5.10, 6.36, 8.09, 6.75],
+        "OpenCV: PPT=1": [9.44, 11.85, 15.97, 12.36],
+        "CUDA(Gen)": [7.00, 7.53, 7.21, 7.10],
+        "CUDA(+Tex)": [7.00, 7.44, 7.17, 7.13],
+        "CUDA(+Smem)": [7.73, 8.09, 8.02, 8.00],
+        "OpenCL(Gen)": [9.26, 9.70, 9.40, 9.33],
+        "OpenCL(+Tex)": [13.41, 13.62, 13.33, 13.16],
+        "OpenCL(+Lmem)": [11.29, 11.46, 11.12, 11.13],
+    },
+    5: {
+        "OpenCV: PPT=8": [5.11, 6.36, 8.10, 6.76],
+        "OpenCV: PPT=1": [9.45, 11.88, 15.99, 12.37],
+        "CUDA(Gen)": [8.84, 9.86, 9.47, 9.45],
+        "CUDA(+Tex)": [8.94, 9.72, 9.35, 9.47],
+        "CUDA(+Smem)": [9.38, 9.59, 9.44, 9.55],
+        "OpenCL(Gen)": [10.88, 11.82, 11.13, 10.44],
+        "OpenCL(+Tex)": [14.96, 15.87, 15.17, 15.12],
+        "OpenCL(+Lmem)": [13.24, 13.72, 13.35, 13.22],
+    },
+}
+
+# -- Table IX: Gaussian on Quadro FX 5800 -------------------------------------
+TABLE_IX: Dict[int, Dict[str, List[Cell]]] = {
+    3: {
+        "OpenCV: PPT=8": [4.86, 5.82, 10.46, 6.22],
+        "OpenCV: PPT=1": [7.63, 9.22, 20.98, 9.79],
+        "CUDA(Gen)": [8.60, 8.63, 8.64, 8.67],
+        "CUDA(+Tex)": [8.55, 8.58, 8.60, 8.63],
+        "CUDA(+Smem)": [11.83, 11.83, 11.84, 11.90],
+        "OpenCL(Gen)": [13.58, 13.47, 13.10, 13.46],
+        "OpenCL(+Img)": [15.42, 15.47, 15.06, 15.24],
+        "OpenCL(+Lmem)": [17.84, 17.86, 17.91, 18.35],
+    },
+    5: {
+        "OpenCV: PPT=8": [4.90, 5.87, 10.45, 6.22],
+        "OpenCV: PPT=1": [7.64, 9.22, 20.98, 9.79],
+        "CUDA(Gen)": [9.88, 9.95, 9.95, 10.12],
+        "CUDA(+Tex)": [9.91, 9.97, 9.98, 10.20],
+        "CUDA(+Smem)": [14.36, 14.36, 14.37, 14.43],
+        "OpenCL(Gen)": [16.14, 16.26, 16.18, 16.60],
+        "OpenCL(+Img)": [18.38, 18.44, 18.33, 18.65],
+        "OpenCL(+Lmem)": [23.61, 23.62, 23.62, 24.13],
+    },
+}
+
+# -- Figure 4 anchors ----------------------------------------------------------
+FIGURE4_OPTIMUM_BLOCK = (32, 6)
+FIGURE4_OPTIMUM_MS = 167.94
+FIGURE4_WORST_MS = 425.0          # 32-thread outlier mentioned in the text
+FIGURE4_RANGE_MS = (160.0, 240.0)  # visible band of the plotted points
+FIGURE4_HEURISTIC_WITHIN = 1.10   # "typically within 10% of the best"
+
+#: Section VI-C: generated CUDA kernel is 317 lines from a 16-line DSL
+#: description.
+GENERATED_KERNEL_LINES = 317
+DSL_KERNEL_LINES = 16
+
+ALL_BILATERAL_TABLES = {
+    ("Tesla C2050", "cuda"): TABLE_II,
+    ("Tesla C2050", "opencl"): TABLE_III,
+    ("Quadro FX 5800", "cuda"): TABLE_IV,
+    ("Quadro FX 5800", "opencl"): TABLE_V,
+    ("Radeon HD 5870", "opencl"): TABLE_VI,
+    ("Radeon HD 6970", "opencl"): TABLE_VII,
+}
+
+ALL_GAUSSIAN_TABLES = {
+    "Tesla C2050": TABLE_VIII,
+    "Quadro FX 5800": TABLE_IX,
+}
+
+
+def as_dict(table: Dict[str, List[Cell]],
+            modes: List[str] = MODE_ORDER) -> Dict[str, Dict[str, Cell]]:
+    """Row-list form -> nested-dict form (variant -> mode -> cell)."""
+    return {name: dict(zip(modes, cells)) for name, cells in table.items()}

@@ -1,0 +1,59 @@
+"""Ready-made medical-imaging operators built on the DSL.
+
+* :mod:`repro.filters.bilateral` — the paper's running example (Listings
+  1/2/5), in both the mask-accelerated and the fully-computed form;
+* :mod:`repro.filters.gaussian` — Gaussian blur (Tables VIII/IX), plus the
+  separable row/column form the OpenCV baseline uses;
+* :mod:`repro.filters.sobel` — Sobel derivatives and gradient magnitude;
+* :mod:`repro.filters.laplacian` — Laplacian edge detector;
+* :mod:`repro.filters.median` — 3x3 median via a min/max sorting network;
+* :mod:`repro.filters.point_ops` — point operators (the predecessor
+  paper's domain [4]);
+* :mod:`repro.filters.multiresolution` — the multiresolution filtering
+  pipeline the paper's Section III-A motivates mirroring for.
+"""
+
+from .bilateral import (  # noqa: F401
+    BilateralFilter,
+    BilateralFilterFull,
+    closeness_mask,
+    make_bilateral,
+)
+from .gaussian import (  # noqa: F401
+    GaussianFilter,
+    SeparableGaussianCol,
+    SeparableGaussianRow,
+    gaussian_coefficients,
+    make_gaussian,
+)
+from .sobel import SobelX, SobelY, GradientMagnitude, make_sobel  # noqa: F401
+from .laplacian import LaplacianFilter, make_laplacian  # noqa: F401
+from .median import Median3x3, make_median  # noqa: F401
+from .point_ops import (  # noqa: F401
+    AbsDiff,
+    AddConstant,
+    GammaCorrection,
+    LinearBlend,
+    Scale,
+    Threshold,
+)
+from .harris import (  # noqa: F401
+    HarrisResponse,
+    Multiply,
+    corner_peaks,
+    harris_response,
+)
+from .diffusion import (  # noqa: F401
+    PeronaMalik,
+    anisotropic_diffusion,
+    make_diffusion_step,
+)
+from .morphology import (  # noqa: F401
+    Dilate,
+    Erode,
+    make_morphology,
+    opening,
+    structuring_element,
+    top_hat,
+)
+from .multiresolution import multiresolution_filter  # noqa: F401

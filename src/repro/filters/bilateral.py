@@ -1,0 +1,160 @@
+"""Bilateral filter — the paper's running example.
+
+Two kernel formulations:
+
+* :class:`BilateralFilterFull` — Listing 1: closeness *and* similarity both
+  computed per tap (three ``exp`` calls per neighbourhood pixel).  This is
+  the "no mask" variant of the evaluation tables.
+* :class:`BilateralFilter` — Listing 5: the closeness component comes from
+  a precalculated :class:`~repro.dsl.Mask` in constant memory (one ``exp``
+  per tap) — the "+Mask" variant and the form the paper recommends.
+
+The window is (4*sigma_d+1)^2, i.e. taps run over [-2*sigma_d, +2*sigma_d]
+as in Algorithm 1/Listing 1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..dsl import (
+    Accessor,
+    Boundary,
+    BoundaryCondition,
+    Image,
+    IterationSpace,
+    Kernel,
+    Mask,
+)
+from ..dsl.math import exp  # noqa: F401  (documents the intrinsic used)
+
+
+def closeness_mask(sigma_d: float) -> Mask:
+    """Precalculated closeness coefficients (Figure 1's ``c`` mask):
+    ``exp(-1/2 * ((x,y)-(0,0))^2 / sigma_d^2)`` over the window."""
+    half = 2 * int(sigma_d)
+    ax = np.arange(-half, half + 1, dtype=np.float64)
+    c_d = 1.0 / (2.0 * sigma_d * sigma_d)
+    grid = np.exp(-c_d * ax[None, :] ** 2) * np.exp(-c_d * ax[:, None] ** 2)
+    size = 2 * half + 1
+    return Mask(size, size).set(grid.astype(np.float32))
+
+
+class BilateralFilter(Kernel):
+    """Bilateral filter with a precalculated closeness mask (Listing 5)."""
+
+    def __init__(self, iteration_space: IterationSpace, input_acc: Accessor,
+                 cmask: Mask, sigma_d: int, sigma_r: float):
+        super().__init__(iteration_space)
+        self.input = input_acc
+        self.cmask = cmask
+        self.sigma_d = int(sigma_d)
+        self.sigma_r = float(sigma_r)
+        self.add_accessor(input_acc)
+
+    def kernel(self):
+        c_r = 1.0 / (2.0 * self.sigma_r * self.sigma_r)
+        d = 0.0
+        p = 0.0
+        for yf in range(-2 * self.sigma_d, 2 * self.sigma_d + 1):
+            for xf in range(-2 * self.sigma_d, 2 * self.sigma_d + 1):
+                diff = self.input(xf, yf) - self.input(0, 0)
+                s = exp(-c_r * diff * diff)
+                c = self.cmask(xf, yf)
+                d += s * c
+                p += s * c * self.input(xf, yf)
+        self.output(p / d)
+
+
+class BilateralFilterFull(Kernel):
+    """Bilateral filter computing the closeness weight per tap (Listing 1)
+    — the variant without a Mask, used as the no-mask baseline."""
+
+    def __init__(self, iteration_space: IterationSpace, input_acc: Accessor,
+                 sigma_d: int, sigma_r: float):
+        super().__init__(iteration_space)
+        self.input = input_acc
+        self.sigma_d = int(sigma_d)
+        self.sigma_r = float(sigma_r)
+        self.add_accessor(input_acc)
+
+    def kernel(self):
+        c_r = 1.0 / (2.0 * self.sigma_r * self.sigma_r)
+        c_d = 1.0 / (2.0 * self.sigma_d * self.sigma_d)
+        d = 0.0
+        p = 0.0
+        for yf in range(-2 * self.sigma_d, 2 * self.sigma_d + 1):
+            for xf in range(-2 * self.sigma_d, 2 * self.sigma_d + 1):
+                diff = self.input(xf, yf) - self.input(0, 0)
+                s = exp(-c_r * diff * diff)
+                c = exp(-c_d * xf * xf) * exp(-c_d * yf * yf)
+                d += s * c
+                p += s * c * self.input(xf, yf)
+        self.output(p / d)
+
+
+def make_bilateral(width: int, height: int, sigma_d: int = 3,
+                   sigma_r: float = 5.0,
+                   boundary: Boundary = Boundary.CLAMP,
+                   boundary_constant: float = 0.0,
+                   use_mask: bool = True,
+                   data: Optional[np.ndarray] = None
+                   ) -> Tuple[Kernel, Image, Image]:
+    """Wire up images/accessors for a bilateral filter (Listings 2/3).
+
+    Returns ``(kernel, input_image, output_image)``.
+    """
+    img_in = Image(width, height, float)
+    img_out = Image(width, height, float)
+    if data is not None:
+        img_in.set_data(data)
+    window = 4 * int(sigma_d) + 1
+    if boundary == Boundary.UNDEFINED:
+        acc = Accessor(img_in)
+    else:
+        bc = BoundaryCondition(img_in, window, window, boundary,
+                               constant=boundary_constant)
+        acc = Accessor(bc)
+    is_out = IterationSpace(img_out)
+    if use_mask:
+        kernel = BilateralFilter(is_out, acc, closeness_mask(sigma_d),
+                                 sigma_d, sigma_r)
+    else:
+        kernel = BilateralFilterFull(is_out, acc, sigma_d, sigma_r)
+    return kernel, img_in, img_out
+
+
+def bilateral_reference(data: np.ndarray, sigma_d: int, sigma_r: float,
+                        boundary: Boundary = Boundary.CLAMP,
+                        boundary_constant: float = 0.0) -> np.ndarray:
+    """Direct NumPy golden implementation (float32 accumulation to match
+    the device code)."""
+    from ..dsl.boundary import NUMPY_PAD_MODE
+
+    half = 2 * int(sigma_d)
+    data = np.asarray(data, dtype=np.float32)
+    if boundary == Boundary.UNDEFINED:
+        padded = np.pad(data, half, mode="edge")   # unspecified: use edge
+    elif boundary == Boundary.CONSTANT:
+        padded = np.pad(data, half, mode="constant",
+                        constant_values=boundary_constant)
+    else:
+        padded = np.pad(data, half, mode=NUMPY_PAD_MODE[boundary])
+    padded = padded.astype(np.float32)
+    c_r = np.float32(1.0 / (2.0 * sigma_r * sigma_r))
+    c_d = np.float32(1.0 / (2.0 * sigma_d * sigma_d))
+    h, w = data.shape
+    num = np.zeros((h, w), np.float32)
+    den = np.zeros((h, w), np.float32)
+    for yf in range(-half, half + 1):
+        for xf in range(-half, half + 1):
+            neigh = padded[half + yf:half + yf + h,
+                           half + xf:half + xf + w]
+            diff = neigh - data
+            s = np.exp(-c_r * diff * diff).astype(np.float32)
+            c = np.float32(np.exp(-c_d * xf * xf) * np.exp(-c_d * yf * yf))
+            den += s * c
+            num += s * c * neigh
+    return num / den

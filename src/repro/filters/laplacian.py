@@ -1,0 +1,62 @@
+"""Laplacian edge detector (3x3), a further local operator example."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..dsl import (
+    Accessor,
+    Boundary,
+    BoundaryCondition,
+    Image,
+    IterationSpace,
+    Kernel,
+    Mask,
+)
+
+LAPLACIAN_4 = np.array([[0, 1, 0],
+                        [1, -4, 1],
+                        [0, 1, 0]], dtype=np.float32)
+LAPLACIAN_8 = np.array([[1, 1, 1],
+                        [1, -8, 1],
+                        [1, 1, 1]], dtype=np.float32)
+
+
+class LaplacianFilter(Kernel):
+    """3x3 Laplacian convolution with a constant-memory mask."""
+
+    def __init__(self, iteration_space: IterationSpace,
+                 input_acc: Accessor, mask: Mask):
+        super().__init__(iteration_space)
+        self.input = input_acc
+        self.lmask = mask
+        self.add_accessor(input_acc)
+
+    def kernel(self):
+        s = 0.0
+        for yf in range(-1, 2):
+            for xf in range(-1, 2):
+                s += self.lmask(xf, yf) * self.input(xf, yf)
+        self.output(s)
+
+
+def make_laplacian(width: int, height: int, connectivity: int = 4,
+                   boundary: Boundary = Boundary.CLAMP,
+                   data: Optional[np.ndarray] = None
+                   ) -> Tuple[LaplacianFilter, Image, Image]:
+    """Wire up a Laplacian; *connectivity* is 4 or 8."""
+    img_in = Image(width, height, float)
+    img_out = Image(width, height, float)
+    if data is not None:
+        img_in.set_data(data)
+    if boundary == Boundary.UNDEFINED:
+        acc = Accessor(img_in)
+    else:
+        bc = BoundaryCondition(img_in, 3, 3, boundary)
+        acc = Accessor(bc)
+    coeffs = LAPLACIAN_4 if connectivity == 4 else LAPLACIAN_8
+    kernel = LaplacianFilter(IterationSpace(img_out), acc,
+                             Mask(3, 3).set(coeffs))
+    return kernel, img_in, img_out

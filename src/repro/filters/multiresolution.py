@@ -1,0 +1,139 @@
+"""Multiresolution filtering (Kunz et al. [7] — the paper's motivation for
+mirror boundary handling).
+
+"the image gets upsampled multiple times and at the border occur large
+unnatural-looking artifacts when the border pixel gets replicated
+repeatedly.  In contrast, using mirroring leads to natural looking images."
+
+The pipeline builds a Gaussian pyramid with DSL-compiled blur kernels
+running on the simulated GPU, applies a gain to each detail (Laplacian)
+level, and recollapses.  Down/upsampling is host-side (as the CPU would do
+between kernel launches); every smoothing kernel uses the configured
+boundary mode — switching CLAMP vs MIRROR demonstrates the border-artifact
+effect the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..dsl import (
+    Boundary,
+    BoundaryCondition,
+    Image,
+    IterationSpace,
+    Kernel,
+)
+from ..dsl.interpolate import InterpolatedAccessor, Interpolation
+from ..hwmodel.device import DeviceSpec
+from .gaussian import make_gaussian
+
+
+class _Resample(Kernel):
+    """Identity kernel over a resampling accessor — device-side
+    down/upsampling (HIPAcc pyramids use exactly this pattern)."""
+
+    def __init__(self, iteration_space, inp):
+        super().__init__(iteration_space)
+        self.inp = inp
+        self.add_accessor(inp)
+
+    def kernel(self):
+        self.output(self.inp(0, 0))
+
+
+def _device_resample(data: np.ndarray, out_w: int, out_h: int,
+                     boundary: Boundary, device, backend: str,
+                     interpolation=Interpolation.LINEAR) -> np.ndarray:
+    """Resample on the simulated GPU through an InterpolatedAccessor."""
+    from ..runtime.compile import compile_kernel
+
+    h, w = data.shape
+    img_in = Image(w, h).set_data(data)
+    img_out = Image(out_w, out_h)
+    bc = BoundaryCondition(img_in, 3, 3, boundary)
+    acc = InterpolatedAccessor(bc, out_w, out_h, interpolation)
+    kernel = _Resample(IterationSpace(img_out), acc)
+    compile_kernel(kernel, backend=backend, device=device,
+                   use_texture=False).execute()
+    return img_out.get_data()
+
+
+def _downsample(data: np.ndarray) -> np.ndarray:
+    return data[::2, ::2]
+
+
+def _upsample(data: np.ndarray, shape) -> np.ndarray:
+    h, w = shape
+    up = np.repeat(np.repeat(data, 2, axis=0), 2, axis=1)
+    return up[:h, :w]
+
+
+def _blur(data: np.ndarray, boundary: Boundary, device, backend: str,
+          size: int = 5) -> np.ndarray:
+    kernel, img_in, img_out = make_gaussian(
+        data.shape[1], data.shape[0], size=size, boundary=boundary,
+        data=data)
+    from ..runtime.compile import compile_kernel
+
+    compiled = compile_kernel(kernel, backend=backend, device=device)
+    compiled.execute()
+    return img_out.get_data()
+
+
+def multiresolution_filter(data: np.ndarray,
+                           levels: int = 3,
+                           gains: Optional[Sequence[float]] = None,
+                           boundary: Boundary = Boundary.MIRROR,
+                           device: Union[None, str, DeviceSpec] = None,
+                           backend: str = "cuda",
+                           device_resample: bool = False) -> np.ndarray:
+    """Multi-scale detail enhancement.
+
+    Decomposes *data* into *levels* Laplacian levels (each detail level =
+    image minus its blur), scales each detail by ``gains[i]`` (default 1.0 =
+    identity), and reconstructs.  All smoothing runs through compiled DSL
+    kernels on the simulated *device*.  With *device_resample*, the
+    down/upsampling also runs on the device through bilinear
+    InterpolatedAccessors (HIPAcc's pyramid pattern) instead of host-side
+    decimation/replication.
+    """
+    data = np.asarray(data, dtype=np.float32)
+    if levels < 1:
+        raise ValueError("levels must be >= 1")
+    if gains is None:
+        gains = [1.0] * levels
+    if len(gains) != levels:
+        raise ValueError(f"expected {levels} gains, got {len(gains)}")
+
+    # analysis: Gaussian pyramid + detail levels
+    current = data
+    details: List[np.ndarray] = []
+    bases: List[np.ndarray] = []
+    for _ in range(levels):
+        blurred = _blur(current, boundary, device, backend)
+        details.append(current - blurred)
+        bases.append(current)
+        if device_resample:
+            h, w = blurred.shape
+            current = _device_resample(blurred, max(1, w // 2),
+                                       max(1, h // 2), boundary, device,
+                                       backend)
+        else:
+            current = _downsample(blurred)
+
+    # synthesis: upsample, re-smooth (where mirror vs clamp matters most),
+    # and add the gained detail back in
+    result = current
+    for level in range(levels - 1, -1, -1):
+        if device_resample:
+            th, tw = bases[level].shape
+            up = _device_resample(result, tw, th, boundary, device,
+                                  backend)
+        else:
+            up = _upsample(result, bases[level].shape)
+        up = _blur(up, boundary, device, backend)
+        result = up + np.float32(gains[level]) * details[level]
+    return result

@@ -1,0 +1,110 @@
+"""Point operators — the domain of the predecessor paper [4].
+
+"Point operators are applied to the pixels of the image and solely the
+pixel the point operator is applied to contributes to the operation."
+These exercise the compiler's point-operator path (no boundary handling,
+no window) and provide building blocks for the multiresolution example.
+"""
+
+from __future__ import annotations
+
+from ..dsl import Accessor, IterationSpace, Kernel
+from ..dsl.math import pow as _pow  # noqa: F401
+
+
+class AddConstant(Kernel):
+    """``out = in + value`` — the paper's point-operator example."""
+
+    def __init__(self, iteration_space: IterationSpace, input_acc: Accessor,
+                 value: float):
+        super().__init__(iteration_space)
+        self.input = input_acc
+        self.value = float(value)
+        self.add_accessor(input_acc)
+
+    def kernel(self):
+        self.output(self.input(0, 0) + self.value)
+
+
+class Scale(Kernel):
+    """``out = in * factor + offset``."""
+
+    def __init__(self, iteration_space: IterationSpace, input_acc: Accessor,
+                 factor: float, offset: float = 0.0):
+        super().__init__(iteration_space)
+        self.input = input_acc
+        self.factor = float(factor)
+        self.offset = float(offset)
+        self.add_accessor(input_acc)
+
+    def kernel(self):
+        self.output(self.input(0, 0) * self.factor + self.offset)
+
+
+class AbsDiff(Kernel):
+    """``out = |a - b|`` — digital subtraction angiography's core op."""
+
+    def __init__(self, iteration_space: IterationSpace, a: Accessor,
+                 b: Accessor):
+        super().__init__(iteration_space)
+        self.a = a
+        self.b = b
+        self.add_accessor(a)
+        self.add_accessor(b)
+
+    def kernel(self):
+        self.output(fabs(self.a(0, 0) - self.b(0, 0)))
+
+
+class Threshold(Kernel):
+    """Binary threshold: ``out = in > t ? high : low``."""
+
+    def __init__(self, iteration_space: IterationSpace, input_acc: Accessor,
+                 threshold: float, low: float = 0.0, high: float = 1.0):
+        super().__init__(iteration_space)
+        self.input = input_acc
+        self.threshold = float(threshold)
+        self.low = float(low)
+        self.high = float(high)
+        self.add_accessor(input_acc)
+
+    def kernel(self):
+        v = self.input(0, 0)
+        self.output(self.high if v > self.threshold else self.low)
+
+
+class LinearBlend(Kernel):
+    """``out = alpha*a + (1-alpha)*b``."""
+
+    def __init__(self, iteration_space: IterationSpace, a: Accessor,
+                 b: Accessor, alpha: float):
+        super().__init__(iteration_space)
+        self.a = a
+        self.b = b
+        self.alpha = float(alpha)
+        self.add_accessor(a)
+        self.add_accessor(b)
+
+    def kernel(self):
+        self.output(self.alpha * self.a(0, 0)
+                    + (1.0 - self.alpha) * self.b(0, 0))
+
+
+class GammaCorrection(Kernel):
+    """``out = in ** gamma`` (display linearisation)."""
+
+    def __init__(self, iteration_space: IterationSpace, input_acc: Accessor,
+                 gamma: float):
+        super().__init__(iteration_space)
+        self.input = input_acc
+        self.gamma = float(gamma)
+        self.add_accessor(input_acc)
+
+    def kernel(self):
+        self.output(pow(self.input(0, 0), self.gamma))
+
+
+# name used inside AbsDiff.kernel; resolved by the compiler via the
+# intrinsic registry, provided here so the module is importable standalone
+from ..dsl.math import fabs  # noqa: E402,F401
+from ..dsl.math import pow  # noqa: E402,F401,A001

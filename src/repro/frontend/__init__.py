@@ -1,0 +1,9 @@
+"""Compiler frontend: restricted-Python kernel bodies -> kernel IR.
+
+Stands in for HIPAcc's Clang frontend: :func:`parse_kernel` extracts the
+source of a ``Kernel.kernel()`` method, parses it with :mod:`ast`, resolves
+``self.*`` attributes against the instance (Accessors, Masks, scalar
+parameters) and lowers the body into :class:`repro.ir.KernelIR`.
+"""
+
+from .parser import parse_kernel  # noqa: F401

@@ -1,0 +1,675 @@
+"""Lower a ``Kernel.kernel()`` method body into the kernel IR.
+
+The supported Python subset mirrors what HIPAcc accepts in C++ kernels:
+
+* locals with scalar types (first assignment declares; ``x: float = 0.0``
+  pins a type),
+* arithmetic / comparison / boolean expressions, ternary ``a if c else b``,
+* calls of registered math intrinsics (``exp``, ``expf``, ``sqrt``, ``min``,
+  ``max``, ``abs``, ...), plus ``float(...)`` / ``int(...)`` casts,
+* ``for v in range(a, b[, c])`` loops,
+* ``if`` / ``elif`` / ``else``,
+* pixel reads ``self.acc()`` / ``self.acc(dx, dy)``,
+* mask reads ``self.mask(dx, dy)``,
+* position queries ``self.x()`` / ``self.y()``,
+* the output write ``self.output(expr)``,
+* the convolve syntax ``self.convolve(mask, Reduce.SUM, lambda: ...)``
+  (paper Section VIII), expanded into the equivalent loops.
+
+Scalar instance attributes (``self.sigma_d``) are *baked* as compile-time
+constants unless wrapped in :class:`~repro.dsl.kernel.Uniform`, which turns
+them into runtime kernel arguments.  Free module-level numeric names are
+baked too.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Dict, List, Optional, Set
+
+from ..dsl.accessor import Accessor
+from ..dsl.convolve import Reduce, reduce_identity
+from ..dsl.domain import Domain
+from ..dsl.kernel import Kernel, Uniform
+from ..dsl.mask import Mask
+from ..errors import FrontendError
+from ..intrinsics import ALIASES, INTRINSICS
+from ..types import BOOL, FLOAT, INT, as_scalar_type
+from ..ir.nodes import (
+    AccessorInfo,
+    AccessorRead,
+    Assign,
+    BinOp,
+    BoolConst,
+    Call,
+    Cast,
+    Expr,
+    FloatConst,
+    ForRange,
+    GidX,
+    GidY,
+    If,
+    IntConst,
+    KernelIR,
+    MaskInfo,
+    MaskRead,
+    OutputWrite,
+    ParamInfo,
+    Select,
+    Stmt,
+    UnOp,
+    VarDecl,
+    VarRef,
+)
+
+_AST_BINOPS = {
+    ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.Div: "/", ast.Mod: "%",
+    ast.LShift: "<<", ast.RShift: ">>", ast.BitAnd: "&", ast.BitOr: "|",
+    ast.BitXor: "^",
+}
+_AST_CMPOPS = {
+    ast.Lt: "<", ast.LtE: "<=", ast.Gt: ">", ast.GtE: ">=",
+    ast.Eq: "==", ast.NotEq: "!=",
+}
+_AST_UNARYOPS = {ast.USub: "-", ast.UAdd: "+", ast.Not: "!", ast.Invert: "~"}
+
+_CAST_BUILTINS = {"float": FLOAT, "int": INT, "bool": BOOL}
+
+
+class _ConvolveContext:
+    """Active ``convolve`` expansion: maps mask-relative reads onto the
+    synthesized loop variables (Mask) or the current constant tap offset
+    (Domain)."""
+
+    def __init__(self, mask_attr: str, xvar: str = None, yvar: str = None,
+                 fixed_offset=None):
+        self.mask_attr = mask_attr
+        self.xvar = xvar
+        self.yvar = yvar
+        self.fixed_offset = fixed_offset   # (dx, dy) ints in domain mode
+
+    def offset_exprs(self):
+        if self.fixed_offset is not None:
+            dx, dy = self.fixed_offset
+            return IntConst(dx), IntConst(dy)
+        return VarRef(self.xvar), VarRef(self.yvar)
+
+
+class _Parser:
+    def __init__(self, kernel: Kernel, bake_params: bool):
+        self.kernel_obj = kernel
+        self.bake_params = bake_params
+        self.accessors: Dict[str, AccessorInfo] = {}
+        self.accessor_objs: Dict[str, Accessor] = {}
+        self.masks: Dict[str, MaskInfo] = {}
+        self.mask_objs: Dict[str, Mask] = {}
+        self.domains: Dict[str, Domain] = {}
+        self.params: Dict[str, ParamInfo] = {}
+        self.scopes: List[Set[str]] = [set()]
+        self.pending: List[Stmt] = []
+        self.convolve_ctx: Optional[_ConvolveContext] = None
+        self._convolve_counter = 0
+        self._source_lines: List[str] = []
+
+        fn = type(kernel).kernel
+        self.fn_globals = getattr(fn, "__globals__", {})
+        self._collect_attributes()
+
+    # -- error helper --------------------------------------------------------
+
+    def err(self, message: str, node: Optional[ast.AST] = None) -> FrontendError:
+        lineno = getattr(node, "lineno", None)
+        line = None
+        if lineno is not None and 0 < lineno <= len(self._source_lines):
+            line = self._source_lines[lineno - 1]
+        return FrontendError(message, lineno, line)
+
+    # -- attribute resolution -----------------------------------------------
+
+    def _collect_attributes(self) -> None:
+        inst = self.kernel_obj
+        for name, value in vars(inst).items():
+            if name.startswith("_") or name == "iteration_space":
+                continue
+            if isinstance(value, Accessor):
+                from ..dsl.interpolate import InterpolatedAccessor
+                interp = None
+                out_size = None
+                if isinstance(value, InterpolatedAccessor):
+                    interp = value.interpolation.value
+                    out_size = (value.out_width, value.out_height)
+                self.accessor_objs[name] = value
+                self.accessors[name] = AccessorInfo(
+                    name=name,
+                    pixel_type=value.pixel_type,
+                    boundary_mode=value.boundary_mode.value,
+                    boundary_constant=float(value.boundary_constant or 0.0),
+                    window=value.window,
+                    interpolation=interp,
+                    out_size=out_size,
+                )
+            elif isinstance(value, Mask):
+                self.mask_objs[name] = value
+                self.masks[name] = MaskInfo(
+                    name=name,
+                    pixel_type=value.pixel_type,
+                    size=value.size,
+                    coefficients=(value.coefficients if value.is_set
+                                  else None),
+                    compile_time_constant=value.compile_time_constant,
+                )
+            elif isinstance(value, Domain):
+                self.domains[name] = value
+            elif isinstance(value, Uniform):
+                self.params[name] = ParamInfo(
+                    name=name, type=value.type, value=value.value,
+                    baked=False)
+            elif isinstance(value, bool):
+                self.params[name] = ParamInfo(name, BOOL, value,
+                                              baked=self.bake_params)
+            elif isinstance(value, int):
+                self.params[name] = ParamInfo(name, INT, value,
+                                              baked=self.bake_params)
+            elif isinstance(value, float):
+                self.params[name] = ParamInfo(name, FLOAT, value,
+                                              baked=self.bake_params)
+            # other attribute kinds are simply invisible to the kernel body
+
+    # -- scope handling -------------------------------------------------------
+
+    def declared(self, name: str) -> bool:
+        return any(name in s for s in self.scopes)
+
+    def declare(self, name: str) -> None:
+        self.scopes[-1].add(name)
+
+    # -- expression conversion ------------------------------------------------
+
+    def expr(self, node: ast.expr) -> Expr:
+        if isinstance(node, ast.Constant):
+            v = node.value
+            if isinstance(v, bool):
+                return BoolConst(v)
+            if isinstance(v, int):
+                return IntConst(v)
+            if isinstance(v, float):
+                return FloatConst(v)
+            raise self.err(f"unsupported constant {v!r}", node)
+        if isinstance(node, ast.Name):
+            return self._name(node)
+        if isinstance(node, ast.Attribute):
+            return self._attribute(node)
+        if isinstance(node, ast.BinOp):
+            op = _AST_BINOPS.get(type(node.op))
+            if op is None:
+                if isinstance(node.op, ast.Pow):
+                    return Call("pow", (self.expr(node.left),
+                                        self.expr(node.right)))
+                if isinstance(node.op, ast.FloorDiv):
+                    # integer division in C semantics
+                    return BinOp("/", self.expr(node.left),
+                                 self.expr(node.right))
+                raise self.err(
+                    f"unsupported operator {type(node.op).__name__}", node)
+            return BinOp(op, self.expr(node.left), self.expr(node.right))
+        if isinstance(node, ast.UnaryOp):
+            op = _AST_UNARYOPS.get(type(node.op))
+            if op is None:
+                raise self.err(
+                    f"unsupported unary operator "
+                    f"{type(node.op).__name__}", node)
+            return UnOp(op, self.expr(node.operand))
+        if isinstance(node, ast.Compare):
+            if len(node.ops) != 1:
+                # chain a < b < c  =>  (a < b) && (b < c)
+                result: Optional[Expr] = None
+                left = node.left
+                for op_node, right in zip(node.ops, node.comparators):
+                    op = _AST_CMPOPS.get(type(op_node))
+                    if op is None:
+                        raise self.err("unsupported comparison", node)
+                    piece = BinOp(op, self.expr(left), self.expr(right))
+                    result = piece if result is None else BinOp(
+                        "&&", result, piece)
+                    left = right
+                return result
+            op = _AST_CMPOPS.get(type(node.ops[0]))
+            if op is None:
+                raise self.err("unsupported comparison operator", node)
+            return BinOp(op, self.expr(node.left),
+                         self.expr(node.comparators[0]))
+        if isinstance(node, ast.BoolOp):
+            op = "&&" if isinstance(node.op, ast.And) else "||"
+            result = self.expr(node.values[0])
+            for v in node.values[1:]:
+                result = BinOp(op, result, self.expr(v))
+            return result
+        if isinstance(node, ast.IfExp):
+            return Select(self.expr(node.test), self.expr(node.body),
+                          self.expr(node.orelse))
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        raise self.err(
+            f"unsupported expression: {type(node).__name__}", node)
+
+    def _name(self, node: ast.Name) -> Expr:
+        name = node.id
+        if self.declared(name):
+            return VarRef(name)
+        if name in self.params:
+            return self._param_ref(name)
+        # free module-level numeric constant?
+        if name in self.fn_globals:
+            value = self.fn_globals[name]
+            if isinstance(value, bool):
+                return BoolConst(value)
+            if isinstance(value, int):
+                return IntConst(value)
+            if isinstance(value, float):
+                return FloatConst(value)
+        raise self.err(f"unknown name {name!r} in kernel body", node)
+
+    def _param_ref(self, name: str) -> Expr:
+        p = self.params[name]
+        if p.baked:
+            if p.type == BOOL:
+                return BoolConst(bool(p.value))
+            if p.type.is_float:
+                return FloatConst(float(p.value))
+            return IntConst(int(p.value))
+        return VarRef(name)
+
+    def _attribute(self, node: ast.Attribute) -> Expr:
+        if (isinstance(node.value, ast.Name) and node.value.id == "self"):
+            name = node.attr
+            if name in self.params:
+                return self._param_ref(name)
+            if name in self.accessors or name in self.masks \
+                    or name in self.domains:
+                raise self.err(
+                    f"self.{name} must be called (e.g. self.{name}(dx, dy)),"
+                    f" not referenced", node)
+            raise self.err(
+                f"self.{name} is not a kernel parameter, accessor or mask",
+                node)
+        # Reduce.SUM style enum constants are consumed by _call directly.
+        raise self.err(
+            f"unsupported attribute access "
+            f"{ast.dump(node, annotate_fields=False)}", node)
+
+    # -- call handling ----------------------------------------------------
+
+    def _call(self, node: ast.Call) -> Expr:
+        if node.keywords:
+            raise self.err("keyword arguments are not supported in kernels",
+                           node)
+        func = node.func
+        # self.<something>(...)
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"):
+            return self._self_call(func.attr, node)
+        if isinstance(func, ast.Name):
+            fname = func.id
+            if fname in _CAST_BUILTINS:
+                if len(node.args) != 1:
+                    raise self.err(f"{fname}() takes one argument", node)
+                return Cast(_CAST_BUILTINS[fname], self.expr(node.args[0]))
+            if fname in INTRINSICS or fname in ALIASES:
+                canonical = ALIASES.get(fname, fname)
+                return Call(canonical,
+                            tuple(self.expr(a) for a in node.args))
+            raise self.err(
+                f"call of unsupported function {fname!r}; only registered "
+                f"math intrinsics may be called in kernels", node)
+        # math.exp style
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "math"):
+            dotted = f"math.{func.attr}"
+            if dotted in ALIASES:
+                return Call(ALIASES[dotted],
+                            tuple(self.expr(a) for a in node.args))
+            raise self.err(f"unsupported math function {dotted}", node)
+        raise self.err("unsupported call target", node)
+
+    def _self_call(self, name: str, node: ast.Call) -> Expr:
+        if name == "x":
+            return GidX()
+        if name == "y":
+            return GidY()
+        if name == "output":
+            raise self.err(
+                "self.output(...) must be a standalone statement", node)
+        if name == "convolve":
+            return self._expand_convolve(node)
+        if name in self.accessors:
+            return self._accessor_read(name, node)
+        if name in self.masks:
+            return self._mask_read(name, node)
+        raise self.err(f"self.{name} is not callable in a kernel body", node)
+
+    def _accessor_read(self, name: str, node: ast.Call) -> Expr:
+        args = node.args
+        if len(args) == 0:
+            return AccessorRead(name)
+        # accessor read at the current convolve/mask/domain position:
+        # self.input(self.mask) or self.input(self.dom)
+        if (len(args) == 1 and isinstance(args[0], ast.Attribute)
+                and isinstance(args[0].value, ast.Name)
+                and args[0].value.id == "self"
+                and (args[0].attr in self.masks
+                     or args[0].attr in self.domains)):
+            ctx = self.convolve_ctx
+            if ctx is None or ctx.mask_attr != args[0].attr:
+                raise self.err(
+                    f"self.{name}(self.{args[0].attr}) is only valid inside "
+                    f"a convolve() over that mask/domain", node)
+            dx, dy = ctx.offset_exprs()
+            return AccessorRead(name, dx, dy)
+        if len(args) == 2:
+            return AccessorRead(name, self.expr(args[0]),
+                                self.expr(args[1]))
+        raise self.err(
+            f"accessor read self.{name}(...) takes 0 or 2 offset "
+            f"arguments", node)
+
+    def _mask_read(self, name: str, node: ast.Call) -> Expr:
+        args = node.args
+        if len(args) == 0:
+            ctx = self.convolve_ctx
+            if ctx is None or ctx.mask_attr != name:
+                raise self.err(
+                    f"self.{name}() without offsets is only valid inside a "
+                    f"convolve() over that mask", node)
+            return MaskRead(name, VarRef(ctx.xvar), VarRef(ctx.yvar))
+        if len(args) == 2:
+            return MaskRead(name, self.expr(args[0]), self.expr(args[1]))
+        raise self.err(
+            f"mask read self.{name}(...) takes 0 or 2 offset arguments",
+            node)
+
+    # -- convolve expansion -------------------------------------------------
+
+    def _resolve_reduce(self, node: ast.expr) -> Reduce:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return Reduce.coerce(node.value)
+        if isinstance(node, ast.Attribute) and node.attr in Reduce.__members__:
+            return Reduce[node.attr]
+        if isinstance(node, ast.Name) and node.id in Reduce.__members__:
+            return Reduce[node.id]
+        raise self.err(
+            "convolve() reduce mode must be Reduce.SUM/MIN/MAX/PROD or a "
+            "string", node)
+
+    def _expand_convolve(self, node: ast.Call) -> Expr:
+        if len(node.args) != 3:
+            raise self.err(
+                "convolve() expects (mask, reduce_mode, lambda)", node)
+        mask_node, mode_node, fn_node = node.args
+        is_attr = (isinstance(mask_node, ast.Attribute)
+                   and isinstance(mask_node.value, ast.Name)
+                   and mask_node.value.id == "self")
+        if not (is_attr and (mask_node.attr in self.masks
+                             or mask_node.attr in self.domains)):
+            raise self.err(
+                "convolve() first argument must be a self.<mask> or "
+                "self.<domain> attribute", node)
+        if not isinstance(fn_node, ast.Lambda) or fn_node.args.args:
+            raise self.err(
+                "convolve() third argument must be a zero-argument lambda",
+                node)
+        if self.convolve_ctx is not None:
+            raise self.err("nested convolve() is not supported", node)
+
+        mask_name = mask_node.attr
+        mode = self._resolve_reduce(mode_node)
+        from ..dsl.convolve import REDUCE_COMBINE_OP
+        binop, intrinsic = REDUCE_COMBINE_OP[mode]
+        n = self._convolve_counter
+        self._convolve_counter += 1
+        acc = f"_cvx_acc{n}"
+
+        def combine_with(tap: Expr) -> Expr:
+            if binop is not None:
+                return BinOp(binop, VarRef(acc), tap)
+            return Call(intrinsic, (VarRef(acc), tap))
+
+        identity = reduce_identity(mode)
+
+        if mask_name in self.domains:
+            # Domain: straight-line expansion over the enabled taps only
+            domain = self.domains[mask_name]
+            self.pending.append(VarDecl(acc, FloatConst(identity), FLOAT))
+            for dx, dy in domain.enabled_offsets():
+                self.convolve_ctx = _ConvolveContext(
+                    mask_name, fixed_offset=(dx, dy))
+                try:
+                    tap = self.expr(fn_node.body)
+                finally:
+                    self.convolve_ctx = None
+                self.pending.append(Assign(acc, combine_with(tap)))
+            self.declare(acc)
+            return VarRef(acc)
+
+        info = self.masks[mask_name]
+        hx, hy = info.size[0] // 2, info.size[1] // 2
+        xv, yv = f"_cvx_x{n}", f"_cvx_y{n}"
+
+        self.convolve_ctx = _ConvolveContext(mask_name, xv, yv)
+        try:
+            tap = self.expr(fn_node.body)
+        finally:
+            self.convolve_ctx = None
+
+        body = [Assign(acc, combine_with(tap))]
+        inner = ForRange(xv, IntConst(-hx), IntConst(hx + 1), IntConst(1),
+                         body)
+        outer = ForRange(yv, IntConst(-hy), IntConst(hy + 1), IntConst(1),
+                         [inner])
+        self.pending.append(VarDecl(acc, FloatConst(identity), FLOAT))
+        self.pending.append(outer)
+        self.declare(acc)
+        return VarRef(acc)
+
+    # -- statement conversion ------------------------------------------------
+
+    def body(self, nodes: List[ast.stmt]) -> List[Stmt]:
+        out: List[Stmt] = []
+        for n in nodes:
+            out.extend(self.stmt(n))
+        return out
+
+    def _flush_pending(self, out: List[Stmt]) -> None:
+        out.extend(self.pending)
+        self.pending = []
+
+    def stmt(self, node: ast.stmt) -> List[Stmt]:
+        out: List[Stmt] = []
+        if isinstance(node, ast.Pass):
+            return out
+        if isinstance(node, ast.Return):
+            if node.value is not None:
+                raise self.err(
+                    "kernels do not return values; write the result with "
+                    "self.output(expr)", node)
+            return out
+        if isinstance(node, ast.Expr):
+            call = node.value
+            if (isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Attribute)
+                    and isinstance(call.func.value, ast.Name)
+                    and call.func.value.id == "self"
+                    and call.func.attr == "output"):
+                if len(call.args) != 1:
+                    raise self.err("self.output(expr) takes one argument",
+                                   node)
+                value = self.expr(call.args[0])
+                self._flush_pending(out)
+                out.append(OutputWrite(value))
+                return out
+            raise self.err(
+                "expression statements other than self.output(...) are not "
+                "supported", node)
+        if isinstance(node, ast.Assign):
+            if len(node.targets) != 1:
+                raise self.err("multiple assignment targets not supported",
+                               node)
+            target = node.targets[0]
+            if isinstance(target, ast.Tuple):
+                raise self.err("tuple unpacking is not supported", node)
+            if not isinstance(target, ast.Name):
+                raise self.err(
+                    "only simple local variables can be assigned", node)
+            value = self.expr(node.value)
+            self._flush_pending(out)
+            if self.declared(target.id):
+                out.append(Assign(target.id, value))
+            else:
+                self.declare(target.id)
+                out.append(VarDecl(target.id, value))
+            return out
+        if isinstance(node, ast.AnnAssign):
+            if not isinstance(node.target, ast.Name):
+                raise self.err("annotated target must be a name", node)
+            if node.value is None:
+                raise self.err("annotated declaration requires a value",
+                               node)
+            if not isinstance(node.annotation, ast.Name):
+                raise self.err("type annotation must be a simple name", node)
+            try:
+                declared_type = as_scalar_type(node.annotation.id)
+            except Exception:
+                raise self.err(
+                    f"unknown type annotation {node.annotation.id!r}",
+                    node) from None
+            value = self.expr(node.value)
+            self._flush_pending(out)
+            if self.declared(node.target.id):
+                raise self.err(
+                    f"redeclaration of {node.target.id!r}", node)
+            self.declare(node.target.id)
+            out.append(VarDecl(node.target.id, value, declared_type))
+            return out
+        if isinstance(node, ast.AugAssign):
+            if not isinstance(node.target, ast.Name):
+                raise self.err("augmented assignment target must be a name",
+                               node)
+            if not self.declared(node.target.id):
+                raise self.err(
+                    f"augmented assignment to undeclared variable "
+                    f"{node.target.id!r}", node)
+            op = _AST_BINOPS.get(type(node.op))
+            if op is None:
+                raise self.err("unsupported augmented assignment operator",
+                               node)
+            value = self.expr(node.value)
+            self._flush_pending(out)
+            out.append(Assign(node.target.id,
+                              BinOp(op, VarRef(node.target.id), value)))
+            return out
+        if isinstance(node, ast.If):
+            cond = self.expr(node.test)
+            self._flush_pending(out)
+            self.scopes.append(set())
+            then_body = self.body(node.body)
+            self.scopes.pop()
+            self.scopes.append(set())
+            else_body = self.body(node.orelse)
+            self.scopes.pop()
+            out.append(If(cond, then_body, else_body))
+            return out
+        if isinstance(node, ast.For):
+            return self._for(node, out)
+        if isinstance(node, ast.While):
+            raise self.err(
+                "while loops are not supported; use for ... in range(...)",
+                node)
+        raise self.err(
+            f"unsupported statement: {type(node).__name__}", node)
+
+    def _for(self, node: ast.For, out: List[Stmt]) -> List[Stmt]:
+        if node.orelse:
+            raise self.err("for/else is not supported", node)
+        if not isinstance(node.target, ast.Name):
+            raise self.err("loop target must be a simple name", node)
+        it = node.iter
+        if not (isinstance(it, ast.Call) and isinstance(it.func, ast.Name)
+                and it.func.id == "range"):
+            raise self.err("loops must iterate over range(...)", node)
+        bounds = [self.expr(a) for a in it.args]
+        if len(bounds) == 1:
+            start: Expr = IntConst(0)
+            stop = bounds[0]
+            step: Expr = IntConst(1)
+        elif len(bounds) == 2:
+            start, stop = bounds
+            step = IntConst(1)
+        elif len(bounds) == 3:
+            start, stop, step = bounds
+        else:
+            raise self.err("range() takes 1-3 arguments", node)
+        self._flush_pending(out)
+        self.scopes.append({node.target.id})
+        body = self.body(node.body)
+        self.scopes.pop()
+        out.append(ForRange(node.target.id, start, stop, step, body))
+        return out
+
+    # -- entry point -------------------------------------------------------
+
+    def parse(self) -> KernelIR:
+        fn = type(self.kernel_obj).kernel
+        if fn is Kernel.kernel:
+            raise FrontendError(
+                f"{type(self.kernel_obj).__name__} does not override "
+                f"kernel()")
+        try:
+            source = inspect.getsource(fn)
+        except (OSError, TypeError) as exc:
+            raise FrontendError(
+                f"cannot retrieve source of {fn.__qualname__}: {exc}"
+            ) from None
+        source = textwrap.dedent(source)
+        self._source_lines = source.splitlines()
+        tree = ast.parse(source)
+        fndef = tree.body[0]
+        if not isinstance(fndef, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            raise FrontendError("kernel() source did not parse to a function")
+        body = self.body(list(fndef.body))
+        return KernelIR(
+            name=type(self.kernel_obj).__name__,
+            pixel_type=self.kernel_obj.iteration_space.pixel_type,
+            body=body,
+            accessors=list(self.accessors.values()),
+            masks=list(self.masks.values()),
+            params=list(self.params.values()),
+        )
+
+
+def accessor_objects(kernel: Kernel) -> Dict[str, Accessor]:
+    """Map attribute names to the Accessor instances of *kernel* — the
+    binding the simulator needs to resolve IR reads to image data."""
+    return {name: value for name, value in vars(kernel).items()
+            if isinstance(value, Accessor) and not name.startswith("_")}
+
+
+def mask_objects(kernel: Kernel) -> Dict[str, Mask]:
+    """Map attribute names to the Mask instances of *kernel*."""
+    return {name: value for name, value in vars(kernel).items()
+            if isinstance(value, Mask) and not name.startswith("_")}
+
+
+def parse_kernel(kernel: Kernel, bake_params: bool = True) -> KernelIR:
+    """Parse *kernel*'s ``kernel()`` body into an (untyped) KernelIR.
+
+    With *bake_params* (default), plain scalar attributes become literals in
+    the IR; :class:`~repro.dsl.kernel.Uniform` attributes always stay
+    runtime parameters.  Run :func:`repro.ir.typecheck_kernel` on the result
+    before code generation.
+    """
+    if not isinstance(kernel, Kernel):
+        raise FrontendError("parse_kernel expects a Kernel instance")
+    return _Parser(kernel, bake_params).parse()

@@ -1,0 +1,19 @@
+"""Abstract graphics-card hardware model (paper Section V).
+
+"An abstract hardware model of graphics card architectures allows to model
+GPUs of multiple vendors like AMD and NVIDIA, and to generate device-specific
+code for multiple targets."  The model captures: a) the SIMD width, b) the
+maximal thread configuration, c) the maximal threads per SIMD unit, and
+d) registers/shared memory and their allocation strategies — plus the
+throughput figures the analytical timing model needs.
+"""
+
+from .device import DeviceSpec, MemorySpec  # noqa: F401
+from .database import (  # noqa: F401
+    DEVICES,
+    get_device,
+    list_devices,
+    EVALUATION_DEVICES,
+)
+from .occupancy import Occupancy, compute_occupancy  # noqa: F401
+from .resources import ResourceUsage, estimate_resources  # noqa: F401

@@ -1,0 +1,326 @@
+"""Device database.
+
+"Currently, the compiler database contains information about all available
+CUDA-capable graphics cards as specified by the compute capability and AMD
+GPUs of the Radeon HD 6900 and HD 5800 series (VLIW4 and VLIW5
+architecture)" — Section V-B.  The four evaluation GPUs are modelled with
+their published specifications; further NVIDIA cards are included per
+compute capability so the configuration heuristic can target them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import MappingError
+from .device import DeviceSpec, MemorySpec
+
+_GT200_MEM = MemorySpec(
+    bandwidth_gbps=102.0,
+    coalesce_segment=64,
+    has_l1_cache=False,
+    texture_cache=True,
+    l1_window_reuse=0.0,
+    tex_window_reuse=0.82,
+)
+
+_FERMI_MEM = MemorySpec(
+    bandwidth_gbps=144.0,
+    coalesce_segment=128,
+    has_l1_cache=True,
+    l1_window_reuse=0.80,
+    tex_window_reuse=0.88,
+)
+
+_CYPRESS_MEM = MemorySpec(
+    bandwidth_gbps=153.6,
+    coalesce_segment=64,
+    has_l1_cache=True,          # R/O L1 per SIMD
+    l1_window_reuse=0.70,
+    tex_window_reuse=0.80,
+)
+
+_CAYMAN_MEM = MemorySpec(
+    bandwidth_gbps=176.0,
+    coalesce_segment=64,
+    has_l1_cache=True,
+    l1_window_reuse=0.72,
+    tex_window_reuse=0.80,
+)
+
+
+TESLA_C2050 = DeviceSpec(
+    name="Tesla C2050",
+    vendor="NVIDIA",
+    architecture="Fermi",
+    compute_capability=(2, 0),
+    simd_width=32,
+    num_simd_units=14,
+    max_threads_per_block=1024,
+    max_threads_per_simd=1536,
+    max_blocks_per_simd=8,
+    max_warps_per_simd=48,
+    registers_per_simd=32768,
+    register_alloc_unit=64,
+    register_alloc_scope="warp",
+    max_registers_per_thread=63,
+    shared_mem_per_simd=48 * 1024,
+    shared_mem_alloc_unit=128,
+    warp_alloc_granularity=1,
+    clock_ghz=1.15,
+    alu_per_simd=32,
+    vliw_width=1,
+    vliw_scalar_utilization=1.0,
+    memory=_FERMI_MEM,
+    issue_efficiency=0.85,
+    sfu_throughput_ratio=1.0,
+    image_path_penalty=1.04,
+    backend_sfu_efficiency={"cuda": 1.0, "opencl": 0.49},
+    faults_on_oob=True,          # paper: manual Undefined rows "crash"
+    kernel_launch_overhead_us=6.0,
+    backend_efficiency={"cuda": 1.0, "opencl": 0.78},
+)
+
+QUADRO_FX_5800 = DeviceSpec(
+    name="Quadro FX 5800",
+    vendor="NVIDIA",
+    architecture="GT200",
+    compute_capability=(1, 3),
+    simd_width=32,
+    num_simd_units=30,
+    max_threads_per_block=512,
+    max_threads_per_simd=1024,
+    max_blocks_per_simd=8,
+    max_warps_per_simd=32,
+    registers_per_simd=16384,
+    register_alloc_unit=512,
+    register_alloc_scope="block",
+    max_registers_per_thread=124,
+    shared_mem_per_simd=16 * 1024,
+    shared_mem_alloc_unit=512,
+    warp_alloc_granularity=2,
+    clock_ghz=1.296,
+    alu_per_simd=8,
+    vliw_width=1,
+    vliw_scalar_utilization=1.0,
+    memory=_GT200_MEM,
+    issue_efficiency=1.23,
+    sfu_throughput_ratio=1.05,
+    image_path_penalty=1.06,
+    backend_sfu_efficiency={"cuda": 1.0, "opencl": 0.60},
+    faults_on_oob=False,
+    kernel_launch_overhead_us=10.0,
+    backend_efficiency={"cuda": 1.0, "opencl": 0.66},
+)
+
+RADEON_HD_5870 = DeviceSpec(
+    name="Radeon HD 5870",
+    vendor="AMD",
+    architecture="VLIW5",
+    compute_capability=(0, 0),
+    simd_width=64,
+    num_simd_units=20,
+    max_threads_per_block=256,
+    max_threads_per_simd=1024,   # resident work-items (wavefront slots)
+    max_blocks_per_simd=8,
+    max_warps_per_simd=16,       # wavefronts per SIMD (typical occupancy cap)
+    registers_per_simd=16384,
+    register_alloc_unit=64,
+    register_alloc_scope="warp",
+    max_registers_per_thread=128,
+    shared_mem_per_simd=32 * 1024,
+    shared_mem_alloc_unit=256,
+    warp_alloc_granularity=1,
+    clock_ghz=0.85,
+    alu_per_simd=80,             # 16 stream cores x 5 VLIW lanes
+    vliw_width=5,
+    vliw_scalar_utilization=0.25,
+    memory=_CYPRESS_MEM,
+    issue_efficiency=1.0,
+    sfu_throughput_ratio=0.33,
+    constant_mem_read_cost=8.0,
+    image_path_penalty=1.03,
+    flat_boundary_cost=7.0,
+    faults_on_oob=False,
+    kernel_launch_overhead_us=14.0,
+    backend_efficiency={"opencl": 1.0},
+)
+
+RADEON_HD_6970 = DeviceSpec(
+    name="Radeon HD 6970",
+    vendor="AMD",
+    architecture="VLIW4",
+    compute_capability=(0, 0),
+    simd_width=64,
+    num_simd_units=24,
+    max_threads_per_block=256,
+    max_threads_per_simd=1024,
+    max_blocks_per_simd=8,
+    max_warps_per_simd=16,
+    registers_per_simd=16384,
+    register_alloc_unit=64,
+    register_alloc_scope="warp",
+    max_registers_per_thread=128,
+    shared_mem_per_simd=32 * 1024,
+    shared_mem_alloc_unit=256,
+    warp_alloc_granularity=1,
+    clock_ghz=0.88,
+    alu_per_simd=64,             # 16 stream cores x 4 VLIW lanes
+    vliw_width=4,
+    vliw_scalar_utilization=0.30,
+    memory=_CAYMAN_MEM,
+    issue_efficiency=1.0,
+    sfu_throughput_ratio=0.38,
+    constant_mem_read_cost=7.0,
+    image_path_penalty=1.03,
+    flat_boundary_cost=7.0,
+    faults_on_oob=False,
+    kernel_launch_overhead_us=14.0,
+    backend_efficiency={"opencl": 1.0},
+)
+
+# Additional CUDA-capable cards (per compute capability) so the mapping
+# layer covers "all available CUDA-capable graphics cards".
+GEFORCE_GTX_280 = DeviceSpec(
+    name="GeForce GTX 280",
+    vendor="NVIDIA",
+    architecture="GT200",
+    compute_capability=(1, 3),
+    simd_width=32,
+    num_simd_units=30,
+    max_threads_per_block=512,
+    max_threads_per_simd=1024,
+    max_blocks_per_simd=8,
+    max_warps_per_simd=32,
+    registers_per_simd=16384,
+    register_alloc_unit=512,
+    register_alloc_scope="block",
+    max_registers_per_thread=124,
+    shared_mem_per_simd=16 * 1024,
+    shared_mem_alloc_unit=512,
+    warp_alloc_granularity=2,
+    clock_ghz=1.296,
+    alu_per_simd=8,
+    vliw_width=1,
+    vliw_scalar_utilization=1.0,
+    memory=MemorySpec(bandwidth_gbps=141.7, coalesce_segment=64,
+                      has_l1_cache=False, tex_window_reuse=0.82),
+    issue_efficiency=1.23,
+    sfu_throughput_ratio=1.05,
+    image_path_penalty=1.06,
+    backend_sfu_efficiency={"cuda": 1.0, "opencl": 0.60},
+    kernel_launch_overhead_us=10.0,
+    backend_efficiency={"cuda": 1.0, "opencl": 0.66},
+)
+
+GEFORCE_GTX_480 = DeviceSpec(
+    name="GeForce GTX 480",
+    vendor="NVIDIA",
+    architecture="Fermi",
+    compute_capability=(2, 0),
+    simd_width=32,
+    num_simd_units=15,
+    max_threads_per_block=1024,
+    max_threads_per_simd=1536,
+    max_blocks_per_simd=8,
+    max_warps_per_simd=48,
+    registers_per_simd=32768,
+    register_alloc_unit=64,
+    register_alloc_scope="warp",
+    max_registers_per_thread=63,
+    shared_mem_per_simd=48 * 1024,
+    shared_mem_alloc_unit=128,
+    warp_alloc_granularity=1,
+    clock_ghz=1.401,
+    alu_per_simd=32,
+    vliw_width=1,
+    vliw_scalar_utilization=1.0,
+    memory=MemorySpec(bandwidth_gbps=177.4, coalesce_segment=128,
+                      has_l1_cache=True, l1_window_reuse=0.80,
+                      tex_window_reuse=0.88),
+    issue_efficiency=0.85,
+    sfu_throughput_ratio=1.0,
+    image_path_penalty=1.04,
+    backend_sfu_efficiency={"cuda": 1.0, "opencl": 0.49},
+    kernel_launch_overhead_us=6.0,
+    backend_efficiency={"cuda": 1.0, "opencl": 0.78},
+)
+
+GEFORCE_8800_GTX = DeviceSpec(
+    name="GeForce 8800 GTX",
+    vendor="NVIDIA",
+    architecture="G80",
+    compute_capability=(1, 0),
+    simd_width=32,
+    num_simd_units=16,
+    max_threads_per_block=512,
+    max_threads_per_simd=768,
+    max_blocks_per_simd=8,
+    max_warps_per_simd=24,
+    registers_per_simd=8192,
+    register_alloc_unit=256,
+    register_alloc_scope="block",
+    max_registers_per_thread=124,
+    shared_mem_per_simd=16 * 1024,
+    shared_mem_alloc_unit=512,
+    warp_alloc_granularity=2,
+    clock_ghz=1.35,
+    alu_per_simd=8,
+    vliw_width=1,
+    vliw_scalar_utilization=1.0,
+    memory=MemorySpec(bandwidth_gbps=86.4, coalesce_segment=64,
+                      has_l1_cache=False, tex_window_reuse=0.8),
+    issue_efficiency=1.4,
+    sfu_throughput_ratio=1.1,
+    image_path_penalty=1.06,
+    kernel_launch_overhead_us=12.0,
+    backend_efficiency={"cuda": 1.0, "opencl": 0.7},
+)
+
+DEVICES: Dict[str, DeviceSpec] = {
+    d.name: d
+    for d in (
+        TESLA_C2050,
+        QUADRO_FX_5800,
+        RADEON_HD_5870,
+        RADEON_HD_6970,
+        GEFORCE_GTX_280,
+        GEFORCE_GTX_480,
+        GEFORCE_8800_GTX,
+    )
+}
+
+#: The four GPUs of the paper's evaluation section.
+EVALUATION_DEVICES: List[str] = [
+    "Tesla C2050",
+    "Quadro FX 5800",
+    "Radeon HD 5870",
+    "Radeon HD 6970",
+]
+
+_ALIASES = {
+    "tesla": "Tesla C2050",
+    "c2050": "Tesla C2050",
+    "quadro": "Quadro FX 5800",
+    "fx5800": "Quadro FX 5800",
+    "hd5870": "Radeon HD 5870",
+    "hd6970": "Radeon HD 6970",
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device by exact name or short alias (case-insensitive)."""
+    if name in DEVICES:
+        return DEVICES[name]
+    key = name.lower().replace(" ", "")
+    if key in _ALIASES:
+        return DEVICES[_ALIASES[key]]
+    for dev_name, spec in DEVICES.items():
+        if dev_name.lower().replace(" ", "") == key:
+            return spec
+    raise MappingError(
+        f"unknown device {name!r}; available: {', '.join(DEVICES)}")
+
+
+def list_devices() -> List[str]:
+    return list(DEVICES)

@@ -1,0 +1,127 @@
+"""DeviceSpec: one GPU in the abstract hardware model."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class MemorySpec:
+    """Memory-system characteristics used by the timing model."""
+
+    bandwidth_gbps: float          # peak global-memory bandwidth, GB/s
+    coalesce_segment: int          # bytes per coalesced transaction segment
+    has_l1_cache: bool             # Fermi caches global loads in L1
+    l1_line_bytes: int = 128
+    texture_cache: bool = True     # texture path available
+    texture_hit_latency_factor: float = 1.0
+    constant_broadcast: bool = True
+    #: effective reuse captured by the cache for a local-operator window:
+    #: fraction of redundant neighbour reads served on-chip (0..1)
+    l1_window_reuse: float = 0.0
+    tex_window_reuse: float = 0.9
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceSpec:
+    """Abstract model of one graphics card.
+
+    Field groups:
+
+    * identification: ``name``, ``vendor``, ``architecture``,
+      ``compute_capability`` (NVIDIA only, e.g. ``(2, 0)``),
+    * execution-model limits — the model inputs the paper enumerates in
+      Section V-C: ``simd_width``, ``max_threads_per_block``,
+      ``max_threads_per_simd``, register/shared-memory sizes and their
+      allocation granularities,
+    * throughput figures consumed by :mod:`repro.sim.timing`.
+    """
+
+    name: str
+    vendor: str                    # "NVIDIA" | "AMD"
+    architecture: str              # "Fermi", "GT200", "VLIW5", "VLIW4", ...
+    compute_capability: Tuple[int, int]
+
+    # -- execution model (occupancy inputs) --------------------------------
+    simd_width: int                # warp (32) / wavefront (64) size
+    num_simd_units: int            # SMs / SIMD engines
+    max_threads_per_block: int
+    max_threads_per_simd: int      # resident threads per SM
+    max_blocks_per_simd: int
+    max_warps_per_simd: int
+    registers_per_simd: int        # 32-bit registers per SM
+    register_alloc_unit: int       # allocation granularity, registers
+    register_alloc_scope: str      # "warp" (Fermi) or "block" (GT200)
+    max_registers_per_thread: int
+    shared_mem_per_simd: int       # bytes
+    shared_mem_alloc_unit: int     # bytes granularity
+    warp_alloc_granularity: int    # warps, GT200 allocates in pairs
+
+    # -- throughput ---------------------------------------------------------
+    clock_ghz: float
+    alu_per_simd: int              # scalar ALUs ("CUDA cores") per SM
+    vliw_width: int                # 1 for NVIDIA scalar, 4/5 for AMD VLIW
+    #: fraction of VLIW lanes a scalar (non-vectorised) kernel fills; 1.0
+    #: on scalar architectures.  The paper attributes the erratic AMD
+    #: results to exactly this (Section VI-A.1 / VIII).
+    vliw_scalar_utilization: float
+    memory: MemorySpec = None  # type: ignore[assignment]
+
+    # -- issue-rate details (timing model) -----------------------------------
+    #: effective instructions issued per ALU per cycle relative to 1.0
+    #: (GT200 dual-issues MAD+MUL/SFU, modelled as > 1)
+    issue_efficiency: float = 1.0
+    #: throughput of transcendental (SFU) work relative to ALU throughput,
+    #: applied to the SFU portion of the instruction mix
+    sfu_throughput_ratio: float = 1.0
+    #: ALU-op cost of one constant-memory broadcast read (filter-mask
+    #: coefficients); ~1 on NVIDIA, higher on the 2011-era AMD OpenCL stack
+    constant_mem_read_cost: float = 1.0
+    #: multiplicative time penalty of the image-object path relative to
+    #: buffers (OpenCL on NVIDIA has no linear-memory images, Section VI-A)
+    image_path_penalty: float = 1.0
+    #: SFU throughput factor per backend: the era's OpenCL toolchain on
+    #: NVIDIA did not map transcendentals onto the fast SFU path, which is
+    #: where most of the CUDA-vs-OpenCL gap of Tables II vs III comes from
+    backend_sfu_efficiency: Dict[str, float] = dataclasses.field(
+        default_factory=lambda: {"cuda": 1.0, "opencl": 1.0})
+    #: flat per-read boundary-adjustment cost overriding the per-mode
+    #: table (AMD VLIW predication executes all modes at similar cost)
+    flat_boundary_cost: float = None  # type: ignore[assignment]
+
+    # -- behavioural quirks --------------------------------------------------
+    #: device faults on out-of-bounds global reads (paper: manual kernels
+    #: with undefined boundary handling *crash* on the Tesla C2050)
+    faults_on_oob: bool = False
+    kernel_launch_overhead_us: float = 8.0
+    #: per-backend efficiency of the toolchain on this device; the paper's
+    #: Tables II vs III show OpenCL clearly slower than CUDA on NVIDIA
+    #: hardware of the era (no linear-memory images, immature compiler).
+    backend_efficiency: Dict[str, float] = dataclasses.field(
+        default_factory=lambda: {"cuda": 1.0, "opencl": 1.0})
+
+    # -- derived helpers -----------------------------------------------------
+
+    @property
+    def total_alus(self) -> int:
+        return self.num_simd_units * self.alu_per_simd
+
+    @property
+    def peak_gflops(self) -> float:
+        return self.total_alus * self.clock_ghz
+
+    def supports_backend(self, backend: str) -> bool:
+        if backend == "cuda":
+            return self.vendor == "NVIDIA"
+        return backend == "opencl"
+
+    def valid_block(self, block_x: int, block_y: int) -> bool:
+        """Is ``block_x x block_y`` within this device's hard limits?"""
+        threads = block_x * block_y
+        return (1 <= block_x and 1 <= block_y
+                and threads <= self.max_threads_per_block
+                and threads <= self.max_threads_per_simd)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name

@@ -1,0 +1,130 @@
+"""Occupancy calculator.
+
+Reimplements the CUDA occupancy calculation the paper's heuristic feeds on:
+given a block configuration and a kernel's resource usage, how many blocks
+are resident per SIMD unit and what fraction of the maximum warps is active.
+Handles the two register-allocation strategies of the modelled
+architectures: per-warp granularity (Fermi, AMD) and per-block granularity
+(G80/GT200), as well as warp-pair allocation on GT200.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..errors import MappingError
+from .device import DeviceSpec
+
+
+def _ceil_to(value: int, unit: int) -> int:
+    if unit <= 1:
+        return value
+    return ((value + unit - 1) // unit) * unit
+
+
+@dataclasses.dataclass(frozen=True)
+class Occupancy:
+    """Result of an occupancy computation for one configuration."""
+
+    device: str
+    threads_per_block: int
+    warps_per_block: int
+    blocks_per_simd: int
+    active_warps: int
+    max_warps: int
+    limited_by: str               # "blocks" | "warps" | "registers" | "smem"
+
+    @property
+    def occupancy(self) -> float:
+        return self.active_warps / self.max_warps if self.max_warps else 0.0
+
+    @property
+    def active_threads(self) -> int:
+        return self.blocks_per_simd * self.threads_per_block
+
+
+def compute_occupancy(device: DeviceSpec, block_x: int, block_y: int,
+                      regs_per_thread: int,
+                      smem_per_block: int) -> Occupancy:
+    """Occupancy of ``block_x x block_y`` blocks with the given resource
+    usage on *device*.
+
+    Raises :class:`~repro.errors.MappingError` when the configuration cannot
+    run at all (zero resident blocks) — the condition the paper describes as
+    "a kernel launch error at run-time".
+    """
+    threads = block_x * block_y
+    if not device.valid_block(block_x, block_y):
+        raise MappingError(
+            f"block {block_x}x{block_y} exceeds limits of {device.name} "
+            f"(max {device.max_threads_per_block} threads/block)")
+    if regs_per_thread > device.max_registers_per_thread:
+        raise MappingError(
+            f"kernel needs {regs_per_thread} registers/thread; "
+            f"{device.name} provides {device.max_registers_per_thread}")
+
+    warps_per_block = _ceil_to(math.ceil(threads / device.simd_width),
+                               device.warp_alloc_granularity)
+
+    # limit 1: hardware block slots
+    by_blocks = device.max_blocks_per_simd
+    # limit 2: resident warps
+    by_warps = device.max_warps_per_simd // warps_per_block
+    # limit 3: registers
+    if regs_per_thread > 0:
+        if device.register_alloc_scope == "warp":
+            regs_per_warp = _ceil_to(regs_per_thread * device.simd_width,
+                                     device.register_alloc_unit)
+            warp_budget = device.registers_per_simd // regs_per_warp
+            by_regs = warp_budget // warps_per_block
+        else:  # block-granular (G80/GT200)
+            regs_per_block = _ceil_to(
+                regs_per_thread * warps_per_block * device.simd_width,
+                device.register_alloc_unit)
+            by_regs = device.registers_per_simd // regs_per_block
+    else:
+        by_regs = by_blocks
+    # limit 4: shared memory
+    if smem_per_block > 0:
+        smem_alloc = _ceil_to(smem_per_block, device.shared_mem_alloc_unit)
+        if smem_alloc > device.shared_mem_per_simd:
+            raise MappingError(
+                f"kernel needs {smem_alloc} bytes of shared memory/block; "
+                f"{device.name} provides {device.shared_mem_per_simd}")
+        by_smem = device.shared_mem_per_simd // smem_alloc
+    else:
+        by_smem = by_blocks
+
+    limits = {
+        "blocks": by_blocks,
+        "warps": by_warps,
+        "registers": by_regs,
+        "smem": by_smem,
+    }
+    limiter = min(limits, key=lambda k: limits[k])
+    blocks = limits[limiter]
+    if blocks < 1:
+        raise MappingError(
+            f"configuration {block_x}x{block_y} cannot launch on "
+            f"{device.name}: zero resident blocks (limited by {limiter})")
+
+    # also respect the resident-thread ceiling
+    while blocks * threads > device.max_threads_per_simd and blocks > 1:
+        blocks -= 1
+        limiter = "warps"
+    if blocks * threads > device.max_threads_per_simd:
+        raise MappingError(
+            f"block of {threads} threads exceeds resident-thread limit of "
+            f"{device.name}")
+
+    active_warps = min(blocks * warps_per_block, device.max_warps_per_simd)
+    return Occupancy(
+        device=device.name,
+        threads_per_block=threads,
+        warps_per_block=warps_per_block,
+        blocks_per_simd=blocks,
+        active_warps=active_warps,
+        max_warps=device.max_warps_per_simd,
+        limited_by=limiter,
+    )

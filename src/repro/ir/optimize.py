@@ -1,0 +1,315 @@
+"""Redundancy-elimination passes: CSE and loop-invariant code motion.
+
+The code HIPAcc prints contains textual redundancy (e.g. three texture
+fetches per bilateral tap, the centre-pixel read inside the loop); the
+*device* compiler (nvcc / the OpenCL runtime) eliminates it.  These passes
+model that step — the resource estimator and timing model run them before
+counting instructions, and they are also available as explicit compiler
+options for emitting pre-optimised source.
+
+Everything in the kernel IR is pure (input images are read-only, the only
+side effect is the final output write), so any repeated expression may be
+computed once:
+
+* :func:`eliminate_common_subexpressions` — local value numbering over
+  straight-line statement runs; repeated non-trivial subexpressions
+  (accessor reads, intrinsic calls, compound arithmetic) become temps.
+* :func:`hoist_loop_invariants` — moves maximal loop-invariant
+  subexpressions out of ``ForRange`` bodies (innermost first), e.g. the
+  ``exp(-c_d*yf*yf)`` factor leaving the ``xf`` loop, the centre read
+  leaving both loops.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .nodes import (
+    AccessorRead,
+    Assign,
+    BinOp,
+    Call,
+    Cast,
+    Expr,
+    ForRange,
+    If,
+    KernelIR,
+    MaskRead,
+    OutputWrite,
+    Select,
+    Stmt,
+    UnOp,
+    VarDecl,
+    VarRef,
+    is_const,
+)
+from .printer import format_expr
+from .visitors import walk_exprs
+
+
+def _key(e: Expr) -> str:
+    """Structural identity of an expression (names included)."""
+    return format_expr(e)
+
+
+def _deps(e: Expr) -> Set[str]:
+    return {sub.name for sub in walk_exprs(e) if isinstance(sub, VarRef)}
+
+
+def _is_constexpr(e: Expr) -> bool:
+    """Every leaf is a literal — folding, not sharing, handles these."""
+    return all(is_const(sub) or isinstance(sub, (BinOp, UnOp, Cast,
+                                                 Select))
+               for sub in walk_exprs(e))
+
+
+def _is_candidate(e: Expr) -> bool:
+    """Worth sharing: reads, calls, and non-trivial arithmetic."""
+    if isinstance(e, (AccessorRead, MaskRead)):
+        return True
+    if isinstance(e, Call):
+        return not _is_constexpr(e)
+    if isinstance(e, (BinOp, UnOp, Select, Cast)):
+        return (not _is_constexpr(e)
+                and len(list(walk_exprs(e))) >= 3)
+    return False
+
+
+class _TempNamer:
+    """Fresh-name generator that avoids every name already present in the
+    kernel (repeated optimization passes must not collide)."""
+
+    def __init__(self, prefix: str, kernel: KernelIR):
+        self.prefix = prefix
+        self.n = 0
+        self.taken = _all_var_names(kernel)
+
+    def fresh(self) -> str:
+        while True:
+            self.n += 1
+            name = f"{self.prefix}{self.n}"
+            if name not in self.taken:
+                self.taken.add(name)
+                return name
+
+
+def _all_var_names(kernel: KernelIR) -> Set[str]:
+    from .visitors import iter_all_exprs, walk_stmts
+
+    names: Set[str] = set()
+    for s in walk_stmts(kernel.body):
+        if isinstance(s, (VarDecl, Assign)):
+            names.add(s.name)
+        if isinstance(s, ForRange):
+            names.add(s.var)
+    for e in iter_all_exprs(kernel.body):
+        if isinstance(e, VarRef):
+            names.add(e.name)
+    return names
+
+
+# --------------------------------------------------------------------------
+# Common-subexpression elimination
+# --------------------------------------------------------------------------
+
+
+class _CseState:
+    """Available-expression table for one straight-line run."""
+
+    def __init__(self):
+        self.temp_for: Dict[str, str] = {}     # expr key -> temp var
+        self.deps_of: Dict[str, Set[str]] = {}  # expr key -> var deps
+
+    def kill(self, var: str) -> None:
+        dead = [k for k, deps in self.deps_of.items() if var in deps]
+        for k in dead:
+            self.deps_of.pop(k, None)
+            self.temp_for.pop(k, None)
+
+    def copy(self) -> "_CseState":
+        fresh = _CseState()
+        fresh.temp_for = dict(self.temp_for)
+        fresh.deps_of = {k: set(v) for k, v in self.deps_of.items()}
+        return fresh
+
+
+def _count_keys(body: Sequence[Stmt], counts: Dict[str, int]) -> None:
+    from .visitors import stmt_exprs
+
+    for s in body:
+        if not isinstance(s, ForRange):     # loop bounds are never CSE'd
+            for top in stmt_exprs(s):
+                for e in walk_exprs(top):
+                    if _is_candidate(e):
+                        counts[_key(e)] = counts.get(_key(e), 0) + 1
+        if isinstance(s, If):
+            _count_keys(s.then_body, counts)
+            _count_keys(s.else_body, counts)
+        elif isinstance(s, ForRange):
+            _count_keys(s.body, counts)
+
+
+def eliminate_common_subexpressions(kernel: KernelIR) -> KernelIR:
+    """Local value numbering (see module docstring)."""
+    namer = _TempNamer("_cse", kernel)
+
+    def rewrite_expr(e: Expr, state: _CseState, counts: Dict[str, int],
+                     pre: List[Stmt]) -> Expr:
+        kids = e.children()
+        if kids:
+            new_kids = tuple(rewrite_expr(c, state, counts, pre)
+                             for c in kids)
+            if any(n is not o for n, o in zip(new_kids, kids)):
+                e = e.with_children(*new_kids)
+        if not _is_candidate(e):
+            return e
+        key = _key(e)
+        if key in state.temp_for:
+            return VarRef(state.temp_for[key], type=e.type)
+        if counts.get(key, 0) >= 2:
+            temp = namer.fresh()
+            pre.append(VarDecl(temp, e, e.type))
+            state.temp_for[key] = temp
+            state.deps_of[key] = _deps(e) | {temp}
+            return VarRef(temp, type=e.type)
+        return e
+
+    def rewrite_body(body: Sequence[Stmt], state: _CseState) -> List[Stmt]:
+        counts: Dict[str, int] = {}
+        _count_keys(body, counts)
+        out: List[Stmt] = []
+        for s in body:
+            pre: List[Stmt] = []
+            if isinstance(s, VarDecl):
+                init = rewrite_expr(s.init, state, counts, pre)
+                out.extend(pre)
+                state.kill(s.name)
+                out.append(VarDecl(s.name, init, s.type))
+            elif isinstance(s, Assign):
+                value = rewrite_expr(s.value, state, counts, pre)
+                out.extend(pre)
+                state.kill(s.name)
+                out.append(Assign(s.name, value))
+            elif isinstance(s, OutputWrite):
+                value = rewrite_expr(s.value, state, counts, pre)
+                out.extend(pre)
+                out.append(OutputWrite(value))
+            elif isinstance(s, If):
+                cond = rewrite_expr(s.cond, state, counts, pre)
+                out.extend(pre)
+                then_body = rewrite_body(s.then_body, state.copy())
+                else_body = rewrite_body(s.else_body, state.copy())
+                out.append(If(cond, then_body, else_body))
+            elif isinstance(s, ForRange):
+                # loop bounds stay untouched: they are loop setup, and
+                # rewriting them to temps would hide trip counts from the
+                # unroller and the instruction-mix analysis
+                inner = rewrite_body(s.body, _CseState())
+                out.append(ForRange(s.var, s.start, s.stop, s.step, inner))
+                # conservatively drop everything the loop may invalidate
+                for assigned in _assigned_vars(s.body) | {s.var}:
+                    state.kill(assigned)
+            else:
+                out.append(s)
+        return out
+
+    return dataclasses.replace(kernel,
+                               body=rewrite_body(kernel.body, _CseState()))
+
+
+def _assigned_vars(body: Sequence[Stmt]) -> Set[str]:
+    names: Set[str] = set()
+    for s in body:
+        if isinstance(s, (VarDecl, Assign)):
+            names.add(s.name)
+        elif isinstance(s, If):
+            names |= _assigned_vars(s.then_body)
+            names |= _assigned_vars(s.else_body)
+        elif isinstance(s, ForRange):
+            names.add(s.var)
+            names |= _assigned_vars(s.body)
+    return names
+
+
+# --------------------------------------------------------------------------
+# Loop-invariant code motion
+# --------------------------------------------------------------------------
+
+
+def hoist_loop_invariants(kernel: KernelIR) -> KernelIR:
+    """Hoist maximal invariant subexpressions out of loops (innermost
+    first).  Only expressions in the loop's straight-line statements are
+    hoisted — code under ``if`` stays put (it may be conditionally
+    reachable)."""
+    namer = _TempNamer("_licm", kernel)
+
+    def invariant(e: Expr, banned: Set[str]) -> bool:
+        return not (_deps(e) & banned)
+
+    def hoist_from_expr(e: Expr, banned: Set[str],
+                        hoisted: Dict[str, Tuple[str, Expr]]) -> Expr:
+        # maximal-subtree first: if the whole expression is invariant and
+        # worth naming, lift it
+        if _is_candidate(e) and invariant(e, banned) and not is_const(e):
+            key = _key(e)
+            if key not in hoisted:
+                hoisted[key] = (namer.fresh(), e)
+            name, _ = hoisted[key]
+            return VarRef(name, type=e.type)
+        kids = e.children()
+        if kids:
+            new_kids = tuple(hoist_from_expr(c, banned, hoisted)
+                             for c in kids)
+            if any(n is not o for n, o in zip(new_kids, kids)):
+                e = e.with_children(*new_kids)
+        return e
+
+    def process_body(body: Sequence[Stmt]) -> List[Stmt]:
+        out: List[Stmt] = []
+        for s in body:
+            if isinstance(s, If):
+                out.append(If(s.cond, process_body(s.then_body),
+                              process_body(s.else_body)))
+                continue
+            if not isinstance(s, ForRange):
+                out.append(s)
+                continue
+            inner = process_body(s.body)           # innermost first
+            banned = _assigned_vars(inner) | {s.var}
+            hoisted: Dict[str, Tuple[str, Expr]] = {}
+            new_inner: List[Stmt] = []
+            for stmt in inner:
+                if isinstance(stmt, VarDecl):
+                    new_inner.append(VarDecl(
+                        stmt.name,
+                        hoist_from_expr(stmt.init, banned, hoisted),
+                        stmt.type))
+                elif isinstance(stmt, Assign):
+                    new_inner.append(Assign(
+                        stmt.name,
+                        hoist_from_expr(stmt.value, banned, hoisted)))
+                elif isinstance(stmt, OutputWrite):
+                    new_inner.append(OutputWrite(
+                        hoist_from_expr(stmt.value, banned, hoisted)))
+                else:
+                    new_inner.append(stmt)
+            for name, expr in hoisted.values():
+                out.append(VarDecl(name, expr, expr.type))
+            out.append(ForRange(s.var, s.start, s.stop, s.step, new_inner))
+        return out
+
+    return dataclasses.replace(kernel, body=process_body(kernel.body))
+
+
+def optimize_for_device(kernel: KernelIR, passes: int = 2) -> KernelIR:
+    """CSE + LICM to a fixed point (bounded) — what nvcc / the OpenCL
+    compiler would do to the generated source.  Used by the resource
+    estimator and exposed as an explicit compile option."""
+    from .transforms import propagate_constants
+
+    result = propagate_constants(kernel)
+    for _ in range(max(1, passes)):
+        result = eliminate_common_subexpressions(result)
+        result = hoist_loop_invariants(result)
+    return result

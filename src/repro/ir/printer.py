@@ -1,0 +1,124 @@
+"""Human-readable pretty printer for the kernel IR (debugging aid)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .nodes import (
+    AccessorRead,
+    Assign,
+    BinOp,
+    BoolConst,
+    Call,
+    Cast,
+    Expr,
+    FloatConst,
+    ForRange,
+    GidX,
+    GidY,
+    If,
+    IntConst,
+    KernelIR,
+    MaskRead,
+    OutputWrite,
+    Select,
+    Stmt,
+    UnOp,
+    VarDecl,
+    VarRef,
+)
+
+_PRECEDENCE = {
+    "||": 1, "&&": 2,
+    "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+def format_expr(e: Expr, parent_prec: int = 0) -> str:
+    if isinstance(e, IntConst):
+        return str(e.value)
+    if isinstance(e, FloatConst):
+        s = repr(float(e.value))
+        return s
+    if isinstance(e, BoolConst):
+        return "true" if e.value else "false"
+    if isinstance(e, VarRef):
+        return e.name
+    if isinstance(e, GidX):
+        return "gid_x"
+    if isinstance(e, GidY):
+        return "gid_y"
+    if isinstance(e, AccessorRead):
+        return (f"{e.accessor}({format_expr(e.dx)}, {format_expr(e.dy)})")
+    if isinstance(e, MaskRead):
+        return f"{e.mask}({format_expr(e.dx)}, {format_expr(e.dy)})"
+    if isinstance(e, UnOp):
+        inner = format_expr(e.operand, 11)
+        if inner.startswith(e.op):
+            inner = f"({inner})"
+        return f"{e.op}{inner}"
+    if isinstance(e, BinOp):
+        prec = _PRECEDENCE[e.op]
+        text = (f"{format_expr(e.lhs, prec)} {e.op} "
+                f"{format_expr(e.rhs, prec + 1)}")
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(e, Call):
+        args = ", ".join(format_expr(a) for a in e.args)
+        return f"{e.func}({args})"
+    if isinstance(e, Cast):
+        return f"({e.target.name}){format_expr(e.operand, 11)}"
+    if isinstance(e, Select):
+        text = (f"{format_expr(e.cond, 1)} ? {format_expr(e.if_true)} : "
+                f"{format_expr(e.if_false)}")
+        return f"({text})"
+    return f"<?{type(e).__name__}?>"
+
+
+def format_body(body: Sequence[Stmt], indent: int = 0) -> List[str]:
+    pad = "  " * indent
+    lines: List[str] = []
+    for s in body:
+        if isinstance(s, VarDecl):
+            tname = s.type.name if s.type else "auto"
+            lines.append(f"{pad}{tname} {s.name} = {format_expr(s.init)};")
+        elif isinstance(s, Assign):
+            lines.append(f"{pad}{s.name} = {format_expr(s.value)};")
+        elif isinstance(s, If):
+            lines.append(f"{pad}if ({format_expr(s.cond)}) {{")
+            lines += format_body(s.then_body, indent + 1)
+            if s.else_body:
+                lines.append(f"{pad}}} else {{")
+                lines += format_body(s.else_body, indent + 1)
+            lines.append(f"{pad}}}")
+        elif isinstance(s, ForRange):
+            lines.append(
+                f"{pad}for {s.var} in range({format_expr(s.start)}, "
+                f"{format_expr(s.stop)}, {format_expr(s.step)}) {{")
+            lines += format_body(s.body, indent + 1)
+            lines.append(f"{pad}}}")
+        elif isinstance(s, OutputWrite):
+            lines.append(f"{pad}output() = {format_expr(s.value)};")
+        else:
+            lines.append(f"{pad}<?{type(s).__name__}?>")
+    return lines
+
+
+def format_kernel(kernel: KernelIR) -> str:
+    """Render a kernel IR as readable pseudo-code."""
+    head = [f"kernel {kernel.name} -> {kernel.pixel_type.name} {{"]
+    for a in kernel.accessors:
+        head.append(
+            f"  accessor {a.name}: {a.pixel_type.name}, "
+            f"boundary={a.boundary_mode}, window={a.window[0]}x{a.window[1]}")
+    for m in kernel.masks:
+        head.append(f"  mask {m.name}: {m.pixel_type.name}, "
+                    f"size={m.size[0]}x{m.size[1]}")
+    for p in kernel.params:
+        kind = "const" if p.baked else "param"
+        head.append(f"  {kind} {p.name}: {p.type.name} = {p.value}")
+    return "\n".join(head + format_body(kernel.body, 1) + ["}"])

@@ -1,0 +1,267 @@
+"""Type checking and inference over the kernel IR.
+
+Fills in the ``type`` slot of every expression, inserts implicit
+:class:`~repro.ir.nodes.Cast` nodes where C's usual arithmetic conversions
+would, and enforces structural rules:
+
+* locals are declared (via first assignment) before use;
+* loop variables are ``int`` and not reassigned in the loop body;
+* every control path that terminates the kernel performs exactly one
+  ``output()`` write — HIPAcc kernels produce one pixel per work-item;
+* Accessor/Mask reads refer to declared metadata objects.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..errors import TypeError_, VerificationError
+from ..intrinsics import intrinsic_result_type, resolve
+from ..types import BOOL, FLOAT, INT, ScalarType, promote
+from .nodes import (
+    AccessorRead,
+    Assign,
+    BinOp,
+    BoolConst,
+    Call,
+    Cast,
+    COMPARISON_OPS,
+    Expr,
+    FloatConst,
+    ForRange,
+    GidX,
+    GidY,
+    If,
+    IntConst,
+    KernelIR,
+    LOGICAL_OPS,
+    MaskRead,
+    OutputWrite,
+    Select,
+    Stmt,
+    UnOp,
+    VarDecl,
+    VarRef,
+)
+
+
+class _Scope:
+    """Lexically nested symbol table for kernel locals."""
+
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.vars: Dict[str, ScalarType] = {}
+        self.loop_vars: set = set()
+
+    def lookup(self, name: str) -> Optional[ScalarType]:
+        s: Optional[_Scope] = self
+        while s is not None:
+            if name in s.vars:
+                return s.vars[name]
+            s = s.parent
+        return None
+
+    def is_loop_var(self, name: str) -> bool:
+        s: Optional[_Scope] = self
+        while s is not None:
+            if name in s.loop_vars:
+                return True
+            s = s.parent
+        return False
+
+
+def _coerce(e: Expr, target: ScalarType) -> Expr:
+    """Insert a Cast unless *e* already has *target* type."""
+    if e.type == target:
+        return e
+    return Cast(target, e, type=target)
+
+
+class TypeChecker:
+    def __init__(self, kernel: KernelIR):
+        self.kernel = kernel
+        self.accessor_names = {a.name for a in kernel.accessors}
+        self.mask_names = {m.name for m in kernel.masks}
+
+    # -- expressions -------------------------------------------------------
+
+    def check_expr(self, e: Expr, scope: _Scope) -> Expr:
+        if isinstance(e, IntConst):
+            return dataclasses.replace(e, type=e.type or INT)
+        if isinstance(e, FloatConst):
+            return dataclasses.replace(e, type=e.type or FLOAT)
+        if isinstance(e, BoolConst):
+            return dataclasses.replace(e, type=BOOL)
+        if isinstance(e, (GidX, GidY)):
+            return dataclasses.replace(e, type=INT)
+        if isinstance(e, VarRef):
+            t = scope.lookup(e.name)
+            if t is None:
+                raise VerificationError(
+                    f"use of undeclared variable {e.name!r}")
+            return dataclasses.replace(e, type=t)
+        if isinstance(e, AccessorRead):
+            if e.accessor not in self.accessor_names:
+                raise VerificationError(
+                    f"kernel reads unknown accessor {e.accessor!r}")
+            dx = self.check_expr(e.dx, scope)
+            dy = self.check_expr(e.dy, scope)
+            for off, axis in ((dx, "x"), (dy, "y")):
+                if off.type is None or not off.type.is_integer:
+                    raise TypeError_(
+                        f"accessor {e.accessor!r}: {axis}-offset must be an "
+                        f"integer expression, got {off.type}")
+            pt = self.kernel.accessor(e.accessor).pixel_type
+            return dataclasses.replace(e, dx=dx, dy=dy, type=pt)
+        if isinstance(e, MaskRead):
+            if e.mask not in self.mask_names:
+                raise VerificationError(
+                    f"kernel reads unknown mask {e.mask!r}")
+            dx = self.check_expr(e.dx, scope)
+            dy = self.check_expr(e.dy, scope)
+            pt = self.kernel.mask(e.mask).pixel_type
+            return dataclasses.replace(e, dx=dx, dy=dy, type=pt)
+        if isinstance(e, UnOp):
+            operand = self.check_expr(e.operand, scope)
+            if e.op == "!":
+                return dataclasses.replace(
+                    e, operand=_coerce(operand, BOOL), type=BOOL)
+            if e.op == "~" and operand.type.is_float:
+                raise TypeError_("operator ~ requires an integer operand")
+            t = operand.type if e.op != "~" else operand.type
+            return dataclasses.replace(e, operand=operand, type=t)
+        if isinstance(e, BinOp):
+            lhs = self.check_expr(e.lhs, scope)
+            rhs = self.check_expr(e.rhs, scope)
+            if e.op in LOGICAL_OPS:
+                return dataclasses.replace(
+                    e, lhs=_coerce(lhs, BOOL), rhs=_coerce(rhs, BOOL),
+                    type=BOOL)
+            common = promote(lhs.type, rhs.type)
+            if e.op in ("%", "<<", ">>", "&", "|", "^") and common.is_float:
+                raise TypeError_(
+                    f"operator {e.op!r} requires integer operands, got "
+                    f"{lhs.type} and {rhs.type}")
+            lhs = _coerce(lhs, common)
+            rhs = _coerce(rhs, common)
+            result = BOOL if e.op in COMPARISON_OPS else common
+            return dataclasses.replace(e, lhs=lhs, rhs=rhs, type=result)
+        if isinstance(e, Call):
+            intr = resolve(e.func)
+            if len(e.args) != intr.arity:
+                raise TypeError_(
+                    f"{e.func} expects {intr.arity} argument(s), "
+                    f"got {len(e.args)}")
+            args = tuple(self.check_expr(a, scope) for a in e.args)
+            rt = intrinsic_result_type(intr.name, [a.type for a in args])
+            # float intrinsics coerce integer arguments
+            if rt.is_float:
+                args = tuple(
+                    _coerce(a, rt) if a.type.is_integer or a.type != rt
+                    else a
+                    for a in args)
+            return dataclasses.replace(e, func=intr.name, args=args, type=rt)
+        if isinstance(e, Cast):
+            operand = self.check_expr(e.operand, scope)
+            return dataclasses.replace(e, operand=operand, type=e.target)
+        if isinstance(e, Select):
+            cond = _coerce(self.check_expr(e.cond, scope), BOOL)
+            a = self.check_expr(e.if_true, scope)
+            b = self.check_expr(e.if_false, scope)
+            common = promote(a.type, b.type)
+            return dataclasses.replace(
+                e, cond=cond, if_true=_coerce(a, common),
+                if_false=_coerce(b, common), type=common)
+        raise VerificationError(f"unknown expression node {type(e).__name__}")
+
+    # -- statements --------------------------------------------------------
+
+    def check_body(self, body: List[Stmt], scope: _Scope) -> List[Stmt]:
+        out: List[Stmt] = []
+        for s in body:
+            out.append(self.check_stmt(s, scope))
+        return out
+
+    def check_stmt(self, s: Stmt, scope: _Scope) -> Stmt:
+        if isinstance(s, VarDecl):
+            init = self.check_expr(s.init, scope)
+            declared = s.type or init.type
+            if scope.lookup(s.name) is not None:
+                raise VerificationError(
+                    f"redeclaration of variable {s.name!r}")
+            scope.vars[s.name] = declared
+            return VarDecl(s.name, _coerce(init, declared), declared)
+        if isinstance(s, Assign):
+            t = scope.lookup(s.name)
+            if t is None:
+                raise VerificationError(
+                    f"assignment to undeclared variable {s.name!r}")
+            if scope.is_loop_var(s.name):
+                raise VerificationError(
+                    f"loop variable {s.name!r} may not be reassigned")
+            value = self.check_expr(s.value, scope)
+            return Assign(s.name, _coerce(value, t))
+        if isinstance(s, If):
+            cond = _coerce(self.check_expr(s.cond, scope), BOOL)
+            then_scope = _Scope(scope)
+            else_scope = _Scope(scope)
+            return If(cond, self.check_body(s.then_body, then_scope),
+                      self.check_body(s.else_body, else_scope))
+        if isinstance(s, ForRange):
+            start = self.check_expr(s.start, scope)
+            stop = self.check_expr(s.stop, scope)
+            step = self.check_expr(s.step, scope)
+            for bound, label in ((start, "start"), (stop, "stop"),
+                                 (step, "step")):
+                if not bound.type.is_integer:
+                    raise TypeError_(
+                        f"loop {label} bound must be integer, got "
+                        f"{bound.type}")
+            if scope.lookup(s.var) is not None:
+                raise VerificationError(
+                    f"loop variable {s.var!r} shadows an existing variable")
+            inner = _Scope(scope)
+            inner.vars[s.var] = INT
+            inner.loop_vars.add(s.var)
+            return ForRange(s.var, _coerce(start, INT), _coerce(stop, INT),
+                            _coerce(step, INT), self.check_body(s.body,
+                                                                inner))
+        if isinstance(s, OutputWrite):
+            value = self.check_expr(s.value, scope)
+            return OutputWrite(_coerce(value, self.kernel.pixel_type))
+        raise VerificationError(f"unknown statement node {type(s).__name__}")
+
+
+def _count_output_writes(body: List[Stmt]) -> int:
+    """Minimum number of output writes along any path would be ideal; we
+    verify the simpler HIPAcc rule: at least one write exists and writes do
+    not appear inside loops (each work-item writes its pixel once)."""
+    n = 0
+    for s in body:
+        if isinstance(s, OutputWrite):
+            n += 1
+        elif isinstance(s, If):
+            n += min(_count_output_writes(s.then_body),
+                     _count_output_writes(s.else_body))
+        elif isinstance(s, ForRange):
+            if _count_output_writes(s.body):
+                raise VerificationError(
+                    "output() may not be written inside a loop")
+    return n
+
+
+def typecheck_kernel(kernel: KernelIR) -> KernelIR:
+    """Return a fully-typed copy of *kernel* (see module docstring)."""
+    checker = TypeChecker(kernel)
+    scope = _Scope()
+    # Non-baked scalar parameters are in scope as read-only variables.
+    for p in kernel.params:
+        if not p.baked:
+            scope.vars[p.name] = p.type
+            scope.loop_vars.add(p.name)  # reuse: forbids reassignment
+    body = checker.check_body(kernel.body, scope)
+    if _count_output_writes(body) < 1:
+        raise VerificationError(
+            f"kernel {kernel.name!r} never writes output() on some path")
+    return dataclasses.replace(kernel, body=body)

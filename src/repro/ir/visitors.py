@@ -1,0 +1,121 @@
+"""Generic traversal and rewriting utilities over the kernel IR."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterator, List, Sequence
+
+from .nodes import (
+    Assign,
+    Expr,
+    ForRange,
+    If,
+    OutputWrite,
+    Stmt,
+    VarDecl,
+)
+
+
+def walk_exprs(e: Expr) -> Iterator[Expr]:
+    """Yield *e* and every sub-expression, pre-order."""
+    yield e
+    for c in e.children():
+        yield from walk_exprs(c)
+
+
+def walk_stmts(body: Sequence[Stmt]) -> Iterator[Stmt]:
+    """Yield every statement in *body*, recursing into nested bodies."""
+    for s in body:
+        yield s
+        if isinstance(s, If):
+            yield from walk_stmts(s.then_body)
+            yield from walk_stmts(s.else_body)
+        elif isinstance(s, ForRange):
+            yield from walk_stmts(s.body)
+
+
+def stmt_exprs(s: Stmt) -> Iterator[Expr]:
+    """Yield the expressions directly held by statement *s* (not nested
+    statements' expressions — combine with :func:`walk_stmts` for those)."""
+    if isinstance(s, VarDecl):
+        yield s.init
+    elif isinstance(s, Assign):
+        yield s.value
+    elif isinstance(s, If):
+        yield s.cond
+    elif isinstance(s, ForRange):
+        yield s.start
+        yield s.stop
+        yield s.step
+    elif isinstance(s, OutputWrite):
+        yield s.value
+
+
+def iter_all_exprs(body: Sequence[Stmt]) -> Iterator[Expr]:
+    """Yield every expression (including sub-expressions) in *body*."""
+    for s in walk_stmts(body):
+        for e in stmt_exprs(s):
+            yield from walk_exprs(e)
+
+
+class ExprTransformer:
+    """Bottom-up expression rewriter.
+
+    Subclasses override ``visit_<NodeName>`` methods; each receives a node
+    whose children have already been rewritten and returns a replacement
+    expression.  ``rewrite_body`` applies the transform to every expression
+    position in a statement list, rebuilding statements as needed.
+    """
+
+    def visit(self, e: Expr) -> Expr:
+        kids = e.children()
+        if kids:
+            new_kids = tuple(self.visit(c) for c in kids)
+            if any(n is not o for n, o in zip(new_kids, kids)):
+                e = e.with_children(*new_kids)
+        method = getattr(self, f"visit_{type(e).__name__}", None)
+        if method is not None:
+            return method(e)
+        return e
+
+    def rewrite_body(self, body: Sequence[Stmt]) -> List[Stmt]:
+        out: List[Stmt] = []
+        for s in body:
+            out.append(self.rewrite_stmt(s))
+        return out
+
+    def rewrite_stmt(self, s: Stmt) -> Stmt:
+        if isinstance(s, VarDecl):
+            return dataclasses.replace(s, init=self.visit(s.init))
+        if isinstance(s, Assign):
+            return dataclasses.replace(s, value=self.visit(s.value))
+        if isinstance(s, If):
+            return If(self.visit(s.cond), self.rewrite_body(s.then_body),
+                      self.rewrite_body(s.else_body))
+        if isinstance(s, ForRange):
+            return ForRange(s.var, self.visit(s.start), self.visit(s.stop),
+                            self.visit(s.step), self.rewrite_body(s.body))
+        if isinstance(s, OutputWrite):
+            return OutputWrite(self.visit(s.value))
+        return s
+
+
+class LambdaTransformer(ExprTransformer):
+    """ExprTransformer driven by a single ``fn(expr) -> expr`` callback
+    applied to every node bottom-up."""
+
+    def __init__(self, fn: Callable[[Expr], Expr]):
+        self._fn = fn
+
+    def visit(self, e: Expr) -> Expr:
+        kids = e.children()
+        if kids:
+            new_kids = tuple(self.visit(c) for c in kids)
+            if any(n is not o for n, o in zip(new_kids, kids)):
+                e = e.with_children(*new_kids)
+        return self._fn(e)
+
+
+def map_exprs(body: Sequence[Stmt], fn: Callable[[Expr], Expr]) -> List[Stmt]:
+    """Rewrite every expression in *body* with *fn* (bottom-up)."""
+    return LambdaTransformer(fn).rewrite_body(body)

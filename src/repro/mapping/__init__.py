@@ -1,0 +1,15 @@
+"""Device-specific mapping (paper Section V).
+
+* :mod:`repro.mapping.heuristic` — **Algorithm 2**: occupancy-driven kernel
+  configuration and 2-D tiling selection, minimising boundary-handling
+  threads when border code was generated.
+* :mod:`repro.mapping.explore` — exhaustive configuration exploration
+  (Section V-D, Figure 4).
+* :mod:`repro.mapping.optdb` — the optimization-selection database fed by
+  micro-benchmarks (Section V-B): texture path, scratchpad staging, memory
+  padding, constant-memory initialisation per device/backend.
+"""
+
+from .heuristic import SelectedConfig, candidate_configurations, select_configuration  # noqa: F401
+from .explore import ExplorationPoint, explore_configurations  # noqa: F401
+from .optdb import OptimizationDatabase, default_database  # noqa: F401

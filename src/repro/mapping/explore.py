@@ -1,0 +1,82 @@
+"""Configuration-space exploration (paper Section V-D, Figure 4).
+
+"Our source-to-source compiler can generate code that explores all possible
+configurations for a given kernel" — the generated variant replaces the
+dispatch constants by macros set at JIT time.  Here the exploration walks
+the same candidate set and evaluates each configuration with the timing
+model, returning the series Figure 4 plots (execution time vs. block size,
+multiple points per thread count = different tilings)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from ..backends.base import BorderMode, MaskMemory
+from ..dsl.boundary import Boundary
+from ..errors import LaunchError
+from ..hwmodel.device import DeviceSpec
+from ..ir.analysis import InstructionMix
+from ..sim.timing import LaunchSpec, estimate_time
+from .heuristic import candidate_configurations
+
+
+@dataclasses.dataclass(frozen=True)
+class ExplorationPoint:
+    """One explored configuration: Figure 4 plots ms against threads."""
+
+    block: Tuple[int, int]
+    threads: int
+    time_ms: float
+    occupancy: float
+
+
+def explore_configurations(device: DeviceSpec,
+                           mix: InstructionMix,
+                           width: int, height: int,
+                           window: Tuple[int, int],
+                           boundary_mode: Boundary = Boundary.CLAMP,
+                           backend: str = "cuda",
+                           border: BorderMode = BorderMode.SPECIALIZED,
+                           use_texture: bool = False,
+                           mask_memory: MaskMemory = MaskMemory.CONSTANT,
+                           regs_per_thread: int = 20,
+                           smem_per_block: int = 0
+                           ) -> List[ExplorationPoint]:
+    """Evaluate every legal configuration; sorted by thread count then y."""
+    points: List[ExplorationPoint] = []
+    for cand in candidate_configurations(device, regs_per_thread,
+                                         smem_per_block):
+        spec = LaunchSpec(
+            device=device,
+            backend=backend,
+            width=width,
+            height=height,
+            block=cand.block,
+            window=window,
+            mix=mix,
+            boundary_mode=boundary_mode,
+            border=border,
+            use_texture=use_texture,
+            mask_memory=mask_memory,
+            regs_per_thread=regs_per_thread,
+            smem_bytes_per_block=smem_per_block,
+        )
+        try:
+            t = estimate_time(spec)
+        except LaunchError:
+            continue
+        points.append(ExplorationPoint(
+            block=cand.block,
+            threads=cand.threads,
+            time_ms=t.total_ms,
+            occupancy=t.occupancy,
+        ))
+    points.sort(key=lambda p: (p.threads, p.block[1]))
+    return points
+
+
+def best_point(points: List[ExplorationPoint]) -> ExplorationPoint:
+    if not points:
+        raise LaunchError("no configuration could be explored")
+    return min(points, key=lambda p: p.time_ms)

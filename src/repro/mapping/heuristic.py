@@ -1,0 +1,168 @@
+"""Algorithm 2: automatic kernel configuration and tiling selection.
+
+Direct transcription of the paper's heuristic:
+
+1. keep configurations whose thread count is a multiple of the SIMD width
+   (coalesced accesses) and within the device's resource limits;
+2. sort by descending occupancy, ascending thread count;
+3. *without* border handling: take the top configuration, tile preferring
+   the x-dimension (1-D blocks like 128x1, "typically selected by expert
+   programmers");
+4. *with* border handling: among the highest-occupancy configurations, pick
+   the tiling (preferring y, x pinned near the SIMD width) that minimises
+   the number of threads executing boundary-handling conditionals — e.g.
+   prefer 32x6 over 32x4 for a 13x13 window.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from ..backends.border import border_thread_count
+from ..errors import MappingError
+from ..hwmodel.device import DeviceSpec
+from ..hwmodel.occupancy import Occupancy, compute_occupancy
+
+
+@dataclasses.dataclass(frozen=True)
+class Candidate:
+    """One legal (block, occupancy) pair."""
+
+    block: Tuple[int, int]
+    occupancy: Occupancy
+
+    @property
+    def threads(self) -> int:
+        return self.block[0] * self.block[1]
+
+
+@dataclasses.dataclass(frozen=True)
+class SelectedConfig:
+    """Heuristic output: the launch configuration for one kernel."""
+
+    block: Tuple[int, int]
+    occupancy: float
+    boundary_threads: Optional[int] = None
+    considered: int = 0
+
+
+def _tilings(total: int, device: DeviceSpec) -> List[Tuple[int, int]]:
+    """All 2-D factorisations of *total* threads with power-of-two x."""
+    out = []
+    bx = 8
+    while bx <= total:
+        if total % bx == 0:
+            by = total // bx
+            if device.valid_block(bx, by):
+                out.append((bx, by))
+        bx *= 2
+    return out
+
+
+def candidate_configurations(device: DeviceSpec, regs_per_thread: int,
+                             smem_per_block: int = 0,
+                             include_tilings: bool = True
+                             ) -> List[Candidate]:
+    """Enumerate legal configurations (Algorithm 2 lines 1-3).
+
+    Thread totals run over multiples of the SIMD width; per total, all
+    power-of-two-x tilings (or just the 1-D shape when *include_tilings* is
+    off).  Configurations that cannot launch are dropped — these are
+    exactly the ones the paper says "will not run on a second device at
+    all".
+    """
+    candidates: List[Candidate] = []
+    seen = set()
+    total = device.simd_width
+    while total <= device.max_threads_per_block:
+        shapes = _tilings(total, device) if include_tilings else \
+            ([(total, 1)] if device.valid_block(total, 1) else [])
+        for block in shapes:
+            if block in seen:
+                continue
+            seen.add(block)
+            try:
+                occ = compute_occupancy(device, block[0], block[1],
+                                        regs_per_thread, smem_per_block)
+            except MappingError:
+                continue
+            candidates.append(Candidate(block, occ))
+        total += device.simd_width
+    if not candidates:
+        raise MappingError(
+            f"no legal kernel configuration on {device.name} for "
+            f"{regs_per_thread} regs/thread, {smem_per_block} B smem")
+    candidates.sort(key=lambda c: (-c.occupancy.occupancy, c.threads))
+    return candidates
+
+
+def _prefer_axis(candidates: List[Candidate], total: int,
+                 prefer_y: bool, device: DeviceSpec) -> Tuple[int, int]:
+    """Tiling of *total* threads preferring one axis (Algorithm 2 lines
+    6/20): x-preferred gives 1-D rows (128x1); y-preferred pins x at the
+    SIMD width (32x6 style) to keep coalescing while shrinking the border
+    column count."""
+    if not prefer_y:
+        if device.valid_block(total, 1):
+            return (total, 1)
+        # fall back to widest legal x
+        bx = total
+        while bx > 1 and not device.valid_block(bx, total // bx):
+            bx //= 2
+        return (bx, total // bx)
+    bx = min(device.simd_width, total)
+    while total % bx != 0 and bx > 1:
+        bx //= 2
+    return (bx, total // bx)
+
+
+def select_configuration(device: DeviceSpec, regs_per_thread: int,
+                         smem_per_block: int = 0,
+                         border_handling: bool = False,
+                         image_size: Optional[Tuple[int, int]] = None,
+                         window: Tuple[int, int] = (1, 1)
+                         ) -> SelectedConfig:
+    """Run Algorithm 2 and return the chosen configuration + tiling."""
+    candidates = candidate_configurations(device, regs_per_thread,
+                                          smem_per_block)
+
+    if not border_handling or image_size is None:
+        best = candidates[0]
+        block = _prefer_axis(candidates, best.threads, prefer_y=False,
+                             device=device)
+        try:
+            occ = compute_occupancy(device, block[0], block[1],
+                                    regs_per_thread, smem_per_block)
+        except MappingError:
+            block, occ = best.block, best.occupancy
+        return SelectedConfig(block=block, occupancy=occ.occupancy,
+                              considered=len(candidates))
+
+    width, height = image_size
+    top_occ = candidates[0].occupancy.occupancy
+    top = [c for c in candidates
+           if c.occupancy.occupancy >= top_occ - 1e-9]
+
+    # line 5-7: initial choice = first configuration, y-preferred tiling
+    best_block = _prefer_axis(candidates, candidates[0].threads,
+                              prefer_y=True, device=device)
+    best_bh = border_thread_count(width, height, best_block, window)
+    best_occ = candidates[0].occupancy.occupancy
+
+    # lines 8-17: among the highest-occupancy candidates, minimise the
+    # boundary-handling thread count
+    seen_totals = set()
+    for cand in top:
+        if cand.threads in seen_totals:
+            continue
+        seen_totals.add(cand.threads)
+        block = _prefer_axis(candidates, cand.threads, prefer_y=True,
+                             device=device)
+        bh = border_thread_count(width, height, block, window)
+        if bh < best_bh:
+            best_block, best_bh = block, bh
+            best_occ = cand.occupancy.occupancy
+    return SelectedConfig(block=best_block, occupancy=best_occ,
+                          boundary_threads=best_bh,
+                          considered=len(candidates))

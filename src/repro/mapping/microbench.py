@@ -1,0 +1,98 @@
+"""Micro-benchmarks populating the optimization-selection database.
+
+The paper bases its decisions "on our own micro-benchmarks for typical
+kernel candidates from the medical domain as well as on other
+micro-benchmarks available online" [8], [9].  We regenerate that knowledge
+against the simulated devices: for each (device, backend) pair, time a
+representative local operator with/without the texture path and with/without
+scratchpad staging and record which wins.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..backends.base import BorderMode, MaskMemory
+from ..dsl.boundary import Boundary
+from ..errors import LaunchError
+from ..hwmodel.database import DEVICES
+from ..hwmodel.device import DeviceSpec
+from ..ir.analysis import InstructionMix
+from ..sim.timing import LaunchSpec, estimate_time
+from .optdb import OptimizationDatabase, OptimizationEntry
+
+#: representative medical-domain local operator: 5x5 convolution,
+#: memory-heavy, modest compute (Gaussian-like)
+_BENCH_WINDOW: Tuple[int, int] = (5, 5)
+_BENCH_SIZE = (2048, 2048)
+
+
+def _bench_mix(window: Tuple[int, int]) -> InstructionMix:
+    taps = window[0] * window[1]
+    return InstructionMix(
+        alu=8.0 * taps,
+        sfu=0.0,
+        global_reads=float(taps),
+        mask_reads=float(taps),
+        branches=2.0 * window[1],
+        reads_by_accessor={"input": float(taps)},
+    )
+
+
+def _variant_ms(device: DeviceSpec, backend: str, use_texture: bool,
+                use_smem: bool, block=(128, 1)) -> float:
+    mix = _bench_mix(_BENCH_WINDOW)
+    smem_bytes = 0
+    if use_smem:
+        bx, by = block
+        wx, wy = _BENCH_WINDOW
+        smem_bytes = (by + wy - 1) * (bx + wx - 1 + 1) * 4
+    spec = LaunchSpec(
+        device=device,
+        backend=backend,
+        width=_BENCH_SIZE[0],
+        height=_BENCH_SIZE[1],
+        block=block,
+        window=_BENCH_WINDOW,
+        mix=mix,
+        boundary_mode=Boundary.CLAMP,
+        border=BorderMode.SPECIALIZED,
+        use_texture=use_texture,
+        use_smem=use_smem,
+        mask_memory=MaskMemory.CONSTANT,
+        smem_bytes_per_block=smem_bytes,
+    )
+    return estimate_time(spec).total_ms
+
+
+def benchmark_device(device: DeviceSpec,
+                     backend: str) -> OptimizationEntry:
+    """Run the micro-benchmark suite for one (device, backend) pair."""
+    base = _variant_ms(device, backend, use_texture=False, use_smem=False)
+    tex = _variant_ms(device, backend, use_texture=True, use_smem=False)
+    try:
+        smem = _variant_ms(device, backend, use_texture=False,
+                           use_smem=True)
+    except LaunchError:
+        smem = float("inf")
+    return OptimizationEntry(
+        device=device.name,
+        backend=backend,
+        padding_bytes=device.memory.coalesce_segment,
+        texture_beneficial=tex < base * 0.995,
+        smem_beneficial=smem < min(base, tex) * 0.995,
+        constant_mask_static=True,   # static wins whenever masks are known
+    )
+
+
+def build_database() -> OptimizationDatabase:
+    """Benchmark every device in the hardware database."""
+    db = OptimizationDatabase()
+    for device in DEVICES.values():
+        backends = ["cuda", "opencl"] if device.vendor == "NVIDIA" \
+            else ["opencl"]
+        for backend in backends:
+            if not device.supports_backend(backend):
+                continue
+            db.add(benchmark_device(device, backend))
+    return db

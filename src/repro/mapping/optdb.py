@@ -1,0 +1,76 @@
+"""Optimization-selection database (paper Section V-B).
+
+"The knowledge we get from our micro-benchmarks ... are stored in a
+database that is utilized by the source-to-source compiler to decide what
+optimization should be applied for which a) target hardware and b) backend.
+This includes the amount of padding required for optimal memory bandwidth
+utilization, whether texture memory is beneficial, or whether constant
+memory should be initialized statically or dynamically."
+
+:func:`default_database` builds the table by *running* the micro-benchmarks
+in :mod:`repro.mapping.microbench` against the simulated devices — the same
+way the authors populated theirs against silicon.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from ..hwmodel.database import DEVICES
+from ..hwmodel.device import DeviceSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class OptimizationEntry:
+    """Per (device, backend) optimization decisions."""
+
+    device: str
+    backend: str
+    padding_bytes: int            # global-memory row alignment
+    texture_beneficial: bool      # read through texture/image path?
+    smem_beneficial: bool         # stage local-operator tiles?
+    constant_mask_static: bool    # statically initialised constant memory
+
+
+class OptimizationDatabase:
+    """Lookup table consulted during compilation."""
+
+    def __init__(self):
+        self._entries: Dict[Tuple[str, str], OptimizationEntry] = {}
+
+    def add(self, entry: OptimizationEntry) -> None:
+        self._entries[(entry.device, entry.backend)] = entry
+
+    def lookup(self, device: DeviceSpec,
+               backend: str) -> Optional[OptimizationEntry]:
+        entry = self._entries.get((device.name, backend))
+        if entry is not None:
+            return entry
+        # fall back to any same-architecture entry
+        for (name, be), e in self._entries.items():
+            if be != backend:
+                continue
+            other = DEVICES.get(name)
+            if other is not None and other.architecture == \
+                    device.architecture:
+                return e
+        return None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self):
+        return list(self._entries.values())
+
+
+_default: Optional[OptimizationDatabase] = None
+
+
+def default_database(rebuild: bool = False) -> OptimizationDatabase:
+    """The database populated by the built-in micro-benchmarks (cached)."""
+    global _default
+    if _default is None or rebuild:
+        from .microbench import build_database
+        _default = build_database()
+    return _default

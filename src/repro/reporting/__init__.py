@@ -1,0 +1,8 @@
+"""Table rendering for paper-vs-model comparison reports."""
+
+from .tables import (  # noqa: F401
+    format_cell,
+    format_comparison_table,
+    format_table,
+    shape_check,
+)

@@ -1,0 +1,101 @@
+"""Render evaluation tables, optionally side-by-side with paper values."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Union
+
+Cell = Union[float, str]
+
+
+def format_cell(value: Cell, digits: int = 2) -> str:
+    if isinstance(value, (int, float)):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def format_table(table: Dict[str, Dict[str, Cell]],
+                 modes: Sequence[str],
+                 title: str = "",
+                 digits: int = 2) -> str:
+    """Render {variant -> {mode -> cell}} as an aligned text table."""
+    name_w = max([len(n) for n in table] + [10])
+    col_w = max([len(m) for m in modes] + [10]) + 2
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " " * name_w + "".join(f"{m:>{col_w}}" for m in modes)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, row in table.items():
+        cells = "".join(f"{format_cell(row.get(m, ''), digits):>{col_w}}"
+                        for m in modes)
+        lines.append(f"{name:<{name_w}}{cells}")
+    return "\n".join(lines)
+
+
+def format_comparison_table(model: Dict[str, Dict[str, Cell]],
+                            paper: Dict[str, List[Cell]],
+                            modes: Sequence[str],
+                            title: str = "") -> str:
+    """Side-by-side "model/paper" table (rows restricted to paper rows)."""
+    name_w = max([len(n) for n in paper] + [10])
+    col_w = max([len(m) for m in modes] + [8]) + 10
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " " * name_w + "".join(f"{m:>{col_w}}" for m in modes)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, paper_cells in paper.items():
+        row = model.get(name)
+        cells = []
+        for i, mode in enumerate(modes):
+            mv = row.get(mode, "?") if row else "?"
+            pv = paper_cells[i] if i < len(paper_cells) else "?"
+            cells.append(f"{format_cell(mv, 0)}/{format_cell(pv, 0)}")
+        lines.append(f"{name:<{name_w}}"
+                     + "".join(f"{c:>{col_w}}" for c in cells))
+    lines.append("(each cell: modelled ms / paper ms; markers as published)")
+    return "\n".join(lines)
+
+
+def shape_check(name: str, condition: bool,
+                detail: str = "") -> str:
+    """One-line pass/fail record for a qualitative shape claim."""
+    status = "PASS" if condition else "FAIL"
+    suffix = f" — {detail}" if detail else ""
+    return f"[{status}] {name}{suffix}"
+
+
+def relative_errors(model: Dict[str, Dict[str, Cell]],
+                    paper: Dict[str, List[Cell]],
+                    modes: Sequence[str]) -> List[float]:
+    """Per-cell |model-paper|/paper for numeric cells present in both."""
+    errs: List[float] = []
+    for name, cells in paper.items():
+        row = model.get(name)
+        if row is None:
+            continue
+        for i, mode in enumerate(modes):
+            mv = row.get(mode)
+            pv = cells[i] if i < len(cells) else None
+            if isinstance(mv, (int, float)) and isinstance(pv, (int, float)):
+                errs.append(abs(mv - pv) / pv)
+    return errs
+
+
+def marker_agreement(model: Dict[str, Dict[str, Cell]],
+                     paper: Dict[str, List[Cell]],
+                     modes: Sequence[str]) -> Iterable[str]:
+    """Yield mismatch descriptions where crash/n-a markers disagree."""
+    for name, cells in paper.items():
+        row = model.get(name)
+        if row is None:
+            continue
+        for i, mode in enumerate(modes):
+            mv = row.get(mode)
+            pv = cells[i] if i < len(cells) else None
+            m_marker = mv if isinstance(mv, str) else None
+            p_marker = pv if isinstance(pv, str) else None
+            if m_marker != p_marker:
+                yield (f"{name}/{mode}: model={mv!r} paper={pv!r}")

@@ -1,0 +1,10 @@
+"""Compilation driver and compiled-kernel runtime.
+
+:func:`compile_kernel` runs the full HIPAcc pipeline — parse, type check,
+IR optimization, resource estimation, Algorithm-2 configuration selection,
+code generation — and returns a :class:`CompiledKernel` that can execute on
+the simulated device and report modelled timing.
+"""
+
+from .compile import compile_kernel  # noqa: F401
+from .program import CompiledKernel, ExecutionReport  # noqa: F401

@@ -1,0 +1,174 @@
+"""The compilation driver — the ``hipacc`` compiler invocation.
+
+Pipeline (paper Sections IV-V):
+
+1. parse the kernel body (Clang stand-in: Python ``ast``) and type check;
+2. apply IR optimizations (constant propagation, optional unrolling);
+3. consult the optimization-selection database for the target
+   (texture path, scratchpad staging, padding) unless overridden;
+4. generate code once with default dispatch constants, estimate resource
+   usage (the nvcc stand-in);
+5. run Algorithm 2 to select block configuration and tiling;
+6. regenerate the final code for the selected configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from ..backends.base import (
+    BorderMode,
+    CodegenOptions,
+    MaskMemory,
+    generate,
+)
+from ..dsl.boundary import Boundary
+from ..dsl.kernel import Kernel
+from ..errors import DslError
+from ..frontend.parser import accessor_objects, parse_kernel
+from ..hwmodel.database import get_device
+from ..hwmodel.device import DeviceSpec
+from ..hwmodel.resources import estimate_resources, smem_tile_bytes
+from ..ir.typecheck import typecheck_kernel
+from ..mapping.heuristic import select_configuration
+from ..mapping.optdb import default_database
+from .program import CompiledKernel
+
+_DEFAULT_DEVICE = {"cuda": "Tesla C2050", "opencl": "Tesla C2050"}
+
+
+def _resolve_device(device: Union[None, str, DeviceSpec],
+                    backend: str) -> DeviceSpec:
+    if isinstance(device, DeviceSpec):
+        return device
+    if device is None:
+        device = _DEFAULT_DEVICE[backend]
+    return get_device(device)
+
+
+def _max_window(ir) -> Tuple[int, int]:
+    wx = wy = 1
+    for acc in ir.accessors:
+        wx = max(wx, acc.window[0])
+        wy = max(wy, acc.window[1])
+    for mask in ir.masks:
+        wx = max(wx, mask.size[0])
+        wy = max(wy, mask.size[1])
+    return (wx, wy)
+
+
+def compile_kernel(kernel: Kernel,
+                   backend: str = "cuda",
+                   device: Union[None, str, DeviceSpec] = None,
+                   block: Optional[Tuple[int, int]] = None,
+                   border: Union[str, BorderMode, None] = None,
+                   use_texture: Optional[bool] = None,
+                   use_smem: Optional[bool] = None,
+                   mask_memory: Union[str, MaskMemory] = MaskMemory.CONSTANT,
+                   unroll: bool = False,
+                   fold_constants: bool = True,
+                   fast_math: bool = False,
+                   emit_config_macros: bool = False,
+                   vectorize: int = 1,
+                   pixels_per_thread: int = 1,
+                   bake_params: bool = True) -> CompiledKernel:
+    """Compile *kernel* for *backend*/*device* (see module docstring).
+
+    Parameters left ``None`` are decided by the optimization database
+    (texture, scratchpad) or Algorithm 2 (block configuration).
+    """
+    if not isinstance(kernel, Kernel):
+        raise DslError("compile_kernel expects a Kernel instance")
+    dev = _resolve_device(device, backend)
+    if not dev.supports_backend(backend):
+        raise DslError(
+            f"{dev.name} does not support the {backend} backend")
+
+    ir = typecheck_kernel(parse_kernel(kernel, bake_params=bake_params))
+    window = _max_window(ir)
+    geometry = (kernel.iteration_space.width, kernel.iteration_space.height)
+
+    # optimization database decisions (Section V-B)
+    entry = default_database().lookup(dev, backend)
+    if use_texture is None:
+        use_texture = bool(entry.texture_beneficial) if entry else False
+        if vectorize > 1:
+            use_texture = False   # vloadN needs buffers, not images
+    if use_smem is None:
+        use_smem = bool(entry.smem_beneficial) if entry else False
+        if vectorize > 1:
+            use_smem = False
+
+    if border is None:
+        has_bh = any(Boundary(a.boundary_mode) != Boundary.UNDEFINED
+                     for a in ir.accessors)
+        border_mode = BorderMode.SPECIALIZED if has_bh else BorderMode.NONE
+    elif isinstance(border, BorderMode):
+        border_mode = border
+    else:
+        border_mode = BorderMode(border)
+    if isinstance(mask_memory, str):
+        mask_memory = MaskMemory(mask_memory)
+
+    options = CodegenOptions(
+        backend=backend,
+        use_texture=use_texture,
+        border=border_mode,
+        use_smem=use_smem,
+        mask_memory=mask_memory,
+        block=block or (128, 1),
+        unroll=unroll,
+        fold_constants=fold_constants,
+        fast_math=fast_math,
+        emit_config_macros=emit_config_macros,
+        vectorize=vectorize,
+        pixels_per_thread=pixels_per_thread,
+    )
+
+    # first pass: default configuration, to learn resource usage
+    provisional = generate(ir, options, launch_geometry=geometry)
+    smem_bytes = provisional.smem_bytes
+    resources = estimate_resources(
+        ir, dev,
+        use_texture=use_texture,
+        use_smem=use_smem,
+        border_variants=provisional.num_variants,
+        smem_bytes=smem_bytes,
+        unrolled=unroll,
+    )
+
+    selected_occ = 0.0
+    if block is None:
+        # Algorithm 2
+        if use_smem:
+            # staging tile size depends on the block; pass the default
+            # block's demand as the constraint
+            smem_for_select = smem_tile_bytes(options.block, window, 4)
+        else:
+            smem_for_select = 0
+        selection = select_configuration(
+            dev, resources.registers_per_thread, smem_for_select,
+            border_handling=(border_mode == BorderMode.SPECIALIZED
+                             and window != (1, 1)),
+            image_size=geometry,
+            window=window,
+        )
+        options.block = selection.block
+        selected_occ = selection.occupancy
+        # regenerate with the final configuration (the paper regenerates
+        # because the dispatch constants depend on the tiling)
+        final = generate(ir, options, launch_geometry=geometry)
+    else:
+        final = provisional
+
+    return CompiledKernel(
+        ir=ir,
+        source=final,
+        options=options,
+        device=dev,
+        resources=resources,
+        accessors=accessor_objects(kernel),
+        iteration_space=kernel.iteration_space,
+        window=window,
+        selected_occupancy=selected_occ,
+    )

@@ -1,0 +1,119 @@
+"""CompiledKernel: the artifact :func:`repro.runtime.compile_kernel`
+produces — generated sources, selected configuration, resource usage, and
+handles to execute on the simulator or query the timing model."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..backends.base import CodegenOptions, KernelSource
+from ..dsl.accessor import Accessor
+from ..dsl.boundary import Boundary
+from ..dsl.iteration_space import IterationSpace
+from ..hwmodel.device import DeviceSpec
+from ..hwmodel.resources import ResourceUsage
+from ..ir.nodes import KernelIR
+from ..sim.launch import LaunchResult, simulate_launch
+from ..sim.timing import LaunchSpec, TimingBreakdown, estimate_time
+
+
+@dataclasses.dataclass
+class ExecutionReport:
+    """Result of one simulated execution."""
+
+    launch: LaunchResult
+    timing: TimingBreakdown
+    output: np.ndarray
+
+    @property
+    def time_ms(self) -> float:
+        return self.timing.total_ms
+
+
+@dataclasses.dataclass
+class CompiledKernel:
+    """A kernel after the full compilation pipeline."""
+
+    ir: KernelIR
+    source: KernelSource
+    options: CodegenOptions
+    device: DeviceSpec
+    resources: ResourceUsage
+    accessors: Dict[str, Accessor]
+    iteration_space: IterationSpace
+    window: Tuple[int, int]
+    selected_occupancy: float = 0.0
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def cuda_code(self) -> str:
+        if self.source.backend != "cuda":
+            raise ValueError("kernel was compiled for OpenCL")
+        return self.source.device_code
+
+    @property
+    def opencl_code(self) -> str:
+        if self.source.backend != "opencl":
+            raise ValueError("kernel was compiled for CUDA")
+        return self.source.device_code
+
+    @property
+    def device_code(self) -> str:
+        return self.source.device_code
+
+    @property
+    def host_code(self) -> str:
+        return self.source.host_code
+
+    def dominant_boundary_mode(self) -> Boundary:
+        for acc in self.ir.accessors:
+            mode = Boundary(acc.boundary_mode)
+            if mode != Boundary.UNDEFINED:
+                return mode
+        return Boundary.UNDEFINED
+
+    def launch_spec(self, **overrides) -> LaunchSpec:
+        spec = LaunchSpec.from_options(
+            device=self.device,
+            options=self.options,
+            width=self.iteration_space.width,
+            height=self.iteration_space.height,
+            window=self.window,
+            mix=self.resources.instruction_mix,
+            boundary_mode=self.dominant_boundary_mode(),
+            regs_per_thread=self.resources.registers_per_thread,
+            smem_bytes_per_block=self.source.smem_bytes,
+        )
+        for key, value in overrides.items():
+            setattr(spec, key, value)
+        return spec
+
+    # -- actions ---------------------------------------------------------------
+
+    def estimate_time(self, **overrides) -> TimingBreakdown:
+        """Modelled execution time on the target device."""
+        return estimate_time(self.launch_spec(**overrides))
+
+    def execute(self) -> ExecutionReport:
+        """Run functionally on the simulated device and attach timing.
+
+        The output lands in the iteration space's image (as the C++
+        framework's ``execute()`` would leave it on the device).
+        """
+        launch = simulate_launch(
+            self.ir, self.accessors, self.iteration_space, self.options,
+            self.device,
+            regs_per_thread=self.resources.registers_per_thread,
+            smem_per_block=self.source.smem_bytes,
+        )
+        timing = self.estimate_time()
+        launch.estimated_ms = timing.total_ms
+        return ExecutionReport(
+            launch=launch,
+            timing=timing,
+            output=self.iteration_space.image.get_data(),
+        )

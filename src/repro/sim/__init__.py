@@ -1,0 +1,23 @@
+"""Simulated GPU substrate.
+
+The evaluation hardware of the paper (Tesla C2050, Quadro FX 5800, Radeon
+HD 5870/6970) is not available here, so this package provides:
+
+* a **functional executor** (:mod:`repro.sim.executor`) that evaluates the
+  kernel IR over the iteration space exactly as the generated device code
+  would — including the nine-region boundary specialisation, which
+  :mod:`repro.sim.launch` drives block-accurately from the same
+  :mod:`repro.backends.border` region math the code generators use;
+* a **scalar reference interpreter** (:mod:`repro.sim.reference`) used to
+  cross-validate the vectorised executor;
+* an **analytical timing model** (:mod:`repro.sim.timing`) expressing the
+  mechanisms the paper credits for its results: memory coalescing, texture
+  cache reuse, constant-memory broadcast, per-access boundary conditionals
+  vs. region specialisation, occupancy-based latency hiding, and kernel
+  launch overhead.
+"""
+
+from .executor import evaluate_body, execute_pixels  # noqa: F401
+from .launch import LaunchResult, simulate_launch  # noqa: F401
+from .reference import execute_reference  # noqa: F401
+from .timing import LaunchSpec, TimingBreakdown, estimate_time  # noqa: F401

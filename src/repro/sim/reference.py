@@ -1,0 +1,38 @@
+"""Scalar reference interpreter.
+
+Executes a kernel one pixel at a time with plain Python floats/ints and the
+full (both-side) boundary handling — deliberately the dumbest possible
+implementation, used to cross-validate the vectorised executor and the
+region-specialised launch path on small images.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..dsl.accessor import Accessor
+from ..backends.border import Side
+from ..ir.nodes import KernelIR
+from .executor import evaluate_body
+
+
+def execute_reference(kernel: KernelIR, accessors: Dict[str, Accessor],
+                      width: int, height: int,
+                      offset_x: int = 0, offset_y: int = 0,
+                      faults_on_oob: bool = False) -> np.ndarray:
+    """Run *kernel* over a width x height iteration space pixel-by-pixel.
+
+    Returns the output array (height x width).  Quadratic in image size —
+    only use on small images in tests.
+    """
+    out = np.zeros((height, width), dtype=kernel.pixel_type.np_dtype)
+    for y in range(height):
+        for x in range(width):
+            gx = np.array([x + offset_x])
+            gy = np.array([y + offset_y])
+            value = evaluate_body(kernel, accessors, gx, gy,
+                                  Side.BOTH, Side.BOTH, faults_on_oob)
+            out[y, x] = value[0]
+    return out

@@ -1,0 +1,134 @@
+"""Scalar pixel/value types shared by the DSL, the IR and the backends.
+
+HIPAcc images are templated C++ classes (``Image<float>``); here a
+:class:`ScalarType` carries the C name for each backend, the matching NumPy
+dtype used by the simulator, and enough metadata (size, signedness,
+floatness) for type inference in the frontend.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Union
+
+import numpy as np
+
+from .errors import TypeError_
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalarType:
+    """A scalar element type usable for pixels, masks and kernel locals."""
+
+    name: str              # canonical name used in diagnostics ("float")
+    cuda_name: str         # spelling in CUDA C ("float")
+    opencl_name: str       # spelling in OpenCL C ("float")
+    np_dtype: np.dtype     # simulator representation
+    size: int              # bytes per element
+    is_float: bool
+    is_signed: bool
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    @property
+    def is_integer(self) -> bool:
+        return not self.is_float
+
+
+def _t(name, cuda, ocl, dtype, size, is_float, is_signed) -> ScalarType:
+    return ScalarType(name, cuda, ocl, np.dtype(dtype), size, is_float,
+                      is_signed)
+
+
+UCHAR = _t("uchar", "unsigned char", "uchar", np.uint8, 1, False, False)
+CHAR = _t("char", "char", "char", np.int8, 1, False, True)
+USHORT = _t("ushort", "unsigned short", "ushort", np.uint16, 2, False, False)
+SHORT = _t("short", "short", "short", np.int16, 2, False, True)
+UINT = _t("uint", "unsigned int", "uint", np.uint32, 4, False, False)
+INT = _t("int", "int", "int", np.int32, 4, False, True)
+FLOAT = _t("float", "float", "float", np.float32, 4, True, True)
+DOUBLE = _t("double", "double", "double", np.float64, 8, True, True)
+BOOL = _t("bool", "bool", "bool", np.bool_, 1, False, False)
+
+#: All types addressable by name (e.g. from the DSL: ``Image(w, h, "float")``).
+SCALAR_TYPES = {
+    t.name: t
+    for t in (UCHAR, CHAR, USHORT, SHORT, UINT, INT, FLOAT, DOUBLE, BOOL)
+}
+
+#: Python-level aliases accepted wherever a ScalarType is expected.
+_PY_ALIASES = {
+    float: FLOAT,
+    int: INT,
+    bool: BOOL,
+    "float32": FLOAT,
+    "float64": DOUBLE,
+    "int32": INT,
+    "uint32": UINT,
+    "int16": SHORT,
+    "uint16": USHORT,
+    "int8": CHAR,
+    "uint8": UCHAR,
+}
+
+TypeLike = Union[ScalarType, str, type]
+
+
+def as_scalar_type(t: TypeLike) -> ScalarType:
+    """Coerce a user-supplied type spec into a :class:`ScalarType`.
+
+    Accepts ScalarType instances, canonical/NumPy-style names ("float",
+    "uint8"), Python builtins (``float``, ``int``, ``bool``) and NumPy dtypes.
+    """
+    if isinstance(t, ScalarType):
+        return t
+    if isinstance(t, str):
+        if t in SCALAR_TYPES:
+            return SCALAR_TYPES[t]
+        if t in _PY_ALIASES:
+            return _PY_ALIASES[t]
+        raise TypeError_(f"unknown scalar type name: {t!r}")
+    if isinstance(t, type) and t in _PY_ALIASES:
+        return _PY_ALIASES[t]
+    try:
+        dt = np.dtype(t)
+    except Exception:
+        raise TypeError_(f"cannot interpret {t!r} as a scalar type") from None
+    for st in SCALAR_TYPES.values():
+        if st.np_dtype == dt:
+            return st
+    raise TypeError_(f"no scalar type matches dtype {dt}")
+
+
+# Promotion lattice, C-style: bool < integers (by size, unsigned wins ties)
+# < float < double.  Small integers promote to int first, like C.
+_RANK = {
+    BOOL.name: 0,
+    CHAR.name: 1, UCHAR.name: 1,
+    SHORT.name: 2, USHORT.name: 2,
+    INT.name: 3, UINT.name: 3,
+    FLOAT.name: 4,
+    DOUBLE.name: 5,
+}
+
+
+def promote(a: ScalarType, b: ScalarType) -> ScalarType:
+    """Usual-arithmetic-conversion result type of a binary op on *a*, *b*."""
+    if a == b:
+        if _RANK[a.name] < _RANK[INT.name]:
+            return INT  # integer promotion of sub-int types
+        return a
+    ra, rb = _RANK[a.name], _RANK[b.name]
+    hi = a if ra >= rb else b
+    lo = b if ra >= rb else a
+    if hi.is_float:
+        return hi
+    # integer/integer: promote both to at least int; unsigned wins at equal
+    # rank (C semantics, relevant for index arithmetic in generated code).
+    if max(ra, rb) < _RANK[INT.name]:
+        return INT
+    if ra == rb and (not a.is_signed or not b.is_signed):
+        return a if not a.is_signed else b
+    del lo
+    return hi if _RANK[hi.name] >= _RANK[INT.name] else INT

@@ -1,0 +1,332 @@
+"""Structural checks on generated CUDA and OpenCL source."""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro import Boundary, BorderMode, CodegenOptions, MaskMemory
+from repro.backends import generate
+from repro.errors import CodegenError
+from repro.frontend import parse_kernel
+from repro.ir import typecheck_kernel
+
+from .helpers import (
+    AddUniform,
+    CopyKernel,
+    IterationSpace,
+    MaskConvolution,
+    accessor_for,
+    box_mask,
+    build_image_pair,
+)
+
+
+def _conv_ir(window=13, mode=Boundary.CLAMP, radius=None,
+             mask_const=True):
+    src, dst = build_image_pair(4096, 4096)
+    radius = (window // 2) if radius is None else radius
+    mask = box_mask(2 * radius + 1)
+    if not mask_const:
+        mask.compile_time_constant = False
+    k = MaskConvolution(IterationSpace(dst),
+                        accessor_for(src, window, mode), mask,
+                        radius, radius)
+    return typecheck_kernel(parse_kernel(k))
+
+
+def _gen(backend="cuda", window=13, mode=Boundary.CLAMP,
+         geometry=(4096, 4096), mask_const=True, **opts):
+    ir = _conv_ir(window=window, mode=mode, mask_const=mask_const)
+    options = CodegenOptions(backend=backend, **opts)
+    return generate(ir, options, launch_geometry=geometry)
+
+
+def balanced(code: str) -> bool:
+    return code.count("{") == code.count("}") and \
+        code.count("(") == code.count(")")
+
+
+class TestStructure:
+    @pytest.mark.parametrize("backend", ["cuda", "opencl"])
+    def test_braces_and_parens_balanced(self, backend):
+        src = _gen(backend)
+        assert balanced(src.device_code)
+        assert balanced(src.host_code)
+
+    def test_nine_region_dispatch_cuda_goto(self):
+        """CUDA: the Listing-8 goto structure."""
+        src = _gen("cuda")
+        assert src.num_variants == 9
+        for label in ("TL_BH", "T_BH", "TR_BH", "L_BH", "R_BH", "BL_BH",
+                      "B_BH", "BR_BH", "NO_BH"):
+            assert f"goto {label};" in src.device_code or \
+                f"{label}:" in src.device_code
+        assert "_done: return;" in src.device_code
+
+    def test_nine_region_dispatch_opencl_chain(self):
+        """OpenCL C forbids goto: the same nine variants chain as
+        if / else-if blocks."""
+        src = _gen("opencl")
+        assert src.num_variants == 9
+        code = src.device_code
+        assert "goto" not in code
+        assert code.count("else if (") == 7
+        assert "else {  // NO_BH" in code
+        for label in ("TL_BH", "T_BH", "TR_BH", "L_BH", "R_BH", "BL_BH",
+                      "B_BH", "BR_BH"):
+            assert f"// {label}" in code
+
+    def test_dispatch_constants_from_layout(self):
+        src = _gen("cuda", window=13, block=(128, 1))
+        assert "#define BH_X_LO 1" in src.device_code
+        assert "#define BH_Y_LO 6" in src.device_code
+
+    def test_macro_mode_for_exploration(self):
+        src = _gen("cuda", emit_config_macros=True)
+        assert "#ifndef BH_X_LO" in src.device_code
+
+    def test_inline_mode_single_variant(self):
+        src = _gen("cuda", border=BorderMode.INLINE)
+        assert src.num_variants == 1
+        assert "goto" not in src.device_code
+
+    def test_undefined_mode_no_helpers(self):
+        ir = _conv_ir(mode=Boundary.UNDEFINED)
+        src = generate(ir, CodegenOptions(backend="cuda",
+                                          border=BorderMode.NONE),
+                       launch_geometry=(4096, 4096))
+        assert "bh_clamp" not in src.device_code
+
+    @pytest.mark.parametrize("mode,helper", [
+        (Boundary.CLAMP, "bh_clamp"),
+        (Boundary.MIRROR, "bh_mirror"),
+        (Boundary.REPEAT, "bh_repeat"),
+    ])
+    def test_mode_specific_helpers_used(self, mode, helper):
+        src = _gen("cuda", mode=mode)
+        assert f"{helper}_lo(" in src.device_code
+        assert f"{helper}_hi(" in src.device_code
+
+    def test_constant_mode_predicated_reads(self):
+        src = _gen("cuda", mode=Boundary.CONSTANT)
+        assert "?" in src.device_code
+        # the constant value appears as a literal
+        assert re.search(r"\? 0\.0f :", src.device_code)
+
+    def test_interior_variant_has_no_adjustment(self):
+        src = _gen("cuda", mode=Boundary.CLAMP)
+        interior = src.device_code.split("NO_BH:")[1].split("_done")[0]
+        assert "bh_clamp" not in interior
+        src_cl = _gen("opencl", mode=Boundary.CLAMP)
+        interior_cl = src_cl.device_code.split("else {  // NO_BH")[1]
+        interior_cl = interior_cl.split("}")[0]
+        assert "bh_clamp" not in interior_cl
+
+
+class TestCudaSpecifics:
+    def test_signature(self):
+        src = _gen("cuda")
+        assert 'extern "C" __global__ void MaskConvolution_kernel(' \
+            in src.device_code
+        assert "float * OUT" in src.device_code
+
+    def test_texture_path(self):
+        src = _gen("cuda", use_texture=True)
+        assert "texture<float, cudaTextureType1D" in src.device_code
+        assert "tex1Dfetch(_texinp," in src.device_code
+        # texture refs are not kernel parameters (Section IV-A)
+        sig = src.device_code.split("MaskConvolution_kernel(")[1]
+        sig = sig.split(")")[0]
+        assert "_texinp" not in sig
+        assert "const float * inp" not in sig
+
+    def test_plain_global_path(self):
+        src = _gen("cuda", use_texture=False)
+        assert "const float * inp" in src.device_code
+        assert "tex1Dfetch" not in src.device_code
+
+    def test_hardware_border_2d_texture(self):
+        src = _gen("cuda", use_texture=True, border=BorderMode.HARDWARE,
+                   mode=Boundary.CLAMP)
+        assert "cudaTextureType2D" in src.device_code
+        assert "tex2D(_tex2dinp" in src.device_code
+        assert "cudaAddressModeClamp" in src.host_code
+
+    def test_hardware_border_rejects_mirror(self):
+        with pytest.raises(CodegenError, match="mirror"):
+            _gen("cuda", use_texture=True, border=BorderMode.HARDWARE,
+                 mode=Boundary.MIRROR)
+
+    def test_hardware_border_rejects_constant(self):
+        with pytest.raises(CodegenError, match="constant"):
+            _gen("cuda", use_texture=True, border=BorderMode.HARDWARE,
+                 mode=Boundary.CONSTANT)
+
+    def test_static_constant_mask(self):
+        src = _gen("cuda")
+        assert "__device__ __constant__ float _constcmask[169]" \
+            in src.device_code
+        assert "= {" in src.device_code
+
+    def test_dynamic_constant_mask(self):
+        src = _gen("cuda", mask_const=False)
+        # declared without initialiser; host copies at run time
+        decl = [ln for ln in src.device_code.splitlines()
+                if "_constcmask" in ln and "__constant__" in ln]
+        assert decl and "= {" not in decl[0]
+        assert "cudaMemcpyToSymbol" in src.host_code
+
+    def test_smem_staging(self):
+        src = _gen("cuda", use_smem=True, block=(32, 4))
+        assert "__shared__ float _smeminp" in src.device_code
+        assert "__syncthreads();" in src.device_code
+        assert src.smem_bytes > 0
+        # bank-conflict padding: tile width = bx + wx - 1 + 1
+        assert f"[{4 + 12}][{32 + 12 + 1}]" in src.device_code
+
+    def test_host_code_pipeline(self):
+        src = _gen("cuda")
+        host = src.host_code
+        for call in ("cudaMallocPitch", "cudaMemcpy2D", "<<<grid, block>>>",
+                     "cudaDeviceSynchronize", "cudaFree"):
+            assert call in host
+
+    def test_fast_math_variant(self):
+        ir = _conv_ir()
+        # inject an exp call via bilateral instead: use fast_math on the
+        # bilateral kernel
+        from repro.evaluation.variants import _bilateral_ir
+        bir = _bilateral_ir(True, "clamp", 3, 5.0)
+        plain = generate(bir, CodegenOptions(backend="cuda"),
+                         launch_geometry=(256, 256))
+        fast = generate(bir, CodegenOptions(backend="cuda",
+                                            fast_math=True),
+                        launch_geometry=(256, 256))
+        assert "expf(" in plain.device_code
+        assert "__expf(" in fast.device_code
+
+
+class TestOpenCLSpecifics:
+    def test_signature(self):
+        src = _gen("opencl")
+        assert "__kernel void MaskConvolution_kernel(" in src.device_code
+        assert "__global float * OUT" in src.device_code
+
+    def test_image_objects(self):
+        src = _gen("opencl", use_texture=True)
+        assert "__read_only image2d_t inp_img" in src.device_code
+        assert "__write_only image2d_t OUT_img" in src.device_code
+        assert "read_imagef(inp_img, _smpinp" in src.device_code
+        assert ".x" in src.device_code          # CL_R channel extraction
+        assert "write_imagef(OUT_img" in src.device_code
+
+    def test_sampler_declared(self):
+        src = _gen("opencl", use_texture=True)
+        assert "__constant sampler_t _smpinp" in src.device_code
+        assert "CLK_NORMALIZED_COORDS_FALSE" in src.device_code
+
+    def test_hardware_border_sampler_modes(self):
+        src = _gen("opencl", use_texture=True,
+                   border=BorderMode.HARDWARE, mode=Boundary.CLAMP)
+        assert "CLK_ADDRESS_CLAMP_TO_EDGE" in src.device_code
+
+    def test_hardware_border_constant_allowed_for_zero(self):
+        src = _gen("opencl", use_texture=True,
+                   border=BorderMode.HARDWARE, mode=Boundary.CONSTANT)
+        assert "CLK_ADDRESS_CLAMP" in src.device_code
+
+    def test_hardware_border_rejects_mirror(self):
+        with pytest.raises(CodegenError, match="mirror"):
+            _gen("opencl", use_texture=True, border=BorderMode.HARDWARE,
+                 mode=Boundary.MIRROR)
+
+    def test_local_memory_staging(self):
+        src = _gen("opencl", use_smem=True, block=(32, 4))
+        assert "__local float _smeminp" in src.device_code
+        assert "barrier(CLK_LOCAL_MEM_FENCE);" in src.device_code
+
+    def test_static_constant_mask(self):
+        src = _gen("opencl")
+        assert "__constant float _constcmask[169]" in src.device_code
+
+    def test_dynamic_mask_becomes_kernel_argument(self):
+        src = _gen("opencl", mask_const=False)
+        assert "__constant float * cmask_coeffs" in src.device_code
+
+    def test_function_name_mapping(self):
+        """expf in CUDA must become exp in OpenCL (Section V-A)."""
+        from repro.evaluation.variants import _bilateral_ir
+        bir = _bilateral_ir(True, "clamp", 3, 5.0)
+        cu = generate(bir, CodegenOptions(backend="cuda"),
+                      launch_geometry=(256, 256))
+        cl = generate(bir, CodegenOptions(backend="opencl"),
+                      launch_geometry=(256, 256))
+        assert "expf(" in cu.device_code
+        assert "expf(" not in cl.device_code
+        assert "exp(" in cl.device_code
+
+    def test_host_code_pipeline(self):
+        src = _gen("opencl")
+        host = src.host_code
+        for call in ("clCreateContext", "clBuildProgram",
+                     "clSetKernelArg", "clEnqueueNDRangeKernel",
+                     "clFinish", "clReleaseContext"):
+            assert call in host
+
+    def test_read_write_qualifiers_from_analysis(self):
+        src = _gen("opencl", use_texture=True)
+        assert "__read_only image2d_t inp_img" in src.device_code
+
+
+class TestParameters:
+    def test_uniform_param_in_signature(self):
+        src_img, dst = build_image_pair()
+        k = AddUniform(IterationSpace(dst), accessor_for(src_img), 2.0)
+        ir = typecheck_kernel(parse_kernel(k))
+        code = generate(ir, CodegenOptions(backend="cuda"),
+                        launch_geometry=(16, 16))
+        sig = code.device_code.split("AddUniform_kernel(")[1].split(")")[0]
+        assert "float value" in sig
+
+    def test_point_operator_single_variant(self):
+        src_img, dst = build_image_pair()
+        k = CopyKernel(IterationSpace(dst), accessor_for(src_img))
+        ir = typecheck_kernel(parse_kernel(k))
+        code = generate(ir, CodegenOptions(backend="cuda",
+                                           border=BorderMode.NONE),
+                        launch_geometry=(16, 16))
+        assert code.num_variants == 1
+
+    def test_unrolled_code_has_no_loops(self):
+        src = _gen("cuda", window=3, unroll=True)
+        kernel_part = src.device_code.split("_kernel(")[1]
+        assert "for (" not in kernel_part
+
+    def test_inline_masks_fold_to_literals(self):
+        src = _gen("cuda", window=3, unroll=True,
+                   mask_memory=MaskMemory.INLINE)
+        kernel_part = src.device_code.split("NO_BH:")[1]
+        assert "_constcmask[" not in kernel_part
+
+
+class TestGeneratedCodeSize:
+    def test_paper_vi_c_claim(self):
+        """Section VI-C: 'the source-to-source compiler generates a CUDA
+        kernel with 317 lines of code for the kernel description shown in
+        Listing 5 (16 lines of code)' — our generated bilateral must be in
+        the same regime (hundreds of lines from a ~20-line DSL kernel)."""
+        from repro.evaluation.variants import _bilateral_ir
+        import inspect
+        from repro.filters.bilateral import BilateralFilter
+
+        dsl_lines = len(inspect.getsource(BilateralFilter.kernel)
+                        .strip().splitlines())
+        assert dsl_lines <= 20
+
+        bir = _bilateral_ir(True, "clamp", 3, 5.0)
+        src = generate(bir, CodegenOptions(backend="cuda",
+                                           use_texture=True),
+                       launch_geometry=(4096, 4096))
+        assert 150 <= src.device_lines <= 700
+        assert src.num_variants == 9

@@ -1,0 +1,110 @@
+"""Baselines: manual variants, RapidMind model, OpenCV separable filters."""
+
+import numpy as np
+import pytest
+
+from repro import Boundary
+from repro.baselines import (
+    OpenCVSeparableFilter,
+    RapidMindProgram,
+    manual_bilateral_time,
+    manual_variant_names,
+    opencv_gaussian_time,
+    rapidmind_bilateral_time,
+)
+from repro.errors import DeviceFault, DslError
+from repro.filters.bilateral import bilateral_reference
+from repro.filters.gaussian import gaussian_reference
+
+from .helpers import random_image
+
+
+class TestManualVariants:
+    def test_variant_names_per_backend(self):
+        cuda_names = manual_variant_names("cuda")
+        assert "+2DTex" in cuda_names and "+Mask+Tex" in cuda_names
+        ocl_names = manual_variant_names("opencl")
+        assert "+ImgBH" in ocl_names
+        assert "+2DTex" not in ocl_names
+
+    def test_time_lookup(self):
+        t = manual_bilateral_time("tesla", "cuda", "+Mask+Tex",
+                                  Boundary.CLAMP)
+        assert isinstance(t, float) and 50 < t < 800
+
+    def test_unknown_variant(self):
+        with pytest.raises(KeyError):
+            manual_bilateral_time("tesla", "cuda", "+Bogus",
+                                  Boundary.CLAMP)
+
+    def test_generated_not_reachable_as_manual(self):
+        with pytest.raises(KeyError):
+            manual_bilateral_time("tesla", "cuda", "Generated",
+                                  Boundary.CLAMP)
+
+
+class TestRapidMind:
+    def test_functional_matches_reference(self):
+        data = random_image(24, 20, seed=1)
+        out = RapidMindProgram(sigma_d=1, sigma_r=0.1,
+                               mode=Boundary.CLAMP).run(data,
+                                                        device="quadro")
+        ref = bilateral_reference(data, 1, 0.1, Boundary.CLAMP)
+        np.testing.assert_allclose(out, ref, atol=1e-4)
+
+    def test_repeat_crashes_on_tesla(self):
+        data = random_image(16, 16)
+        with pytest.raises(DeviceFault):
+            RapidMindProgram(mode=Boundary.REPEAT).run(data,
+                                                       device="tesla")
+
+    def test_repeat_runs_on_quadro(self):
+        data = random_image(16, 16)
+        out = RapidMindProgram(sigma_d=1, mode=Boundary.REPEAT) \
+            .run(data, device="quadro")
+        assert out.shape == (16, 16)
+
+    def test_mirror_unsupported(self):
+        with pytest.raises(DslError, match="mirror"):
+            RapidMindProgram(mode=Boundary.MIRROR)
+
+    def test_modelled_time_slower_than_generated(self):
+        from repro.evaluation.variants import (
+            VariantSpec,
+            evaluate_bilateral_cell,
+        )
+        rm = rapidmind_bilateral_time("tesla", "cuda", Boundary.CLAMP)
+        gen = evaluate_bilateral_cell(
+            "tesla", "cuda",
+            VariantSpec("Generated+Mask", "generated", use_mask=True),
+            Boundary.CLAMP)
+        assert rm > 1.5 * gen
+
+
+class TestOpenCVBaseline:
+    def test_separable_equals_2d_gaussian(self):
+        data = random_image(32, 28, seed=2)
+        out = OpenCVSeparableFilter(size=5, mode=Boundary.CLAMP) \
+            .run(data, device="quadro")
+        ref = gaussian_reference(data, 5, boundary=Boundary.CLAMP)
+        np.testing.assert_allclose(out, ref, atol=1e-5)
+
+    @pytest.mark.parametrize("mode", [Boundary.MIRROR, Boundary.REPEAT])
+    def test_boundary_modes(self, mode):
+        data = random_image(20, 20, seed=3)
+        out = OpenCVSeparableFilter(size=3, mode=mode).run(
+            data, device="quadro")
+        # separable with per-pass 1-D boundary handling equals the 2-D
+        # convolution reference (padding factorises over the axes)
+        ref = gaussian_reference(data, 3, boundary=mode)
+        np.testing.assert_allclose(out, ref, atol=1e-5)
+
+    def test_modelled_time_ppt_effect(self):
+        t8 = opencv_gaussian_time("tesla", 3, 8, Boundary.CLAMP)
+        t1 = opencv_gaussian_time("tesla", 3, 1, Boundary.CLAMP)
+        assert t8 < t1
+
+    def test_modelled_time_mode_effect(self):
+        tc = opencv_gaussian_time("tesla", 3, 8, Boundary.CLAMP)
+        tm = opencv_gaussian_time("tesla", 3, 8, Boundary.MIRROR)
+        assert tm > tc            # OpenCV's mirror is its slowest mode

@@ -1,0 +1,109 @@
+"""Synthetic data generators and table reporting utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    angiography_image,
+    gradient_image,
+    impulse_noise_image,
+    vessel_tree,
+)
+from repro.reporting.tables import (
+    format_cell,
+    format_comparison_table,
+    format_table,
+    marker_agreement,
+    relative_errors,
+    shape_check,
+)
+
+
+class TestSyntheticData:
+    def test_angiography_range_and_dtype(self):
+        img = angiography_image(64, 48, seed=0)
+        assert img.shape == (48, 64)
+        assert img.dtype == np.float32
+        assert 0.0 <= img.min() and img.max() <= 1.0
+
+    def test_deterministic_per_seed(self):
+        a = angiography_image(32, 32, seed=5)
+        b = angiography_image(32, 32, seed=5)
+        np.testing.assert_array_equal(a, b)
+        c = angiography_image(32, 32, seed=6)
+        assert not np.array_equal(a, c)
+
+    def test_noise_parameter(self):
+        clean = angiography_image(64, 64, seed=1, noise_sigma=0.0)
+        noisy = angiography_image(64, 64, seed=1, noise_sigma=0.05)
+        assert np.abs(noisy - clean).std() > 0.01
+
+    def test_vessels_darker_than_background(self):
+        img = angiography_image(96, 96, seed=2, noise_sigma=0.0)
+        vessels = vessel_tree(96, 96, seed=2) > 0.5
+        if vessels.sum() > 50:
+            assert img[vessels].mean() < img[~vessels].mean()
+
+    def test_vessel_tree_nonempty(self):
+        tree = vessel_tree(64, 64, seed=0)
+        assert tree.max() > 0.5
+        assert 0 < (tree > 0.25).mean() < 0.6
+
+    def test_impulse_noise_density(self):
+        base = np.full((64, 64), 0.5, np.float32)
+        img = impulse_noise_image(64, 64, seed=0, density=0.10, base=base)
+        extremes = ((img == 0.0) | (img == 1.0)).mean()
+        assert 0.05 < extremes < 0.15
+
+    def test_gradient_image(self):
+        img = gradient_image(32, 16)
+        assert img.shape == (16, 32)
+        assert img[0, 0] == 0.0
+        assert img.max() == pytest.approx(1.0)
+        assert np.all(np.diff(img, axis=1) >= 0)
+
+
+class TestReporting:
+    MODEL = {
+        "A": {"clamp": 100.0, "repeat": 150.0},
+        "B": {"clamp": "crash", "repeat": 75.0},
+    }
+    PAPER = {
+        "A": [110.0, 140.0],
+        "B": ["crash", 80.0],
+    }
+    MODES = ["clamp", "repeat"]
+
+    def test_format_cell(self):
+        assert format_cell(1.2345) == "1.23"
+        assert format_cell("n/a") == "n/a"
+
+    def test_format_table_layout(self):
+        text = format_table(self.MODEL, self.MODES, title="T")
+        assert text.startswith("T")
+        assert "crash" in text
+        assert "100.00" in text
+
+    def test_comparison_table(self):
+        text = format_comparison_table(self.MODEL, self.PAPER, self.MODES)
+        assert "100/110" in text
+        assert "crash/crash" in text
+
+    def test_relative_errors(self):
+        errs = relative_errors(self.MODEL, self.PAPER, self.MODES)
+        assert len(errs) == 3          # crash cells skipped
+        assert errs[0] == pytest.approx(10 / 110)
+
+    def test_marker_agreement_clean(self):
+        assert not list(marker_agreement(self.MODEL, self.PAPER,
+                                         self.MODES))
+
+    def test_marker_agreement_mismatch(self):
+        model = {"A": {"clamp": "crash"}}
+        paper = {"A": [100.0]}
+        issues = list(marker_agreement(model, paper, ["clamp"]))
+        assert len(issues) == 1
+
+    def test_shape_check(self):
+        assert shape_check("x", True).startswith("[PASS]")
+        assert shape_check("x", False, "why").startswith("[FAIL]")

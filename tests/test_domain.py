@@ -1,0 +1,167 @@
+"""Domain: boolean tap masks for convolve() (HIPAcc's Domain concept)."""
+
+import numpy as np
+import pytest
+from scipy import ndimage
+
+from repro import (
+    Accessor,
+    Boundary,
+    BoundaryCondition,
+    Domain,
+    Image,
+    IterationSpace,
+    Kernel,
+    Reduce,
+    compile_kernel,
+)
+from repro.dsl.domain import cross_domain, disk_domain
+from repro.errors import DslError, FrontendError
+from repro.frontend import parse_kernel
+from repro.ir import nodes as N
+from repro.ir.visitors import iter_all_exprs, walk_stmts
+
+from .helpers import accessor_for, build_image_pair, random_image
+
+
+class DomainMin(Kernel):
+    """Neighbourhood minimum over an arbitrary Domain shape."""
+
+    def __init__(self, iteration_space, inp, dom):
+        super().__init__(iteration_space)
+        self.inp = inp
+        self.dom = dom
+        self.add_accessor(inp)
+
+    def kernel(self):
+        self.output(self.convolve(self.dom, Reduce.MIN,
+                                  lambda: self.inp(self.dom)))
+
+
+class DomainSum(Kernel):
+    def __init__(self, iteration_space, inp, dom):
+        super().__init__(iteration_space)
+        self.inp = inp
+        self.dom = dom
+        self.add_accessor(inp)
+
+    def kernel(self):
+        self.output(self.convolve(self.dom, Reduce.SUM,
+                                  lambda: self.inp(self.dom)))
+
+
+def _run(kernel_cls, dom, data, mode=Boundary.CLAMP):
+    h, w = data.shape
+    src, dst = build_image_pair(w, h, data=data)
+    k = kernel_cls(IterationSpace(dst),
+                   accessor_for(src, max(dom.size), mode), dom)
+    compile_kernel(k, use_texture=False).execute()
+    return dst.get_data()
+
+
+class TestDomainObject:
+    def test_all_enabled_by_default(self):
+        dom = Domain(3, 3)
+        assert len(dom.enabled_offsets()) == 9
+        assert dom.is_enabled(0, 0)
+
+    def test_disable(self):
+        dom = Domain(3, 3).disable(1, 1).disable(-1, -1)
+        assert len(dom.enabled_offsets()) == 7
+        assert not dom.is_enabled(1, 1)
+
+    def test_cross_shape(self):
+        dom = cross_domain(5)
+        offsets = set(dom.enabled_offsets())
+        assert (0, 0) in offsets and (2, 0) in offsets
+        assert (1, 1) not in offsets
+        assert len(offsets) == 9           # 5 + 5 - shared centre
+
+    def test_disk_shape(self):
+        dom = disk_domain(5)
+        offsets = set(dom.enabled_offsets())
+        assert (0, 0) in offsets and (2, 0) in offsets
+        assert (2, 2) not in offsets       # corner outside the disk
+
+    def test_validation(self):
+        with pytest.raises(DslError):
+            Domain(4, 3)
+        with pytest.raises(DslError):
+            Domain(3).set_enabled(np.zeros((3, 3), bool))
+        with pytest.raises(DslError):
+            Domain(3).disable(5, 0)
+        with pytest.raises(DslError):
+            Domain(3)(0, 0)
+
+
+class TestDomainConvolve:
+    def test_full_domain_equals_box_min(self):
+        data = random_image(18, 14, seed=1)
+        out = _run(DomainMin, Domain(3, 3), data)
+        ref = ndimage.minimum_filter(data, size=3, mode="nearest")
+        np.testing.assert_array_equal(out, ref)
+
+    def test_cross_min_matches_footprint_filter(self):
+        data = random_image(18, 14, seed=2)
+        dom = cross_domain(3)
+        out = _run(DomainMin, dom, data)
+        footprint = np.array([[0, 1, 0], [1, 1, 1], [0, 1, 0]], bool)
+        ref = ndimage.minimum_filter(data, footprint=footprint,
+                                     mode="nearest")
+        np.testing.assert_array_equal(out, ref)
+
+    def test_disk_sum(self):
+        data = random_image(16, 16, seed=3)
+        dom = disk_domain(5)
+        out = _run(DomainSum, dom, data)
+        half = 2
+        padded = np.pad(data, half, mode="edge")
+        expected = np.zeros_like(data)
+        for dx, dy in dom.enabled_offsets():
+            expected += padded[half + dy:half + dy + 16,
+                               half + dx:half + dx + 16]
+        np.testing.assert_allclose(out, expected, atol=1e-5)
+
+    def test_straight_line_expansion(self):
+        """Domain convolve emits one tap per enabled offset, no loops."""
+        data = random_image(8, 8)
+        src, dst = build_image_pair(8, 8, data=data)
+        dom = cross_domain(3)
+        k = DomainSum(IterationSpace(dst), accessor_for(src, 3), dom)
+        ir = parse_kernel(k)
+        loops = [s for s in walk_stmts(ir.body)
+                 if isinstance(s, N.ForRange)]
+        assert not loops
+        reads = [e for e in iter_all_exprs(ir.body)
+                 if isinstance(e, N.AccessorRead)]
+        assert len(reads) == len(dom.enabled_offsets())
+
+    def test_disabled_taps_absent_from_generated_code(self):
+        data = random_image(64, 64)
+        src, dst = build_image_pair(64, 64, data=data)
+        dom = Domain(3, 3)
+        for dx, dy in [(-1, -1), (1, -1), (-1, 1), (1, 1)]:
+            dom.disable(dx, dy)
+        k = DomainSum(IterationSpace(dst), accessor_for(src, 3), dom)
+        compiled = compile_kernel(k, use_texture=False, block=(8, 4))
+        interior = compiled.device_code.split("NO_BH:")[1]
+        # corner taps like (gid_x + (-1)) with (gid_y + (-1)) never occur
+        assert "(gid_y + (-1)) * inp_stride + (gid_x + (-1))" \
+            not in interior
+
+    def test_bare_domain_read_rejected(self):
+        class BadRead(Kernel):
+            def __init__(self, iteration_space, inp, dom):
+                super().__init__(iteration_space)
+                self.inp = inp
+                self.dom = dom
+                self.add_accessor(inp)
+
+            def kernel(self):
+                self.output(self.inp(self.dom))   # outside convolve
+
+        src, dst = build_image_pair(8, 8)
+        k = BadRead(IterationSpace(dst), accessor_for(src, 3),
+                    Domain(3, 3))
+        with pytest.raises(FrontendError, match="convolve"):
+            parse_kernel(k)

@@ -1,0 +1,182 @@
+"""Boundary modes: index-adjustment semantics pinned to np.pad.
+
+The central invariant: :func:`repro.dsl.boundary.adjust_indices` — whose
+formulas the backends also print in C — must agree with the equivalent
+``np.pad`` mode for every in- and out-of-bounds index the generated code
+can produce.  Verified property-based.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsl.boundary import (
+    Boundary,
+    BoundaryCondition,
+    NUMPY_PAD_MODE,
+    adjust_indices,
+    out_of_bounds_mask,
+)
+from repro.dsl.image import Image
+from repro.errors import DslError
+
+
+class TestBoundaryEnum:
+    def test_coerce_from_string(self):
+        assert Boundary.coerce("clamp") is Boundary.CLAMP
+        assert Boundary.coerce("MIRROR") is Boundary.MIRROR
+
+    def test_coerce_passthrough(self):
+        assert Boundary.coerce(Boundary.REPEAT) is Boundary.REPEAT
+
+    def test_coerce_invalid(self):
+        with pytest.raises(DslError):
+            Boundary.coerce("wrap-around")
+        with pytest.raises(DslError):
+            Boundary.coerce(42)
+
+    def test_all_five_modes_exist(self):
+        assert {m.value for m in Boundary} == {
+            "undefined", "repeat", "clamp", "mirror", "constant"}
+
+
+def _pad_reference(mode: Boundary, n: int, idx: np.ndarray) -> np.ndarray:
+    """Ground truth: index an arange padded with the equivalent np.pad
+    mode, then read back the original index."""
+    pad = int(np.max(np.abs(idx))) + 1
+    base = np.arange(n)
+    padded = np.pad(base, pad, mode=NUMPY_PAD_MODE[mode])
+    return padded[idx + pad]
+
+
+@st.composite
+def _axis_case(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    offsets = draw(st.lists(
+        st.integers(min_value=-3 * n, max_value=4 * n - 1),
+        min_size=1, max_size=32))
+    return n, np.array(offsets)
+
+
+class TestAdjustIndicesVsNumpyPad:
+    @settings(max_examples=200)
+    @given(_axis_case())
+    def test_clamp_matches_edge_pad(self, case):
+        n, idx = case
+        ax, _ = adjust_indices(idx, np.zeros_like(idx), n, 1,
+                               Boundary.CLAMP)
+        assert np.array_equal(ax, _pad_reference(Boundary.CLAMP, n, idx))
+
+    @settings(max_examples=200)
+    @given(_axis_case())
+    def test_mirror_matches_symmetric_pad(self, case):
+        n, idx = case
+        ax, _ = adjust_indices(idx, np.zeros_like(idx), n, 1,
+                               Boundary.MIRROR)
+        assert np.array_equal(ax, _pad_reference(Boundary.MIRROR, n, idx))
+
+    @settings(max_examples=200)
+    @given(_axis_case())
+    def test_repeat_matches_wrap_pad(self, case):
+        n, idx = case
+        ax, _ = adjust_indices(idx, np.zeros_like(idx), n, 1,
+                               Boundary.REPEAT)
+        assert np.array_equal(ax, _pad_reference(Boundary.REPEAT, n, idx))
+
+    @settings(max_examples=100)
+    @given(_axis_case())
+    def test_adjusted_always_in_bounds(self, case):
+        n, idx = case
+        for mode in (Boundary.CLAMP, Boundary.MIRROR, Boundary.REPEAT):
+            ax, _ = adjust_indices(idx, np.zeros_like(idx), n, 1, mode)
+            assert np.all((ax >= 0) & (ax < n)), mode
+
+    @settings(max_examples=100)
+    @given(_axis_case())
+    def test_in_bounds_indices_untouched(self, case):
+        n, idx = case
+        inside = idx[(idx >= 0) & (idx < n)]
+        for mode in (Boundary.CLAMP, Boundary.MIRROR, Boundary.REPEAT):
+            ax, _ = adjust_indices(inside, np.zeros_like(inside), n, 1,
+                                   mode)
+            assert np.array_equal(ax, inside), mode
+
+
+class TestAdjustIndicesExamples:
+    """The exact Figure 2 mappings of the paper."""
+
+    def test_mirror_figure2d(self):
+        # Figure 2d row "C B A | A B C D | D C B": -1->0 -2->1 -3->2,
+        # n->n-1, n+1->n-2 for n=4
+        ix = np.array([-3, -2, -1, 0, 3, 4, 5, 6])
+        ax, _ = adjust_indices(ix, np.zeros_like(ix), 4, 1, Boundary.MIRROR)
+        assert ax.tolist() == [2, 1, 0, 0, 3, 3, 2, 1]
+
+    def test_repeat_figure2b(self):
+        ix = np.array([-2, -1, 0, 4, 5])
+        ax, _ = adjust_indices(ix, np.zeros_like(ix), 4, 1, Boundary.REPEAT)
+        assert ax.tolist() == [2, 3, 0, 0, 1]
+
+    def test_clamp_figure2c(self):
+        ix = np.array([-5, -1, 0, 3, 4, 9])
+        ax, _ = adjust_indices(ix, np.zeros_like(ix), 4, 1, Boundary.CLAMP)
+        assert ax.tolist() == [0, 0, 0, 3, 3, 3]
+
+    def test_constant_and_undefined_pass_through(self):
+        ix = np.array([-1, 5])
+        for mode in (Boundary.CONSTANT, Boundary.UNDEFINED):
+            ax, _ = adjust_indices(ix, np.zeros_like(ix), 4, 1, mode)
+            assert np.array_equal(ax, ix)
+
+    def test_both_axes_adjusted(self):
+        ax, ay = adjust_indices(np.array([-1]), np.array([7]), 5, 6,
+                                Boundary.CLAMP)
+        assert ax[0] == 0 and ay[0] == 5
+
+
+class TestOutOfBoundsMask:
+    def test_basic(self):
+        ix = np.array([-1, 0, 4, 5])
+        iy = np.array([0, 0, 0, 0])
+        mask = out_of_bounds_mask(ix, iy, 5, 5)
+        assert mask.tolist() == [True, False, False, True]
+
+    def test_y_axis(self):
+        mask = out_of_bounds_mask(np.array([0]), np.array([5]), 5, 5)
+        assert mask[0]
+
+
+class TestBoundaryCondition:
+    def test_valid_construction(self):
+        img = Image(8, 8)
+        bc = BoundaryCondition(img, 3, 5, Boundary.MIRROR)
+        assert bc.window == (3, 5)
+        assert bc.mode is Boundary.MIRROR
+
+    def test_default_square_window(self):
+        bc = BoundaryCondition(Image(8, 8), 7)
+        assert bc.window == (7, 7)
+
+    def test_string_mode(self):
+        bc = BoundaryCondition(Image(8, 8), 3, 3, "repeat")
+        assert bc.mode is Boundary.REPEAT
+
+    def test_even_window_rejected(self):
+        with pytest.raises(DslError):
+            BoundaryCondition(Image(8, 8), 4, 3)
+        with pytest.raises(DslError):
+            BoundaryCondition(Image(8, 8), 3, 2)
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(DslError):
+            BoundaryCondition(Image(8, 8), -3)
+
+    def test_non_image_rejected(self):
+        with pytest.raises(DslError):
+            BoundaryCondition("not an image", 3)
+
+    def test_constant_value_stored(self):
+        bc = BoundaryCondition(Image(8, 8), 3, 3, Boundary.CONSTANT,
+                               constant=0.5)
+        assert bc.constant == 0.5

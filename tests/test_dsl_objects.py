@@ -1,0 +1,262 @@
+"""Image, IterationSpace, Accessor, Mask, Kernel base-class behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Accessor,
+    Boundary,
+    BoundaryCondition,
+    Image,
+    IterationSpace,
+    Kernel,
+    Mask,
+)
+from repro.dsl.mask import gaussian_mask
+from repro.errors import DslError
+
+from .helpers import CopyKernel, random_image
+
+
+class TestImage:
+    def test_construction(self):
+        img = Image(10, 20, float)
+        assert img.width == 10 and img.height == 20
+        assert img.pixel_type.name == "float"
+        assert img.stride == 10
+
+    def test_invalid_size(self):
+        with pytest.raises(DslError):
+            Image(0, 5)
+        with pytest.raises(DslError):
+            Image(5, -1)
+
+    def test_set_get_roundtrip(self):
+        data = random_image(10, 6)
+        img = Image(10, 6).set_data(data)
+        assert np.array_equal(img.get_data(), data)
+
+    def test_get_data_is_copy(self):
+        img = Image(4, 4).set_data(np.ones((4, 4), np.float32))
+        out = img.get_data()
+        out[0, 0] = 99.0
+        assert img.get_data()[0, 0] == 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DslError):
+            Image(4, 4).set_data(np.zeros((4, 5)))
+
+    def test_dtype_conversion_on_set(self):
+        img = Image(4, 4, "uint8").set_data(
+            np.full((4, 4), 7.0, np.float64))
+        assert img.get_data().dtype == np.uint8
+        assert img.get_data()[0, 0] == 7
+
+    def test_padding_preserves_data(self):
+        data = random_image(10, 4)
+        img = Image(10, 4).set_data(data)
+        stride = img.apply_padding(16)
+        assert stride == 16
+        assert np.array_equal(img.get_data(), data)
+
+    def test_padding_rounds_up(self):
+        img = Image(33, 4)
+        assert img.apply_padding(32) == 64
+
+    def test_padding_noop_when_aligned(self):
+        img = Image(32, 4)
+        assert img.apply_padding(32) == 32
+
+    def test_padding_invalid(self):
+        with pytest.raises(DslError):
+            Image(8, 8).apply_padding(0)
+
+    def test_bytes_includes_padding(self):
+        img = Image(10, 4)
+        img.apply_padding(16)
+        assert img.bytes == 16 * 4 * 4
+
+    def test_unique_names(self):
+        a, b = Image(4, 4), Image(4, 4)
+        assert a.name != b.name
+
+    def test_pixels_view_writable(self):
+        img = Image(4, 4)
+        img.pixels[1, 2] = 3.0
+        assert img.get_data()[1, 2] == 3.0
+
+
+class TestIterationSpace:
+    def test_defaults_to_whole_image(self):
+        space = IterationSpace(Image(12, 8))
+        assert (space.width, space.height) == (12, 8)
+        assert (space.offset_x, space.offset_y) == (0, 0)
+
+    def test_roi(self):
+        space = IterationSpace(Image(12, 8), 4, 4, offset_x=2, offset_y=1)
+        assert space.size == 16
+
+    def test_roi_exceeding_image_rejected(self):
+        with pytest.raises(DslError):
+            IterationSpace(Image(8, 8), 8, 8, offset_x=1)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(DslError):
+            IterationSpace(Image(8, 8), offset_x=-1)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(DslError):
+            IterationSpace(Image(8, 8), 0, 4)
+
+    def test_requires_image(self):
+        with pytest.raises(DslError):
+            IterationSpace(np.zeros((4, 4)))
+
+    def test_pixel_type_from_image(self):
+        assert IterationSpace(Image(4, 4, "int")).pixel_type.name == "int"
+
+
+class TestAccessor:
+    def test_plain_image_is_undefined_mode(self):
+        acc = Accessor(Image(8, 8))
+        assert acc.boundary_mode is Boundary.UNDEFINED
+        assert acc.window == (1, 1)
+
+    def test_boundary_condition_carries_mode_and_window(self):
+        img = Image(8, 8)
+        acc = Accessor(BoundaryCondition(img, 5, 3, Boundary.MIRROR))
+        assert acc.boundary_mode is Boundary.MIRROR
+        assert acc.window == (5, 3)
+        assert acc.image is img
+
+    def test_rejects_other_sources(self):
+        with pytest.raises(DslError):
+            Accessor(np.zeros((4, 4)))
+
+    def test_call_outside_kernel_raises(self):
+        acc = Accessor(Image(8, 8))
+        with pytest.raises(DslError):
+            acc(0, 0)
+
+    def test_sample_inside(self):
+        data = random_image(8, 8)
+        acc = Accessor(Image(8, 8).set_data(data))
+        assert acc.sample(np.array([3]), np.array([2]))[0] == data[2, 3]
+
+    def test_sample_clamp(self):
+        data = random_image(8, 8)
+        acc = Accessor(BoundaryCondition(Image(8, 8).set_data(data), 3, 3,
+                                         Boundary.CLAMP))
+        assert acc.sample(np.array([-2]), np.array([9]))[0] == data[7, 0]
+
+    def test_sample_constant(self):
+        data = random_image(8, 8)
+        acc = Accessor(BoundaryCondition(Image(8, 8).set_data(data), 3, 3,
+                                         Boundary.CONSTANT, constant=0.25))
+        out = acc.sample(np.array([-1, 2]), np.array([0, 3]))
+        assert out[0] == np.float32(0.25)
+        assert out[1] == data[3, 2]
+
+    def test_sample_undefined_oob_raises(self):
+        acc = Accessor(Image(8, 8))
+        with pytest.raises(IndexError):
+            acc.sample(np.array([8]), np.array([0]))
+
+    def test_multiple_accessors_same_image_different_modes(self):
+        # "multiple boundary handling modes can be defined on the same
+        # image" (Section III-A)
+        img = Image(8, 8).set_data(random_image(8, 8))
+        clamp = Accessor(BoundaryCondition(img, 3, 3, Boundary.CLAMP))
+        mirror = Accessor(BoundaryCondition(img, 3, 3, Boundary.MIRROR))
+        ix, iy = np.array([-2]), np.array([0])
+        assert clamp.sample(ix, iy)[0] == img.pixels[0, 0]
+        assert mirror.sample(ix, iy)[0] == img.pixels[0, 1]
+
+
+class TestMask:
+    def test_set_flat(self):
+        m = Mask(3, 3).set(np.arange(9, dtype=np.float32))
+        assert m.coefficients.shape == (3, 3)
+        assert m.at(0, 0) == 4.0
+        assert m.at(-1, -1) == 0.0
+        assert m.at(1, 1) == 8.0
+
+    def test_set_2d(self):
+        coeffs = np.arange(15, dtype=np.float32).reshape(3, 5)
+        m = Mask(5, 3).set(coeffs)
+        assert np.array_equal(m.coefficients, coeffs)
+
+    def test_wrong_count_rejected(self):
+        with pytest.raises(DslError):
+            Mask(3, 3).set(np.zeros(8))
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(DslError):
+            Mask(3, 3).set(np.zeros((3, 5)))
+
+    def test_even_size_rejected(self):
+        with pytest.raises(DslError):
+            Mask(4, 3)
+
+    def test_unset_coefficients_raise(self):
+        with pytest.raises(DslError):
+            Mask(3, 3).coefficients
+
+    def test_call_outside_kernel_raises(self):
+        with pytest.raises(DslError):
+            Mask(3, 3)(0, 0)
+
+    def test_coefficients_copied(self):
+        src = np.zeros((3, 3), np.float32)
+        m = Mask(3, 3).set(src)
+        src[0, 0] = 5.0
+        assert m.coefficients[0, 0] == 0.0
+
+    def test_gaussian_mask_normalised(self):
+        m = gaussian_mask(5)
+        assert abs(float(m.coefficients.sum()) - 1.0) < 1e-6
+
+    def test_rectangular(self):
+        m = Mask(5, 1).set(np.ones(5, np.float32))
+        assert m.size == (5, 1)
+        assert m.half == (2, 0)
+
+
+class TestKernelBase:
+    def _make(self):
+        src, dst = Image(8, 8), Image(8, 8)
+        acc = Accessor(src)
+        return CopyKernel(IterationSpace(dst), acc), acc
+
+    def test_requires_iteration_space(self):
+        with pytest.raises(DslError):
+            Kernel("nope")
+
+    def test_accessor_registration(self):
+        k, acc = self._make()
+        assert k.accessors == [acc]
+
+    def test_duplicate_registration_ignored(self):
+        k, acc = self._make()
+        k.add_accessor(acc)
+        assert len(k.accessors) == 1
+
+    def test_add_accessor_type_checked(self):
+        k, _ = self._make()
+        with pytest.raises(DslError):
+            k.add_accessor("nope")
+
+    def test_methods_raise_outside_body(self):
+        k, _ = self._make()
+        for method in (k.output, k.x, k.y):
+            with pytest.raises(DslError):
+                method()
+        with pytest.raises(DslError):
+            k.convolve(None, None, None)
+
+    def test_base_kernel_not_implemented(self):
+        k, _ = self._make()
+        with pytest.raises(DslError):
+            Kernel(k.iteration_space).output()
+        with pytest.raises(NotImplementedError):
+            Kernel(k.iteration_space).kernel()

@@ -1,0 +1,30 @@
+"""Every example script must run to completion (its internal assertions
+double as integration checks)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "bilateral_denoise.py",
+    "edge_pipeline.py",
+    "dsa_pipeline.py",
+    "multiresolution_enhance.py",
+    "device_exploration.py",
+    "vessel_enhancement.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run([sys.executable, path],
+                            capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, \
+        f"{script} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
+    assert result.stdout.strip(), f"{script} printed nothing"

@@ -1,0 +1,85 @@
+"""Exploration-driver code generation (Section V-D)."""
+
+import pytest
+
+from repro import CodegenOptions
+from repro.backends import generate
+from repro.evaluation.variants import _bilateral_ir
+from repro.hwmodel import get_device
+from repro.mapping.exploration_codegen import (
+    configuration_defines,
+    generate_exploration_driver,
+)
+
+
+def _macro_source(backend="cuda"):
+    ir = _bilateral_ir(True, "clamp", 3, 5.0)
+    return generate(ir, CodegenOptions(backend=backend,
+                                       emit_config_macros=True),
+                    launch_geometry=(4096, 4096))
+
+
+class TestConfigurationDefines:
+    def test_one_entry_per_candidate(self):
+        rows = configuration_defines(get_device("tesla"), 4096, 4096,
+                                     (13, 13))
+        assert len(rows) > 50
+        for row in rows:
+            assert set(row["defines"]) == {"BH_X_LO", "BH_X_HI",
+                                           "BH_Y_LO", "BH_Y_HI"}
+            assert 0 < row["occupancy"] <= 1.0
+
+    def test_defines_depend_on_tiling(self):
+        rows = {r["block"]: r["defines"]
+                for r in configuration_defines(get_device("tesla"),
+                                               4096, 4096, (13, 13))}
+        assert rows[(32, 6)]["BH_Y_LO"] != rows[(128, 1)]["BH_Y_LO"]
+
+    def test_amd_respects_block_cap(self):
+        rows = configuration_defines(get_device("hd5870"), 4096, 4096,
+                                     (13, 13))
+        assert all(r["block"][0] * r["block"][1] <= 256 for r in rows)
+
+
+class TestDriverGeneration:
+    def test_cuda_driver_uses_nvrtc(self):
+        driver = generate_exploration_driver(
+            _macro_source("cuda"), get_device("tesla"), 4096, 4096,
+            (13, 13))
+        assert "nvrtcCompileProgram" in driver
+        assert "-DBH_X_LO=%d" in driver
+        assert "cuModuleGetFunction" in driver
+        assert "BilateralFilter_kernel" in driver
+        assert driver.count("{") == driver.count("}")
+
+    def test_opencl_driver_uses_build_options(self):
+        driver = generate_exploration_driver(
+            _macro_source("opencl"), get_device("hd5870"), 4096, 4096,
+            (13, 13))
+        assert "clBuildProgram(prog, 1, &dev, build_opts" in driver
+        assert "-DBH_X_LO=%d" in driver
+
+    def test_invalid_configs_skipped_at_jit(self):
+        """'Selecting a configuration that allocates more resources than
+        available results in a kernel launch error' — the driver treats a
+        failed JIT/build as DBL_MAX."""
+        driver = generate_exploration_driver(
+            _macro_source("cuda"), get_device("tesla"), 4096, 4096,
+            (13, 13))
+        assert "return DBL_MAX" in driver
+
+    def test_requires_macro_mode(self):
+        ir = _bilateral_ir(True, "clamp", 3, 5.0)
+        plain = generate(ir, CodegenOptions(backend="cuda"),
+                         launch_geometry=(4096, 4096))
+        with pytest.raises(ValueError, match="emit_config_macros"):
+            generate_exploration_driver(plain, get_device("tesla"),
+                                        4096, 4096, (13, 13))
+
+    def test_config_table_matches_candidates(self):
+        driver = generate_exploration_driver(
+            _macro_source("cuda"), get_device("tesla"), 4096, 4096,
+            (13, 13))
+        rows = configuration_defines(get_device("tesla"), 4096, 4096,
+                                     (13, 13))
+        assert f"static const Config configs[{len(rows)}]" in driver

@@ -1,0 +1,517 @@
+"""Frontend: restricted-Python kernel bodies -> kernel IR.
+
+Covers every supported construct and every diagnostic the parser emits.
+Kernels exercising *invalid* constructs are defined inside the test file
+(the frontend reads their source from here).
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Accessor,
+    Boundary,
+    Image,
+    IterationSpace,
+    Kernel,
+    Mask,
+    Reduce,
+    Uniform,
+)
+from repro.errors import FrontendError, UnsupportedFunctionError
+from repro.frontend import parse_kernel
+from repro.frontend.parser import accessor_objects, mask_objects
+from repro.ir import nodes as N
+from repro.ir import typecheck_kernel
+from repro.ir.visitors import iter_all_exprs, walk_stmts
+
+from .helpers import (
+    AddScalar,
+    AddUniform,
+    BranchKernel,
+    ConvolveSyntax,
+    CopyKernel,
+    IntArithmetic,
+    MaskConvolution,
+    PositionKernel,
+    accessor_for,
+    box_mask,
+    build_image_pair,
+)
+
+MODULE_CONSTANT = 2.5
+
+
+def _setup(kernel_cls, *args, window=1, mode=Boundary.CLAMP, **kwargs):
+    src, dst = build_image_pair()
+    acc = accessor_for(src, window, mode)
+    return kernel_cls(IterationSpace(dst), acc, *args, **kwargs)
+
+
+class TestBasicParsing:
+    def test_copy_kernel(self):
+        ir = parse_kernel(_setup(CopyKernel))
+        assert ir.name == "CopyKernel"
+        assert len(ir.accessors) == 1
+        assert isinstance(ir.body[-1], N.OutputWrite)
+        assert isinstance(ir.body[-1].value, N.AccessorRead)
+
+    def test_scalar_params_baked(self):
+        ir = parse_kernel(_setup(AddScalar, 1.5))
+        consts = [e for e in iter_all_exprs(ir.body)
+                  if isinstance(e, N.FloatConst) and e.value == 1.5]
+        assert consts, "baked parameter should appear as a literal"
+        assert ir.param("value").baked
+
+    def test_scalar_params_not_baked(self):
+        ir = parse_kernel(_setup(AddScalar, 1.5), bake_params=False)
+        assert not ir.param("value").baked
+        refs = [e for e in iter_all_exprs(ir.body)
+                if isinstance(e, N.VarRef) and e.name == "value"]
+        assert refs
+
+    def test_uniform_always_runtime_param(self):
+        ir = parse_kernel(_setup(AddUniform, 2.0))
+        assert not ir.param("value").baked
+
+    def test_loops_become_for_range(self):
+        ir = parse_kernel(_setup(MaskConvolution, box_mask(3), 1, 1,
+                                 window=3))
+        loops = [s for s in walk_stmts(ir.body)
+                 if isinstance(s, N.ForRange)]
+        assert len(loops) == 2
+
+    def test_if_else(self):
+        ir = parse_kernel(_setup(BranchKernel, 0.5))
+        ifs = [s for s in walk_stmts(ir.body) if isinstance(s, N.If)]
+        assert len(ifs) == 1
+        assert ifs[0].else_body
+
+    def test_position_functions(self):
+        ir = parse_kernel(_setup(PositionKernel))
+        kinds = {type(e) for e in iter_all_exprs(ir.body)}
+        assert N.GidX in kinds and N.GidY in kinds
+
+    def test_accessor_metadata_carried(self):
+        ir = parse_kernel(_setup(MaskConvolution, box_mask(3), 1, 1,
+                                 window=5, mode=Boundary.MIRROR))
+        acc = ir.accessors[0]
+        assert acc.boundary_mode == "mirror"
+        assert acc.window == (5, 5)
+
+    def test_mask_metadata_carried(self):
+        ir = parse_kernel(_setup(MaskConvolution, box_mask(3), 1, 1,
+                                 window=3))
+        mask = ir.masks[0]
+        assert mask.size == (3, 3)
+        assert mask.compile_time_constant
+        assert np.allclose(np.asarray(mask.coefficients), 1.0 / 9.0)
+
+    def test_module_level_constant_baked(self):
+        class UsesModuleConstant(Kernel):
+            def __init__(self, iteration_space, inp):
+                super().__init__(iteration_space)
+                self.inp = inp
+                self.add_accessor(inp)
+
+            def kernel(self):
+                self.output(self.inp(0, 0) * MODULE_CONSTANT)
+
+        ir = parse_kernel(_setup(UsesModuleConstant))
+        consts = [e for e in iter_all_exprs(ir.body)
+                  if isinstance(e, N.FloatConst) and e.value == 2.5]
+        assert consts
+
+    def test_int_arithmetic_kernel(self):
+        ir = typecheck_kernel(parse_kernel(_setup(IntArithmetic)))
+        ops = {e.op for e in iter_all_exprs(ir.body)
+               if isinstance(e, N.BinOp)}
+        assert "/" in ops and "%" in ops
+
+    def test_helper_object_maps(self):
+        k = _setup(MaskConvolution, box_mask(3), 1, 1, window=3)
+        accs = accessor_objects(k)
+        masks = mask_objects(k)
+        assert set(accs) == {"inp"}
+        assert set(masks) == {"cmask"}
+
+
+class TestExpressionForms:
+    def _parse_body(self, kernel_cls):
+        return parse_kernel(_setup(kernel_cls))
+
+    def test_comparison_chain(self):
+        class Chain(Kernel):
+            def __init__(self, iteration_space, inp):
+                super().__init__(iteration_space)
+                self.inp = inp
+                self.add_accessor(inp)
+
+            def kernel(self):
+                v = self.inp(0, 0)
+                ok = 0.2 < v < 0.8
+                self.output(1.0 if ok else 0.0)
+
+        ir = typecheck_kernel(self._parse_body(Chain))
+        ands = [e for e in iter_all_exprs(ir.body)
+                if isinstance(e, N.BinOp) and e.op == "&&"]
+        assert ands
+
+    def test_bool_ops_and_not(self):
+        class Logic(Kernel):
+            def __init__(self, iteration_space, inp):
+                super().__init__(iteration_space)
+                self.inp = inp
+                self.add_accessor(inp)
+
+            def kernel(self):
+                v = self.inp(0, 0)
+                flag = (v > 0.5 and v < 0.9) or not (v > 0.1)
+                self.output(1.0 if flag else 0.0)
+
+        ir = typecheck_kernel(self._parse_body(Logic))
+        ops = {e.op for e in iter_all_exprs(ir.body)
+               if isinstance(e, N.BinOp)}
+        assert {"&&", "||"} <= ops
+
+    def test_power_becomes_pow_call(self):
+        class Power(Kernel):
+            def __init__(self, iteration_space, inp):
+                super().__init__(iteration_space)
+                self.inp = inp
+                self.add_accessor(inp)
+
+            def kernel(self):
+                self.output(self.inp(0, 0) ** 2.0)
+
+        ir = self._parse_body(Power)
+        calls = [e for e in iter_all_exprs(ir.body)
+                 if isinstance(e, N.Call) and e.func == "pow"]
+        assert calls
+
+    def test_casts(self):
+        class Casts(Kernel):
+            def __init__(self, iteration_space, inp):
+                super().__init__(iteration_space)
+                self.inp = inp
+                self.add_accessor(inp)
+
+            def kernel(self):
+                i = int(self.inp(0, 0) * 255.0)
+                self.output(float(i) / 255.0)
+
+        ir = typecheck_kernel(self._parse_body(Casts))
+        casts = [e for e in iter_all_exprs(ir.body)
+                 if isinstance(e, N.Cast)]
+        assert casts
+
+    def test_math_module_calls(self):
+        class UsesMathModule(Kernel):
+            def __init__(self, iteration_space, inp):
+                super().__init__(iteration_space)
+                self.inp = inp
+                self.add_accessor(inp)
+
+            def kernel(self):
+                import math  # noqa: F401 (name resolution only)
+                self.output(math.sqrt(self.inp(0, 0)))
+
+        # the import statement itself is unsupported — math.* calls must
+        # appear without a local import
+        with pytest.raises(FrontendError):
+            parse_kernel(_setup(UsesMathModule))
+
+    def test_suffixed_intrinsics(self):
+        class Suffixed(Kernel):
+            def __init__(self, iteration_space, inp):
+                super().__init__(iteration_space)
+                self.inp = inp
+                self.add_accessor(inp)
+
+            def kernel(self):
+                self.output(expf(self.inp(0, 0)))
+
+        ir = self._parse_body(Suffixed)
+        calls = [e for e in iter_all_exprs(ir.body)
+                 if isinstance(e, N.Call)]
+        assert calls[0].func == "exp"      # canonicalised
+
+    def test_annotated_declaration(self):
+        class Annotated(Kernel):
+            def __init__(self, iteration_space, inp):
+                super().__init__(iteration_space)
+                self.inp = inp
+                self.add_accessor(inp)
+
+            def kernel(self):
+                s: float = 0.0
+                s += self.inp(0, 0)
+                self.output(s)
+
+        ir = self._parse_body(Annotated)
+        decls = [s for s in walk_stmts(ir.body)
+                 if isinstance(s, N.VarDecl) and s.name == "s"]
+        assert decls[0].type is not None
+
+
+class TestDiagnostics:
+    def _expect_error(self, kernel_cls, match=None, *args):
+        with pytest.raises((FrontendError, UnsupportedFunctionError),
+                           match=match):
+            parse_kernel(_setup(kernel_cls, *args))
+
+    def test_while_rejected(self):
+        class UsesWhile(Kernel):
+            def __init__(self, iteration_space, inp):
+                super().__init__(iteration_space)
+                self.inp = inp
+                self.add_accessor(inp)
+
+            def kernel(self):
+                while True:
+                    pass
+
+        self._expect_error(UsesWhile, "while")
+
+    def test_return_value_rejected(self):
+        class Returns(Kernel):
+            def __init__(self, iteration_space, inp):
+                super().__init__(iteration_space)
+                self.inp = inp
+                self.add_accessor(inp)
+
+            def kernel(self):
+                return self.inp(0, 0)
+
+        self._expect_error(Returns, "output")
+
+    def test_unknown_function_rejected(self):
+        class CallsUnknown(Kernel):
+            def __init__(self, iteration_space, inp):
+                super().__init__(iteration_space)
+                self.inp = inp
+                self.add_accessor(inp)
+
+            def kernel(self):
+                self.output(open(self.inp(0, 0)))
+
+        self._expect_error(CallsUnknown)
+
+    def test_unknown_name_rejected(self):
+        class UsesUnknownName(Kernel):
+            def __init__(self, iteration_space, inp):
+                super().__init__(iteration_space)
+                self.inp = inp
+                self.add_accessor(inp)
+
+            def kernel(self):
+                self.output(never_defined_anywhere_xyz)  # noqa: F821
+
+        self._expect_error(UsesUnknownName, "unknown name")
+
+    def test_bad_accessor_arity(self):
+        class OneOffset(Kernel):
+            def __init__(self, iteration_space, inp):
+                super().__init__(iteration_space)
+                self.inp = inp
+                self.add_accessor(inp)
+
+            def kernel(self):
+                self.output(self.inp(1))
+
+        self._expect_error(OneOffset, "0 or 2")
+
+    def test_non_range_loop_rejected(self):
+        class LoopsOverList(Kernel):
+            def __init__(self, iteration_space, inp):
+                super().__init__(iteration_space)
+                self.inp = inp
+                self.add_accessor(inp)
+
+            def kernel(self):
+                s = 0.0
+                for v in [1, 2, 3]:
+                    s += float(v)
+                self.output(s)
+
+        self._expect_error(LoopsOverList, "range")
+
+    def test_tuple_unpacking_rejected(self):
+        class Unpacks(Kernel):
+            def __init__(self, iteration_space, inp):
+                super().__init__(iteration_space)
+                self.inp = inp
+                self.add_accessor(inp)
+
+            def kernel(self):
+                a, b = 1.0, 2.0
+                self.output(a + b)
+
+        self._expect_error(Unpacks)
+
+    def test_output_in_expression_rejected(self):
+        class OutputExpr(Kernel):
+            def __init__(self, iteration_space, inp):
+                super().__init__(iteration_space)
+                self.inp = inp
+                self.add_accessor(inp)
+
+            def kernel(self):
+                v = self.output(1.0) + 1.0  # noqa: F841
+                self.output(v)
+
+        self._expect_error(OutputExpr, "standalone")
+
+    def test_unreferenced_attribute_rejected(self):
+        class BadAttr(Kernel):
+            def __init__(self, iteration_space, inp):
+                super().__init__(iteration_space)
+                self.inp = inp
+                self.add_accessor(inp)
+
+            def kernel(self):
+                self.output(self.not_a_thing)
+
+        self._expect_error(BadAttr)
+
+    def test_accessor_reference_without_call_rejected(self):
+        class AccessorRef(Kernel):
+            def __init__(self, iteration_space, inp):
+                super().__init__(iteration_space)
+                self.inp = inp
+                self.add_accessor(inp)
+
+            def kernel(self):
+                self.output(self.inp)
+
+        self._expect_error(AccessorRef, "must be called")
+
+    def test_keyword_args_rejected(self):
+        class KwArgs(Kernel):
+            def __init__(self, iteration_space, inp):
+                super().__init__(iteration_space)
+                self.inp = inp
+                self.add_accessor(inp)
+
+            def kernel(self):
+                self.output(min(1.0, self.inp(0, 0), key=None))
+
+        self._expect_error(KwArgs, "keyword")
+
+    def test_missing_override_rejected(self):
+        src, dst = build_image_pair()
+        k = Kernel.__new__(CopyKernel)
+        Kernel.__init__(k, IterationSpace(dst))
+        k.inp = accessor_for(src)
+        # replace class with base — kernel() not overridden
+        bare = Kernel(IterationSpace(dst))
+        with pytest.raises(FrontendError, match="override"):
+            parse_kernel(bare)
+
+    def test_error_carries_line_number(self):
+        class Located(Kernel):
+            def __init__(self, iteration_space, inp):
+                super().__init__(iteration_space)
+                self.inp = inp
+                self.add_accessor(inp)
+
+            def kernel(self):
+                v = self.inp(0, 0)
+                while v > 0:     # unsupported, on a known line
+                    v = v - 1.0
+                self.output(v)
+
+        try:
+            parse_kernel(_setup(Located))
+            raise AssertionError("expected FrontendError")
+        except FrontendError as exc:
+            assert exc.lineno is not None
+            assert "while" in str(exc)
+
+    def test_non_kernel_instance_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_kernel("not a kernel")
+
+
+class TestConvolveSyntax:
+    def test_expansion_structure(self):
+        ir = parse_kernel(_setup(ConvolveSyntax, box_mask(3), window=3))
+        loops = [s for s in walk_stmts(ir.body)
+                 if isinstance(s, N.ForRange)]
+        assert len(loops) == 2       # expanded into the nested loops
+        reads = [e for e in iter_all_exprs(ir.body)
+                 if isinstance(e, N.AccessorRead)]
+        assert reads
+
+    def test_reduce_modes_string(self):
+        class StringMode(Kernel):
+            def __init__(self, iteration_space, inp, cmask):
+                super().__init__(iteration_space)
+                self.inp = inp
+                self.cmask = cmask
+                self.add_accessor(inp)
+
+            def kernel(self):
+                self.output(self.convolve(self.cmask, "sum",
+                                          lambda: self.cmask()
+                                          * self.inp(self.cmask)))
+
+        src, dst = build_image_pair()
+        k = StringMode(IterationSpace(dst), accessor_for(src, 3),
+                       box_mask(3))
+        ir = typecheck_kernel(parse_kernel(k))
+        assert ir is not None
+
+    def test_nested_convolve_rejected(self):
+        class Nested(Kernel):
+            def __init__(self, iteration_space, inp, cmask):
+                super().__init__(iteration_space)
+                self.inp = inp
+                self.cmask = cmask
+                self.add_accessor(inp)
+
+            def kernel(self):
+                self.output(self.convolve(
+                    self.cmask, Reduce.SUM,
+                    lambda: self.convolve(self.cmask, Reduce.SUM,
+                                          lambda: self.inp(self.cmask))))
+
+        src, dst = build_image_pair()
+        k = Nested(IterationSpace(dst), accessor_for(src, 3), box_mask(3))
+        with pytest.raises(FrontendError, match="nested"):
+            parse_kernel(k)
+
+    def test_lambda_with_args_rejected(self):
+        class BadLambda(Kernel):
+            def __init__(self, iteration_space, inp, cmask):
+                super().__init__(iteration_space)
+                self.inp = inp
+                self.cmask = cmask
+                self.add_accessor(inp)
+
+            def kernel(self):
+                self.output(self.convolve(self.cmask, Reduce.SUM,
+                                          lambda q: q))
+
+        src, dst = build_image_pair()
+        k = BadLambda(IterationSpace(dst), accessor_for(src, 3),
+                      box_mask(3))
+        with pytest.raises(FrontendError, match="zero-argument"):
+            parse_kernel(k)
+
+    def test_mask_positional_read_outside_convolve_rejected(self):
+        class BareMaskRead(Kernel):
+            def __init__(self, iteration_space, inp, cmask):
+                super().__init__(iteration_space)
+                self.inp = inp
+                self.cmask = cmask
+                self.add_accessor(inp)
+
+            def kernel(self):
+                self.output(self.cmask())
+
+        src, dst = build_image_pair()
+        k = BareMaskRead(IterationSpace(dst), accessor_for(src, 3),
+                         box_mask(3))
+        with pytest.raises(FrontendError, match="convolve"):
+            parse_kernel(k)

@@ -1,0 +1,65 @@
+"""Harris corner detector pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.filters.harris import corner_peaks, harris_response
+
+from .helpers import random_image
+
+
+def _rectangle_image(size=48):
+    """Bright rectangle on dark background: 4 strong corners."""
+    img = np.zeros((size, size), np.float32)
+    img[12:36, 16:40] = 1.0
+    return img, [(12, 16), (12, 39), (35, 16), (35, 39)]
+
+
+class TestHarris:
+    def test_response_peaks_at_corners(self):
+        img, corners = _rectangle_image()
+        response = harris_response(img, k=0.05, window=5)
+        peak = response.max()
+        for cy, cx in corners:
+            neighbourhood = response[cy - 3:cy + 4, cx - 3:cx + 4]
+            assert neighbourhood.max() > 0.5 * peak, (cy, cx)
+
+    def test_edges_score_below_corners(self):
+        img, _ = _rectangle_image()
+        response = harris_response(img, k=0.05, window=5)
+        corner_score = response[10:15, 14:19].max()
+        edge_score = response[22:26, 14:19].max()   # mid-edge
+        assert corner_score > 4 * abs(edge_score)
+
+    def test_flat_region_near_zero(self):
+        img, _ = _rectangle_image()
+        response = harris_response(img, k=0.05, window=5)
+        assert abs(response[22:26, 26:30]).max() < \
+            0.01 * response.max()
+
+    def test_corner_peaks_extraction(self):
+        img, corners = _rectangle_image()
+        response = harris_response(img, k=0.05, window=5)
+        peaks = corner_peaks(response, threshold_rel=0.3, min_distance=4)
+        assert 4 <= len(peaks) <= 12
+        # every true corner has a detected peak nearby
+        for cy, cx in corners:
+            dist = np.abs(peaks - np.array([cy, cx])).sum(axis=1).min()
+            assert dist <= 4, (cy, cx)
+
+    def test_rotation_symmetry(self):
+        img, _ = _rectangle_image()
+        r0 = harris_response(img, k=0.05, window=5)
+        r90 = harris_response(np.rot90(img).copy(), k=0.05, window=5)
+        np.testing.assert_allclose(np.rot90(r0), r90, atol=1e-4)
+
+    def test_noise_robustness(self):
+        img, corners = _rectangle_image()
+        rng = np.random.default_rng(0)
+        noisy = img + 0.03 * rng.standard_normal(img.shape) \
+            .astype(np.float32)
+        response = harris_response(noisy, k=0.05, window=5)
+        peaks = corner_peaks(response, threshold_rel=0.3, min_distance=4)
+        for cy, cx in corners:
+            dist = np.abs(peaks - np.array([cy, cx])).sum(axis=1).min()
+            assert dist <= 5

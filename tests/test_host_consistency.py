@@ -1,0 +1,90 @@
+"""Host/device interface consistency: the host code must set exactly the
+arguments the kernel signature declares, in order."""
+
+import re
+
+import pytest
+
+from repro import Boundary, CodegenOptions
+from repro.backends import generate
+from repro.frontend import parse_kernel
+from repro.ir import typecheck_kernel
+
+from .helpers import (
+    AddUniform,
+    IterationSpace,
+    MaskConvolution,
+    accessor_for,
+    box_mask,
+    build_image_pair,
+)
+
+
+def _sources(backend, mask_const=True, with_uniform=False, **opts):
+    src, dst = build_image_pair(64, 64)
+    if with_uniform:
+        k = AddUniform(IterationSpace(dst), accessor_for(src), 1.0)
+    else:
+        mask = box_mask(3)
+        if not mask_const:
+            mask.compile_time_constant = False
+        k = MaskConvolution(IterationSpace(dst),
+                            accessor_for(src, 3, Boundary.CLAMP),
+                            mask, 1, 1)
+    ir = typecheck_kernel(parse_kernel(k))
+    return generate(ir, CodegenOptions(backend=backend, **opts),
+                    launch_geometry=(64, 64))
+
+
+def _signature_params(device_code, entry):
+    sig = device_code.split(f"{entry}(")[1].split(")")[0]
+    return [p.strip() for p in sig.split(",")]
+
+
+class TestOpenCLHostArgs:
+    @pytest.mark.parametrize("kwargs", [
+        dict(),
+        dict(use_texture=True),
+        dict(mask_const=False),
+        dict(with_uniform=True),
+    ])
+    def test_arg_count_matches_signature(self, kwargs):
+        src = _sources("opencl", **kwargs)
+        params = _signature_params(src.device_code, src.entry)
+        set_args = re.findall(r"clSetKernelArg\(kernel, (\d+),",
+                              src.host_code)
+        assert len(set_args) == len(params), (params, set_args)
+        assert [int(i) for i in set_args] == list(range(len(params)))
+
+    def test_float_uniform_uses_float_size(self):
+        src = _sources("opencl", with_uniform=True)
+        assert re.search(r"clSetKernelArg\(kernel, \d+, sizeof\(float\), "
+                         r"&value\)", src.host_code)
+
+    def test_buffers_use_cl_mem_size(self):
+        src = _sources("opencl")
+        assert "sizeof(cl_mem), &dev_out" in src.host_code
+        assert "sizeof(cl_mem), &dev_inp" in src.host_code
+
+
+class TestCudaHostArgs:
+    @pytest.mark.parametrize("kwargs", [
+        dict(),
+        dict(use_texture=True),
+        dict(with_uniform=True),
+    ])
+    def test_call_arity_matches_signature(self, kwargs):
+        src = _sources("cuda", **kwargs)
+        params = _signature_params(src.device_code, src.entry)
+        call = re.search(rf"{src.entry}<<<grid, block>>>\(([^;]*)\);",
+                         src.host_code).group(1)
+        n_call_args = len([a for a in call.split(",") if a.strip()])
+        assert n_call_args == len(params), (params, call)
+
+    def test_texture_mode_drops_pointer_everywhere(self):
+        src = _sources("cuda", use_texture=True)
+        params = _signature_params(src.device_code, src.entry)
+        assert not any("* inp" in p for p in params)
+        call = re.search(rf"{src.entry}<<<grid, block>>>\(([^;]*)\);",
+                         src.host_code).group(1)
+        assert "dev_inp," not in call

@@ -1,0 +1,196 @@
+"""Hardware model: device database, occupancy calculator, resources."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MappingError
+from repro.hwmodel import (
+    DEVICES,
+    EVALUATION_DEVICES,
+    compute_occupancy,
+    estimate_resources,
+    get_device,
+    list_devices,
+)
+from repro.hwmodel.resources import smem_tile_bytes
+
+
+class TestDatabase:
+    def test_evaluation_devices_present(self):
+        for name in EVALUATION_DEVICES:
+            assert get_device(name).name == name
+
+    def test_aliases(self):
+        assert get_device("tesla").name == "Tesla C2050"
+        assert get_device("c2050").name == "Tesla C2050"
+        assert get_device("hd5870").vendor == "AMD"
+
+    def test_case_insensitive(self):
+        assert get_device("tesla c2050").name == "Tesla C2050"
+
+    def test_unknown_device(self):
+        with pytest.raises(MappingError):
+            get_device("GeForce RTX 4090")
+
+    def test_list_devices_covers_database(self):
+        assert set(list_devices()) == set(DEVICES)
+
+    def test_paper_specs_tesla(self):
+        d = get_device("tesla")
+        assert d.compute_capability == (2, 0)
+        assert d.max_threads_per_block == 1024
+        assert d.simd_width == 32
+        assert d.num_simd_units == 14
+        assert d.faults_on_oob           # the Table II "crash" rows
+
+    def test_paper_specs_quadro(self):
+        d = get_device("quadro")
+        # "this limit is either 512, 768, or 1024 on graphics cards from
+        # NVIDIA" — GT200: 512 threads/block
+        assert d.max_threads_per_block == 512
+        assert d.register_alloc_scope == "block"
+        assert not d.memory.has_l1_cache
+
+    def test_paper_specs_amd(self):
+        for name in ("hd5870", "hd6970"):
+            d = get_device(name)
+            # "on graphics cards from AMD, the maximal number of threads
+            # that can be mapped to one SIMD unit is 256"
+            assert d.max_threads_per_block == 256
+            assert d.simd_width == 64
+            assert d.vliw_width in (4, 5)
+            assert d.vliw_scalar_utilization < 1.0
+
+    def test_backend_support(self):
+        assert get_device("tesla").supports_backend("cuda")
+        assert get_device("tesla").supports_backend("opencl")
+        assert not get_device("hd5870").supports_backend("cuda")
+
+
+class TestOccupancy:
+    def test_full_occupancy_fermi(self):
+        occ = compute_occupancy(get_device("tesla"), 32, 6,
+                                regs_per_thread=20, smem_per_block=0)
+        assert occ.occupancy == 1.0
+        assert occ.limited_by in ("blocks", "warps")
+
+    def test_128x1_fermi_block_limited(self):
+        # 4 warps/block, 8 blocks max -> 32 of 48 warps
+        occ = compute_occupancy(get_device("tesla"), 128, 1, 20, 0)
+        assert occ.blocks_per_simd == 8
+        assert occ.active_warps == 32
+        assert occ.occupancy == pytest.approx(32 / 48)
+
+    def test_register_limited(self):
+        occ = compute_occupancy(get_device("tesla"), 32, 16, 60, 0)
+        assert occ.limited_by == "registers"
+        assert occ.occupancy < 1.0
+
+    def test_smem_limited(self):
+        occ = compute_occupancy(get_device("tesla"), 32, 8, 20,
+                                smem_per_block=24 * 1024)
+        assert occ.limited_by == "smem"
+        assert occ.blocks_per_simd == 2
+
+    def test_block_too_large_raises(self):
+        with pytest.raises(MappingError):
+            compute_occupancy(get_device("quadro"), 1024, 1, 20, 0)
+        with pytest.raises(MappingError):
+            compute_occupancy(get_device("hd5870"), 512, 1, 20, 0)
+
+    def test_too_many_registers_raises(self):
+        with pytest.raises(MappingError):
+            compute_occupancy(get_device("tesla"), 128, 1, 100, 0)
+
+    def test_too_much_smem_raises(self):
+        with pytest.raises(MappingError):
+            compute_occupancy(get_device("quadro"), 128, 1, 20,
+                              smem_per_block=20 * 1024)
+
+    def test_gt200_warp_pair_allocation(self):
+        # 48 threads = 2 warps raw; GT200 allocates warp pairs, so a
+        # 33-thread block also consumes 2 warps
+        occ33 = compute_occupancy(get_device("quadro"), 33, 1, 16, 0)
+        occ64 = compute_occupancy(get_device("quadro"), 64, 1, 16, 0)
+        assert occ33.warps_per_block == occ64.warps_per_block == 2
+
+    def test_gt200_block_granular_registers(self):
+        d = get_device("quadro")
+        # 256 threads x 30 regs = 7680 -> ceil to 512-unit = 7680;
+        # 16384 // 7680 = 2 blocks
+        occ = compute_occupancy(d, 256, 1, 30, 0)
+        assert occ.blocks_per_simd == 2
+
+    @settings(max_examples=60)
+    @given(regs=st.integers(10, 63), smem=st.integers(0, 40000),
+           bx=st.sampled_from([32, 64, 128, 256]),
+           by=st.sampled_from([1, 2, 4]))
+    def test_occupancy_bounded_and_consistent(self, regs, smem, bx, by):
+        d = get_device("tesla")
+        try:
+            occ = compute_occupancy(d, bx, by, regs, smem)
+        except MappingError:
+            return
+        assert 0 < occ.occupancy <= 1.0
+        assert occ.blocks_per_simd >= 1
+        assert occ.active_warps <= d.max_warps_per_simd
+        assert occ.blocks_per_simd * bx * by <= d.max_threads_per_simd
+
+    @settings(max_examples=40)
+    @given(regs=st.integers(10, 40))
+    def test_monotone_in_registers(self, regs):
+        d = get_device("tesla")
+        lo = compute_occupancy(d, 256, 1, regs, 0)
+        hi = compute_occupancy(d, 256, 1, regs + 20, 0)
+        assert hi.occupancy <= lo.occupancy
+
+    @settings(max_examples=40)
+    @given(smem=st.integers(0, 20000))
+    def test_monotone_in_smem(self, smem):
+        d = get_device("tesla")
+        lo = compute_occupancy(d, 256, 1, 20, smem)
+        hi = compute_occupancy(d, 256, 1, 20, smem + 8192)
+        assert hi.occupancy <= lo.occupancy
+
+
+class TestResources:
+    def _ir(self):
+        from repro.evaluation.variants import _bilateral_ir
+        return _bilateral_ir(True, "clamp", 3, 5.0)
+
+    def test_basic_estimate(self):
+        r = estimate_resources(self._ir(), get_device("tesla"))
+        assert 10 <= r.registers_per_thread <= 63
+        assert r.instruction_mix.global_reads > 0
+        assert r.fits(get_device("tesla"))
+
+    def test_texture_and_smem_add_registers(self):
+        base = estimate_resources(self._ir(), get_device("tesla"))
+        tex = estimate_resources(self._ir(), get_device("tesla"),
+                                 use_texture=True)
+        smem = estimate_resources(self._ir(), get_device("tesla"),
+                                  use_smem=True)
+        assert tex.registers_per_thread > base.registers_per_thread
+        assert smem.registers_per_thread > base.registers_per_thread
+
+    def test_border_variants_add_registers(self):
+        base = estimate_resources(self._ir(), get_device("tesla"),
+                                  border_variants=1)
+        spec = estimate_resources(self._ir(), get_device("tesla"),
+                                  border_variants=9)
+        assert spec.registers_per_thread > base.registers_per_thread
+
+    def test_capped_at_device_max(self):
+        r = estimate_resources(self._ir(), get_device("tesla"),
+                               use_texture=True, use_smem=True,
+                               border_variants=9, unrolled=True)
+        assert r.registers_per_thread <= 63
+
+    def test_smem_tile_bytes_matches_listing7(self):
+        # __shared__ float smem[SY + BSY][SX + BSX + 1]
+        assert smem_tile_bytes((32, 4), (13, 13), 4) == \
+            (4 + 12) * (32 + 12 + 1) * 4
+
+    def test_smem_tile_point_window(self):
+        assert smem_tile_bytes((32, 4), (1, 1), 4) == 4 * (33) * 4

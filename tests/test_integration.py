@@ -1,0 +1,153 @@
+"""Integration tests: multi-kernel pipelines, pyramids, cross-cutting
+behaviour that spans the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Accessor,
+    Boundary,
+    BoundaryCondition,
+    Image,
+    IterationSpace,
+    Mask,
+    compile_kernel,
+)
+from repro.data import angiography_image, impulse_noise_image
+from repro.filters.median import Median3x3
+from repro.filters.multiresolution import multiresolution_filter
+from repro.filters.sobel import (
+    SOBEL_X,
+    SOBEL_Y,
+    GradientMagnitude,
+    SobelX,
+    SobelY,
+)
+
+from .helpers import random_image
+
+
+class TestEdgePipeline:
+    def test_median_sobel_magnitude_chain(self):
+        size = 48
+        frame = impulse_noise_image(size, size, seed=1, density=0.02)
+
+        img0 = Image(size, size).set_data(frame)
+        img1 = Image(size, size)
+        median = Median3x3(
+            IterationSpace(img1),
+            Accessor(BoundaryCondition(img0, 3, 3, Boundary.MIRROR)))
+        compile_kernel(median).execute()
+
+        gx_img, gy_img = Image(size, size), Image(size, size)
+        sx = SobelX(IterationSpace(gx_img),
+                    Accessor(BoundaryCondition(img1, 3, 3,
+                                               Boundary.CLAMP)),
+                    Mask(3, 3).set(SOBEL_X))
+        sy = SobelY(IterationSpace(gy_img),
+                    Accessor(BoundaryCondition(img1, 3, 3,
+                                               Boundary.CLAMP)),
+                    Mask(3, 3).set(SOBEL_Y))
+        compile_kernel(sx).execute()
+        compile_kernel(sy).execute()
+
+        mag_img = Image(size, size)
+        mag = GradientMagnitude(IterationSpace(mag_img),
+                                Accessor(gx_img), Accessor(gy_img))
+        compile_kernel(mag).execute()
+
+        out = mag_img.get_data()
+        expected = np.sqrt(gx_img.get_data() ** 2
+                           + gy_img.get_data() ** 2)
+        np.testing.assert_allclose(out, expected, rtol=1e-5, atol=1e-6)
+        assert out.max() > 0.1    # edges exist
+
+    def test_intermediate_image_reused_with_two_modes(self):
+        """One image feeding two kernels through different boundary
+        modes — the Accessor-decoupling benefit of Section III-A."""
+        size = 24
+        data = random_image(size, size, seed=2)
+        shared = Image(size, size).set_data(data)
+
+        # note: CLAMP and MIRROR agree at offset +-1 (symmetric mirror
+        # maps -1 -> 0 too), so REPEAT is the contrasting mode here
+        out_clamp, out_repeat = Image(size, size), Image(size, size)
+        k1 = SobelX(IterationSpace(out_clamp),
+                    Accessor(BoundaryCondition(shared, 3, 3,
+                                               Boundary.CLAMP)),
+                    Mask(3, 3).set(SOBEL_X))
+        k2 = SobelX(IterationSpace(out_repeat),
+                    Accessor(BoundaryCondition(shared, 3, 3,
+                                               Boundary.REPEAT)),
+                    Mask(3, 3).set(SOBEL_X))
+        compile_kernel(k1).execute()
+        compile_kernel(k2).execute()
+        a, b = out_clamp.get_data(), out_repeat.get_data()
+        # interiors agree, borders differ
+        np.testing.assert_array_equal(a[2:-2, 2:-2], b[2:-2, 2:-2])
+        assert not np.array_equal(a, b)
+
+
+class TestMultiresolution:
+    def test_identity_gains_roundtrip(self):
+        """gains=1 must reconstruct the frame up to resampling loss."""
+        frame = angiography_image(64, 64, seed=4, noise_sigma=0.0)
+        out = multiresolution_filter(frame, levels=2, gains=[1.0, 1.0],
+                                     boundary=Boundary.MIRROR)
+        # identity gains: details added back exactly; the residual comes
+        # only from the base band's down/up-sampling and re-smoothing
+        assert np.abs(out - frame).mean() < 0.08
+
+    def test_zero_gains_smooth(self):
+        frame = angiography_image(64, 64, seed=4, noise_sigma=0.05)
+        out = multiresolution_filter(frame, levels=2, gains=[0.0, 0.0],
+                                     boundary=Boundary.MIRROR)
+        # removing all detail bands must smooth the image
+        assert np.abs(np.diff(out, axis=1)).mean() < \
+            np.abs(np.diff(frame, axis=1)).mean()
+
+    def test_gain_boosts_detail(self):
+        frame = angiography_image(64, 64, seed=5, noise_sigma=0.0)
+        boosted = multiresolution_filter(frame, levels=1, gains=[2.0],
+                                         boundary=Boundary.MIRROR)
+        plain = multiresolution_filter(frame, levels=1, gains=[1.0],
+                                       boundary=Boundary.MIRROR)
+        assert np.abs(np.diff(boosted, axis=0)).mean() > \
+            np.abs(np.diff(plain, axis=0)).mean()
+
+    def test_parameter_validation(self):
+        frame = np.zeros((16, 16), np.float32)
+        with pytest.raises(ValueError):
+            multiresolution_filter(frame, levels=0)
+        with pytest.raises(ValueError):
+            multiresolution_filter(frame, levels=2, gains=[1.0])
+
+
+class TestCrossDeviceConsistency:
+    def test_same_pixels_every_device(self):
+        """Functional output is device-independent; only timing differs."""
+        from repro import EVALUATION_DEVICES, get_device
+        from repro.filters.gaussian import make_gaussian
+
+        data = random_image(20, 20, seed=6)
+        outputs = []
+        for name in EVALUATION_DEVICES:
+            dev = get_device(name)
+            backend = "cuda" if dev.vendor == "NVIDIA" else "opencl"
+            k, _, out = make_gaussian(20, 20, size=3, data=data)
+            compile_kernel(k, backend=backend, device=dev).execute()
+            outputs.append(out.get_data())
+        for other in outputs[1:]:
+            np.testing.assert_array_equal(outputs[0], other)
+
+    def test_timing_differs_across_devices(self):
+        from repro.evaluation.variants import (
+            VariantSpec,
+            evaluate_bilateral_cell,
+        )
+        spec = VariantSpec("Generated+Mask", "generated", use_mask=True)
+        t_tesla = evaluate_bilateral_cell("tesla", "cuda", spec,
+                                          Boundary.CLAMP)
+        t_quadro = evaluate_bilateral_cell("quadro", "cuda", spec,
+                                           Boundary.CLAMP)
+        assert t_tesla != t_quadro

@@ -1,0 +1,178 @@
+"""Interpolating (resampling) accessors: nearest / bilinear."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Accessor,
+    Boundary,
+    BoundaryCondition,
+    CodegenOptions,
+    Image,
+    IterationSpace,
+    Kernel,
+    compile_kernel,
+)
+from repro.backends import generate
+from repro.dsl.interpolate import (
+    InterpolatedAccessor,
+    Interpolation,
+    resize,
+)
+from repro.errors import CodegenError, DslError
+from repro.frontend import parse_kernel
+from repro.ir import typecheck_kernel
+
+from .helpers import random_image
+
+
+class ResampleKernel(Kernel):
+    """Identity over a resampling accessor: out[x, y] = in(scaled)."""
+
+    def __init__(self, iteration_space, inp):
+        super().__init__(iteration_space)
+        self.inp = inp
+        self.add_accessor(inp)
+
+    def kernel(self):
+        self.output(self.inp(0, 0))
+
+
+def _resampler(in_w, in_h, out_w, out_h, interp, data,
+               mode=Boundary.CLAMP):
+    img_in = Image(in_w, in_h).set_data(data)
+    img_out = Image(out_w, out_h)
+    bc = BoundaryCondition(img_in, 3, 3, mode)
+    acc = InterpolatedAccessor(bc, out_w, out_h, interp)
+    kernel = ResampleKernel(IterationSpace(img_out), acc)
+    return kernel, img_out
+
+
+class TestSemantics:
+    def test_identity_when_sizes_match_nearest(self):
+        data = random_image(16, 12, seed=0)
+        k, out = _resampler(16, 12, 16, 12, Interpolation.NEAREST, data)
+        compile_kernel(k, use_texture=False).execute()
+        np.testing.assert_array_equal(out.get_data(), data)
+
+    def test_identity_when_sizes_match_linear(self):
+        data = random_image(16, 12, seed=1)
+        k, out = _resampler(16, 12, 16, 12, Interpolation.LINEAR, data)
+        compile_kernel(k, use_texture=False).execute()
+        np.testing.assert_allclose(out.get_data(), data, atol=1e-6)
+
+    def test_downsample_by_two_nearest(self):
+        data = random_image(16, 16, seed=2)
+        k, out = _resampler(16, 16, 8, 8, Interpolation.NEAREST, data)
+        compile_kernel(k, use_texture=False).execute()
+        # pixel-centre convention: output (0,0) samples input (0.5, 0.5)
+        # -> nearest is input (1, 1)
+        assert out.get_data()[0, 0] == data[1, 1]
+
+    def test_upsample_linear_interpolates(self):
+        # a horizontal ramp upsampled 2x must stay monotone with
+        # intermediate values present
+        ramp = np.tile(np.arange(8, dtype=np.float32), (8, 1))
+        k, out = _resampler(8, 8, 16, 16, Interpolation.LINEAR, ramp)
+        compile_kernel(k, use_texture=False).execute()
+        row = out.get_data()[8]
+        assert np.all(np.diff(row) >= -1e-6)
+        assert np.any((row % 1.0 > 0.2) & (row % 1.0 < 0.8))
+
+    def test_linear_matches_direct_formula(self):
+        data = random_image(9, 7, seed=3)
+        k, out = _resampler(9, 7, 21, 13, Interpolation.LINEAR, data)
+        compile_kernel(k, use_texture=False).execute()
+        ref = resize(data, 21, 13, Interpolation.LINEAR, Boundary.CLAMP)
+        np.testing.assert_allclose(out.get_data(), ref, atol=1e-6)
+
+    @pytest.mark.parametrize("mode", [Boundary.MIRROR, Boundary.REPEAT,
+                                      Boundary.CONSTANT])
+    def test_boundary_modes_honoured(self, mode):
+        data = random_image(8, 8, seed=4)
+        k, out = _resampler(8, 8, 17, 17, Interpolation.LINEAR, data,
+                            mode=mode)
+        compile_kernel(k, use_texture=False).execute()
+        ref = resize(data, 17, 17, Interpolation.LINEAR, mode)
+        np.testing.assert_allclose(out.get_data(), ref, atol=1e-6)
+
+    def test_resize_helper_roundtrip_mean(self):
+        data = random_image(32, 32, seed=5)
+        small = resize(data, 16, 16)
+        back = resize(small, 32, 32)
+        assert abs(float(back.mean() - data.mean())) < 0.02
+
+
+class TestValidation:
+    def test_requires_boundary_condition_when_resampling(self):
+        img = Image(8, 8)
+        with pytest.raises(DslError, match="BoundaryCondition"):
+            InterpolatedAccessor(img, 16, 16, Interpolation.LINEAR)
+
+    def test_same_size_plain_image_allowed(self):
+        acc = InterpolatedAccessor(Image(8, 8), 8, 8,
+                                   Interpolation.NEAREST)
+        assert acc.scale == (1.0, 1.0)
+
+    def test_bad_geometry(self):
+        img = Image(8, 8)
+        bc = BoundaryCondition(img, 3, 3, Boundary.CLAMP)
+        with pytest.raises(DslError):
+            InterpolatedAccessor(bc, 0, 8)
+
+    def test_bad_mode(self):
+        with pytest.raises(DslError):
+            Interpolation.coerce("cubic")
+
+
+class TestCodegen:
+    def _ir(self, interp):
+        data = random_image(8, 8, seed=6)
+        k, _ = _resampler(8, 8, 16, 16, interp, data)
+        return typecheck_kernel(parse_kernel(k))
+
+    @pytest.mark.parametrize("backend", ["cuda", "opencl"])
+    def test_linear_helper_emitted(self, backend):
+        src = generate(self._ir(Interpolation.LINEAR),
+                       CodegenOptions(backend=backend, use_texture=False),
+                       launch_geometry=(16, 16))
+        code = src.device_code
+        assert "_interp_inp(" in code
+        assert "v00" in code and "v11" in code
+        assert "(float)width / 16.0f" in code
+        assert code.count("{") == code.count("}")
+
+    def test_nearest_helper_emitted(self):
+        src = generate(self._ir(Interpolation.NEAREST),
+                       CodegenOptions(backend="cuda", use_texture=False),
+                       launch_geometry=(16, 16))
+        assert "floorf(fx + 0.5f)" in src.device_code
+
+    def test_boundary_adjustment_inside_helper(self):
+        src = generate(self._ir(Interpolation.LINEAR),
+                       CodegenOptions(backend="cuda", use_texture=False),
+                       launch_geometry=(16, 16))
+        helper = src.device_code.split("_interp_inp(")[1]
+        assert "bh_clamp(" in helper
+
+    def test_texture_path_rejected(self):
+        with pytest.raises(CodegenError, match="texture"):
+            generate(self._ir(Interpolation.LINEAR),
+                     CodegenOptions(backend="cuda", use_texture=True),
+                     launch_geometry=(16, 16))
+
+    def test_vectorize_rejected(self):
+        with pytest.raises(CodegenError, match="vectorized"):
+            generate(self._ir(Interpolation.LINEAR),
+                     CodegenOptions(backend="opencl", vectorize=4),
+                     launch_geometry=(16, 16))
+
+    def test_resources_account_for_taps(self):
+        from repro.hwmodel import estimate_resources, get_device
+        plain_ir = self._ir(Interpolation.NEAREST)
+        linear_ir = self._ir(Interpolation.LINEAR)
+        dev = get_device("tesla")
+        nearest = estimate_resources(plain_ir, dev)
+        linear = estimate_resources(linear_ir, dev)
+        assert linear.instruction_mix.global_reads > \
+            nearest.instruction_mix.global_reads

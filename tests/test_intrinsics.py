@@ -1,0 +1,102 @@
+"""Intrinsic registry and per-backend function mapping (Section V-A)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import UnsupportedFunctionError
+from repro.intrinsics import (
+    ALIASES,
+    INTRINSICS,
+    intrinsic_result_type,
+    python_value,
+    resolve,
+)
+from repro.types import DOUBLE, FLOAT, INT
+
+
+class TestRegistry:
+    def test_core_functions_present(self):
+        for name in ("exp", "log", "sqrt", "sin", "cos", "pow", "fabs",
+                     "min", "max", "abs", "atan2", "floor"):
+            assert name in INTRINSICS
+
+    def test_suffixed_aliases(self):
+        assert ALIASES["expf"] == "exp"
+        assert ALIASES["sqrtf"] == "sqrt"
+        assert resolve("expf").name == "exp"
+
+    def test_math_module_aliases(self):
+        assert resolve("math.exp").name == "exp"
+        assert resolve("math.atan2").name == "atan2"
+
+    def test_unknown_raises_with_listing(self):
+        """'In case a function is not supported, our compiler emits an
+        error message to the user.'"""
+        with pytest.raises(UnsupportedFunctionError, match="supported"):
+            resolve("erfinv")
+
+
+class TestBackendMapping:
+    def test_cuda_float_suffix(self):
+        intr = resolve("exp")
+        assert intr.target_name("cuda", FLOAT) == "expf"
+        assert intr.target_name("cuda", DOUBLE) == "exp"
+
+    def test_opencl_overloaded(self):
+        intr = resolve("exp")
+        assert intr.target_name("opencl", FLOAT) == "exp"
+        assert intr.target_name("opencl", DOUBLE) == "exp"
+
+    def test_min_max_unsuffixed_everywhere(self):
+        for name in ("min", "max", "abs"):
+            intr = resolve(name)
+            assert intr.target_name("cuda", FLOAT) == name
+            assert intr.target_name("opencl", FLOAT) == name
+
+    def test_fast_variants_recorded(self):
+        assert resolve("exp").fast_variant == "__expf"
+        assert resolve("sin").fast_variant == "__sinf"
+
+    def test_unknown_backend(self):
+        with pytest.raises(UnsupportedFunctionError):
+            resolve("exp").target_name("metal", FLOAT)
+
+
+class TestEvaluation:
+    def test_python_value(self):
+        assert python_value("sqrt", 9.0) == pytest.approx(3.0)
+        assert python_value("min", 2.0, 5.0) == 2.0
+        assert python_value("exp", 0.0) == pytest.approx(1.0)
+
+    def test_arity_checked(self):
+        with pytest.raises(UnsupportedFunctionError):
+            python_value("exp", 1.0, 2.0)
+
+    def test_np_funcs_vectorise(self):
+        arr = np.array([1.0, 4.0, 9.0])
+        out = resolve("sqrt").np_func(arr)
+        np.testing.assert_allclose(out, [1, 2, 3])
+
+    def test_matches_python_math(self):
+        for name, ref in (("exp", math.exp), ("log", math.log),
+                          ("sin", math.sin), ("tanh", math.tanh)):
+            assert python_value(name, 0.7) == pytest.approx(ref(0.7))
+
+
+class TestResultTypes:
+    def test_float_intrinsics_return_float(self):
+        assert intrinsic_result_type("exp", [INT]) is FLOAT
+        assert intrinsic_result_type("sqrt", [FLOAT]) is FLOAT
+
+    def test_double_propagates(self):
+        assert intrinsic_result_type("exp", [DOUBLE]) is DOUBLE
+
+    def test_minmax_follow_operands(self):
+        assert intrinsic_result_type("min", [INT, INT]) is INT
+        assert intrinsic_result_type("max", [FLOAT, INT]) is FLOAT
+
+    def test_costs_assigned(self):
+        assert resolve("exp").cost > resolve("fabs").cost
+        assert resolve("min").cost <= 2

@@ -1,0 +1,150 @@
+"""IR node helpers, CFG construction, printer."""
+
+import pytest
+
+from repro.ir import nodes as N
+from repro.ir.cfg import build_cfg
+from repro.ir.printer import format_expr, format_kernel
+from repro.types import FLOAT, INT
+
+
+def _int(v):
+    return N.IntConst(v, INT)
+
+
+class TestConstIntValue:
+    def test_literals(self):
+        assert N.const_int_value(_int(5)) == 5
+        assert N.const_int_value(N.BoolConst(True)) == 1
+
+    def test_unary(self):
+        assert N.const_int_value(N.UnOp("-", _int(3))) == -3
+        assert N.const_int_value(N.UnOp("+", _int(3))) == 3
+
+    def test_arithmetic(self):
+        e = N.BinOp("+", N.BinOp("*", _int(2), _int(3)), _int(1))
+        assert N.const_int_value(e) == 7
+        e = N.BinOp("-", _int(10), _int(4))
+        assert N.const_int_value(e) == 6
+
+    def test_int_cast(self):
+        e = N.Cast(INT, _int(9))
+        assert N.const_int_value(e) == 9
+
+    def test_float_cast_not_constant_int(self):
+        e = N.Cast(FLOAT, _int(9))
+        assert N.const_int_value(e) is None
+
+    def test_var_not_constant(self):
+        assert N.const_int_value(N.VarRef("x")) is None
+        e = N.BinOp("+", N.VarRef("x"), _int(1))
+        assert N.const_int_value(e) is None
+
+    def test_division_not_folded(self):
+        # division is excluded (C vs Python semantics differ)
+        e = N.BinOp("/", _int(7), _int(2))
+        assert N.const_int_value(e) is None
+
+
+class TestNodeStructure:
+    def test_children_and_rebuild(self):
+        e = N.BinOp("+", _int(1), _int(2))
+        a, b = e.children()
+        rebuilt = e.with_children(_int(3), b)
+        assert rebuilt.lhs.value == 3
+        assert e.lhs.value == 1          # original untouched
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            N.BinOp("**", _int(1), _int(2))
+        with pytest.raises(ValueError):
+            N.UnOp("abs", _int(1))
+
+    def test_accessor_read_defaults_to_centre(self):
+        r = N.AccessorRead("inp")
+        assert N.const_int_value(r.dx) == 0
+        assert N.const_int_value(r.dy) == 0
+
+    def test_kernel_lookup_helpers(self):
+        k = N.KernelIR(
+            name="k", pixel_type=FLOAT, body=[],
+            accessors=[N.AccessorInfo("a", FLOAT, "clamp")],
+            masks=[N.MaskInfo("m", FLOAT, (3, 3))],
+            params=[N.ParamInfo("p", INT, 1)])
+        assert k.accessor("a").name == "a"
+        assert k.mask("m").size == (3, 3)
+        assert k.param("p").value == 1
+        with pytest.raises(KeyError):
+            k.accessor("zzz")
+
+
+def _simple_body():
+    return [
+        N.VarDecl("s", N.FloatConst(0.0, FLOAT), FLOAT),
+        N.ForRange("i", _int(0), _int(3), _int(1), [
+            N.Assign("s", N.BinOp("+", N.VarRef("s"),
+                                  N.AccessorRead("inp", N.VarRef("i"),
+                                                 _int(0)))),
+        ]),
+        N.If(N.BinOp(">", N.VarRef("s"), N.FloatConst(1.0, FLOAT)),
+             [N.Assign("s", N.FloatConst(1.0, FLOAT))],
+             [N.Assign("s", N.FloatConst(0.0, FLOAT))]),
+        N.OutputWrite(N.VarRef("s")),
+    ]
+
+
+class TestCfg:
+    def test_straight_line_single_path(self):
+        cfg = build_cfg([N.OutputWrite(N.FloatConst(1.0))])
+        order = cfg.reverse_postorder()
+        assert order[0] == cfg.entry
+        assert order[-1] == cfg.exit
+
+    def test_if_creates_diamond(self):
+        body = [N.If(N.BoolConst(True), [N.OutputWrite(N.FloatConst(1.0))],
+                     [N.OutputWrite(N.FloatConst(2.0))])]
+        cfg = build_cfg(body)
+        entry_succ = cfg.blocks[cfg.entry].successors
+        assert len(entry_succ) == 2     # then + else
+
+    def test_loop_has_back_edge(self):
+        cfg = build_cfg(_simple_body())
+        has_back_edge = False
+        order = cfg.reverse_postorder()
+        position = {b: i for i, b in enumerate(order)}
+        for block in cfg.blocks.values():
+            for succ in block.successors:
+                if succ in position and block.index in position \
+                        and position[succ] < position[block.index]:
+                    has_back_edge = True
+        assert has_back_edge
+
+    def test_all_blocks_reachable(self):
+        cfg = build_cfg(_simple_body())
+        assert cfg.reachable() == set(cfg.blocks)
+
+    def test_predecessors(self):
+        cfg = build_cfg(_simple_body())
+        assert cfg.predecessors(cfg.entry) == [] or \
+            all(cfg.entry in cfg.blocks[p].successors
+                for p in cfg.predecessors(cfg.entry))
+
+
+class TestPrinter:
+    def test_expr_precedence_parentheses(self):
+        e = N.BinOp("*", N.BinOp("+", _int(1), _int(2)), _int(3))
+        assert format_expr(e) == "(1 + 2) * 3"
+
+    def test_expr_no_spurious_parens(self):
+        e = N.BinOp("+", N.BinOp("*", _int(1), _int(2)), _int(3))
+        assert format_expr(e) == "1 * 2 + 3"
+
+    def test_kernel_format_includes_metadata(self):
+        k = N.KernelIR(
+            name="k", pixel_type=FLOAT, body=_simple_body(),
+            accessors=[N.AccessorInfo("inp", FLOAT, "clamp",
+                                      window=(3, 3))])
+        text = format_kernel(k)
+        assert "accessor inp" in text
+        assert "for i in range(0, 3, 1)" in text
+        assert "output() = s;" in text

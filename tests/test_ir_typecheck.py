@@ -1,0 +1,201 @@
+"""Type checking: inference, implicit conversions, structural rules."""
+
+import pytest
+
+from repro.errors import TypeError_, VerificationError
+from repro.ir import nodes as N
+from repro.ir.typecheck import typecheck_kernel
+from repro.ir.visitors import iter_all_exprs
+from repro.types import BOOL, FLOAT, INT
+
+
+def _kernel(body, accessors=None, masks=None, params=None):
+    return N.KernelIR(
+        name="t", pixel_type=FLOAT, body=body,
+        accessors=accessors or [N.AccessorInfo("inp", FLOAT, "clamp",
+                                               window=(3, 3))],
+        masks=masks or [],
+        params=params or [])
+
+
+def _read(dx=0, dy=0):
+    return N.AccessorRead("inp", N.IntConst(dx), N.IntConst(dy))
+
+
+class TestInference:
+    def test_literal_types(self):
+        k = typecheck_kernel(_kernel([N.OutputWrite(N.FloatConst(1.0))]))
+        assert k.body[0].value.type == FLOAT
+
+    def test_int_float_promotion_inserts_cast(self):
+        body = [N.OutputWrite(N.BinOp("+", N.IntConst(1),
+                                      N.FloatConst(2.0)))]
+        k = typecheck_kernel(_kernel(body))
+        add = k.body[0].value
+        assert add.type == FLOAT
+        assert isinstance(add.lhs, N.Cast) and add.lhs.target == FLOAT
+
+    def test_comparison_yields_bool(self):
+        body = [
+            N.VarDecl("f", N.BinOp("<", N.IntConst(1), N.IntConst(2))),
+            N.OutputWrite(N.Select(N.VarRef("f"), N.FloatConst(1.0),
+                                   N.FloatConst(0.0))),
+        ]
+        k = typecheck_kernel(_kernel(body))
+        assert k.body[0].init.type == BOOL
+
+    def test_accessor_read_gets_pixel_type(self):
+        k = typecheck_kernel(_kernel([N.OutputWrite(_read())]))
+        assert k.body[0].value.type == FLOAT
+
+    def test_output_coerced_to_pixel_type(self):
+        k = typecheck_kernel(_kernel([N.OutputWrite(N.IntConst(1))]))
+        v = k.body[0].value
+        assert isinstance(v, N.Cast) and v.target == FLOAT
+
+    def test_select_promotes_arms(self):
+        body = [N.OutputWrite(N.Select(N.BoolConst(True), N.IntConst(1),
+                                       N.FloatConst(2.0)))]
+        k = typecheck_kernel(_kernel(body))
+        assert k.body[0].value.type == FLOAT
+
+    def test_intrinsic_promotes_int_args(self):
+        body = [N.OutputWrite(N.Call("exp", (N.IntConst(1),)))]
+        k = typecheck_kernel(_kernel(body))
+        call = k.body[0].value
+        assert call.type == FLOAT
+        assert call.args[0].type == FLOAT
+
+    def test_loop_var_is_int(self):
+        body = [
+            N.VarDecl("s", N.FloatConst(0.0)),
+            N.ForRange("i", N.IntConst(0), N.IntConst(3), N.IntConst(1), [
+                N.Assign("s", N.BinOp("+", N.VarRef("s"),
+                                      N.Cast(FLOAT, N.VarRef("i")))),
+            ]),
+            N.OutputWrite(N.VarRef("s")),
+        ]
+        k = typecheck_kernel(_kernel(body))
+        loop = k.body[1]
+        inner_ref = [e for e in iter_all_exprs(loop.body)
+                     if isinstance(e, N.VarRef) and e.name == "i"]
+        assert inner_ref[0].type == INT
+
+    def test_nonbaked_param_in_scope(self):
+        body = [N.OutputWrite(N.VarRef("gain"))]
+        k = typecheck_kernel(_kernel(
+            body, params=[N.ParamInfo("gain", FLOAT, 1.0, baked=False)]))
+        assert k.body[0].value.type == FLOAT
+
+
+class TestRules:
+    def test_use_before_declaration(self):
+        with pytest.raises(VerificationError, match="undeclared"):
+            typecheck_kernel(_kernel([N.OutputWrite(N.VarRef("ghost"))]))
+
+    def test_assign_before_declaration(self):
+        body = [N.Assign("x", N.FloatConst(1.0)),
+                N.OutputWrite(N.FloatConst(0.0))]
+        with pytest.raises(VerificationError, match="undeclared"):
+            typecheck_kernel(_kernel(body))
+
+    def test_redeclaration_rejected(self):
+        body = [N.VarDecl("x", N.FloatConst(1.0)),
+                N.VarDecl("x", N.FloatConst(2.0)),
+                N.OutputWrite(N.VarRef("x"))]
+        with pytest.raises(VerificationError, match="redeclaration"):
+            typecheck_kernel(_kernel(body))
+
+    def test_branch_scoped_declaration_dies_at_join(self):
+        body = [
+            N.If(N.BoolConst(True),
+                 [N.VarDecl("x", N.FloatConst(1.0))], []),
+            N.OutputWrite(N.VarRef("x")),
+        ]
+        with pytest.raises(VerificationError, match="undeclared"):
+            typecheck_kernel(_kernel(body))
+
+    def test_loop_var_reassignment_rejected(self):
+        body = [
+            N.ForRange("i", N.IntConst(0), N.IntConst(2), N.IntConst(1),
+                       [N.Assign("i", N.IntConst(5))]),
+            N.OutputWrite(N.FloatConst(0.0)),
+        ]
+        with pytest.raises(VerificationError, match="loop variable"):
+            typecheck_kernel(_kernel(body))
+
+    def test_loop_var_shadowing_rejected(self):
+        body = [
+            N.VarDecl("i", N.IntConst(1)),
+            N.ForRange("i", N.IntConst(0), N.IntConst(2), N.IntConst(1),
+                       []),
+            N.OutputWrite(N.FloatConst(0.0)),
+        ]
+        with pytest.raises(VerificationError, match="shadow"):
+            typecheck_kernel(_kernel(body))
+
+    def test_float_loop_bound_rejected(self):
+        body = [
+            N.ForRange("i", N.FloatConst(0.0), N.IntConst(2),
+                       N.IntConst(1), []),
+            N.OutputWrite(N.FloatConst(0.0)),
+        ]
+        with pytest.raises(TypeError_, match="integer"):
+            typecheck_kernel(_kernel(body))
+
+    def test_modulo_on_float_rejected(self):
+        body = [N.OutputWrite(N.BinOp("%", N.FloatConst(1.0),
+                                      N.IntConst(2)))]
+        with pytest.raises(TypeError_):
+            typecheck_kernel(_kernel(body))
+
+    def test_shift_on_float_rejected(self):
+        body = [N.OutputWrite(N.BinOp("<<", N.FloatConst(1.0),
+                                      N.IntConst(2)))]
+        with pytest.raises(TypeError_):
+            typecheck_kernel(_kernel(body))
+
+    def test_missing_output_write_rejected(self):
+        with pytest.raises(VerificationError, match="output"):
+            typecheck_kernel(_kernel([N.VarDecl("x", N.FloatConst(1.0))]))
+
+    def test_output_in_only_one_branch_rejected(self):
+        body = [N.If(N.BoolConst(True),
+                     [N.OutputWrite(N.FloatConst(1.0))], [])]
+        with pytest.raises(VerificationError, match="output"):
+            typecheck_kernel(_kernel(body))
+
+    def test_output_in_both_branches_accepted(self):
+        body = [N.If(N.BoolConst(True),
+                     [N.OutputWrite(N.FloatConst(1.0))],
+                     [N.OutputWrite(N.FloatConst(2.0))])]
+        assert typecheck_kernel(_kernel(body))
+
+    def test_output_inside_loop_rejected(self):
+        body = [N.ForRange("i", N.IntConst(0), N.IntConst(2),
+                           N.IntConst(1),
+                           [N.OutputWrite(N.FloatConst(1.0))])]
+        with pytest.raises(VerificationError, match="loop"):
+            typecheck_kernel(_kernel(body))
+
+    def test_unknown_accessor_rejected(self):
+        body = [N.OutputWrite(N.AccessorRead("ghost"))]
+        with pytest.raises(VerificationError, match="unknown accessor"):
+            typecheck_kernel(_kernel(body))
+
+    def test_unknown_mask_rejected(self):
+        body = [N.OutputWrite(N.MaskRead("ghost"))]
+        with pytest.raises(VerificationError, match="unknown mask"):
+            typecheck_kernel(_kernel(body))
+
+    def test_float_accessor_offset_rejected(self):
+        body = [N.OutputWrite(
+            N.AccessorRead("inp", N.FloatConst(1.0), N.IntConst(0)))]
+        with pytest.raises(TypeError_, match="integer"):
+            typecheck_kernel(_kernel(body))
+
+    def test_intrinsic_arity_checked(self):
+        body = [N.OutputWrite(N.Call("exp", (N.FloatConst(1.0),
+                                             N.FloatConst(2.0))))]
+        with pytest.raises(TypeError_, match="argument"):
+            typecheck_kernel(_kernel(body))

@@ -1,0 +1,197 @@
+"""Device mapping: Algorithm 2, exploration, optimization database."""
+
+import pytest
+
+from repro import Boundary
+from repro.errors import MappingError
+from repro.hwmodel import DEVICES, get_device
+from repro.ir.analysis import InstructionMix
+from repro.mapping import (
+    candidate_configurations,
+    default_database,
+    explore_configurations,
+    select_configuration,
+)
+from repro.mapping.explore import best_point
+from repro.mapping.microbench import benchmark_device, build_database
+
+
+class TestCandidates:
+    def test_all_multiples_of_simd_width(self):
+        for cand in candidate_configurations(get_device("tesla"), 20):
+            assert cand.threads % 32 == 0
+
+    def test_sorted_by_occupancy_then_threads(self):
+        cands = candidate_configurations(get_device("tesla"), 20)
+        occs = [c.occupancy.occupancy for c in cands]
+        assert occs == sorted(occs, reverse=True)
+        top = [c for c in cands if c.occupancy.occupancy == occs[0]]
+        threads = [c.threads for c in top]
+        assert threads == sorted(threads)
+
+    def test_within_device_limits(self):
+        for name in ("tesla", "quadro", "hd5870"):
+            dev = get_device(name)
+            for cand in candidate_configurations(dev, 20):
+                assert cand.threads <= dev.max_threads_per_block
+
+    def test_amd_capped_at_256(self):
+        cands = candidate_configurations(get_device("hd5870"), 20)
+        assert max(c.threads for c in cands) <= 256
+
+    def test_impossible_resources_raise(self):
+        with pytest.raises(MappingError):
+            candidate_configurations(get_device("tesla"), 20,
+                                     smem_per_block=10 ** 9)
+
+    def test_register_pressure_filters_configs(self):
+        light = candidate_configurations(get_device("tesla"), 16)
+        heavy = candidate_configurations(get_device("tesla"), 60)
+        assert max(c.threads for c in heavy) <= \
+            max(c.threads for c in light)
+
+
+class TestAlgorithm2:
+    def test_no_border_prefers_1d_rows(self):
+        """Without border handling the x-dimension is preferred —
+        '1D-configurations like 128x1 or 256x1'."""
+        sel = select_configuration(get_device("tesla"), 24,
+                                   border_handling=False)
+        assert sel.block[1] == 1
+        assert sel.block[0] >= 128
+
+    def test_border_prefers_y_tiling(self):
+        """With border handling, x pinned near the SIMD width and y
+        preferred — the paper's 32x6 example on the Tesla."""
+        sel = select_configuration(get_device("tesla"), 24,
+                                   border_handling=True,
+                                   image_size=(4096, 4096),
+                                   window=(13, 13))
+        assert sel.block == (32, 6)
+        assert sel.boundary_threads is not None
+
+    def test_border_choice_minimises_bh_threads_among_top_occ(self):
+        from repro.backends.border import border_thread_count
+        dev = get_device("tesla")
+        sel = select_configuration(dev, 24, border_handling=True,
+                                   image_size=(4096, 4096),
+                                   window=(13, 13))
+        assert sel.boundary_threads == border_thread_count(
+            4096, 4096, sel.block, (13, 13))
+
+    def test_always_legal_configuration(self):
+        for name in DEVICES:
+            dev = get_device(name)
+            sel = select_configuration(dev, 24, border_handling=True,
+                                       image_size=(1024, 1024),
+                                       window=(5, 5))
+            assert dev.valid_block(*sel.block)
+            assert sel.block[0] * sel.block[1] % dev.simd_width == 0
+
+    def test_gt200_picks_smaller_blocks(self):
+        tesla = select_configuration(get_device("tesla"), 24,
+                                     border_handling=False)
+        quadro = select_configuration(get_device("quadro"), 24,
+                                      border_handling=False)
+        assert quadro.block[0] * quadro.block[1] <= \
+            tesla.block[0] * tesla.block[1]
+
+    def test_high_register_pressure_adapts(self):
+        # 60 regs/thread on Fermi: 1920 regs/warp -> 17 resident warps;
+        # the best single block is exactly 17 warps = 544 threads
+        sel = select_configuration(get_device("tesla"), 60,
+                                   border_handling=False)
+        assert sel.block[0] * sel.block[1] <= 544
+        light = select_configuration(get_device("tesla"), 16,
+                                     border_handling=False)
+        assert sel.occupancy <= light.occupancy
+
+    def test_occupancy_reported(self):
+        sel = select_configuration(get_device("tesla"), 24,
+                                   border_handling=False)
+        assert 0 < sel.occupancy <= 1.0
+
+
+class TestExploration:
+    def _points(self, device="tesla"):
+        mix = InstructionMix(alu=3000, sfu=2000, global_reads=170,
+                             mask_reads=169, branches=28,
+                             reads_by_accessor={"input": 170})
+        return explore_configurations(
+            get_device(device), mix, 4096, 4096, (13, 13),
+            boundary_mode=Boundary.CLAMP, use_texture=True,
+            regs_per_thread=24)
+
+    def test_explores_many_configs(self):
+        points = self._points()
+        assert len(points) > 60
+
+    def test_multiple_tilings_per_thread_count(self):
+        """Figure 4: 'Multiple points with the same number of threads
+        denote a different tiling for that configuration.'"""
+        points = self._points()
+        per_total = {}
+        for p in points:
+            per_total.setdefault(p.threads, []).append(p)
+        assert any(len(v) > 2 for v in per_total.values())
+
+    def test_best_point_is_minimum(self):
+        points = self._points()
+        best = best_point(points)
+        assert best.time_ms == min(p.time_ms for p in points)
+
+    def test_spread_is_significant(self):
+        """Figure 4 shows ~2.5x between best and worst configuration."""
+        points = self._points()
+        worst = max(p.time_ms for p in points)
+        best = min(p.time_ms for p in points)
+        assert worst / best > 1.8
+
+    def test_heuristic_within_10_percent(self):
+        """'the configurations selected by our heuristic are typically
+        within 10% of the best configuration'."""
+        from repro.evaluation.figure4 import figure4_exploration
+        result = figure4_exploration()
+        assert result.heuristic_within <= 1.10
+
+    def test_empty_points_raise(self):
+        with pytest.raises(Exception):
+            best_point([])
+
+
+class TestOptimizationDatabase:
+    def test_database_populated_for_all_devices(self):
+        db = build_database()
+        assert len(db) >= len(DEVICES)   # NVIDIA devices contribute twice
+
+    def test_lookup_direct(self):
+        db = default_database()
+        entry = db.lookup(get_device("tesla"), "cuda")
+        assert entry is not None
+        assert entry.padding_bytes == 128
+
+    def test_lookup_falls_back_to_architecture(self):
+        import dataclasses
+        db = default_database()
+        phantom = dataclasses.replace(get_device("tesla"),
+                                      name="Tesla C2070")
+        entry = db.lookup(phantom, "cuda")
+        assert entry is not None
+        assert get_device(entry.device).architecture == "Fermi"
+
+    def test_texture_beneficial_on_gt200(self):
+        """No L1 on GT200: the texture path must win the micro-benchmark
+        ('whether texture memory is beneficial')."""
+        entry = benchmark_device(get_device("quadro"), "cuda")
+        assert entry.texture_beneficial
+
+    def test_smem_not_beneficial_for_small_windows(self):
+        """Section IV-A: 'For local operators with small window sizes,
+        this is rarely the case.'"""
+        for name in ("tesla", "quadro"):
+            entry = benchmark_device(get_device(name), "cuda")
+            assert not entry.smem_beneficial
+
+    def test_static_masks_always_preferred(self):
+        for entry in default_database().entries():
+            assert entry.constant_mask_static

@@ -1,0 +1,191 @@
+"""Focused unit tests for smaller modules: dsl.math, visitors, printer,
+convolve reduce modes, Uniform typing, error hierarchy."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Reduce, Uniform
+from repro.dsl import math as dslmath
+from repro.dsl.convolve import REDUCE_COMBINE_OP, reduce_identity
+from repro.errors import (
+    CodegenError,
+    DeviceFault,
+    DslError,
+    FrontendError,
+    HipaccError,
+    LaunchError,
+    MappingError,
+    TypeError_,
+    UnsupportedFunctionError,
+    VerificationError,
+)
+from repro.ir import nodes as N
+from repro.ir.printer import format_expr
+from repro.ir.visitors import (
+    ExprTransformer,
+    iter_all_exprs,
+    map_exprs,
+    walk_exprs,
+    walk_stmts,
+)
+from repro.types import FLOAT, INT
+
+
+class TestDslMath:
+    def test_scalar_wrappers(self):
+        assert dslmath.exp(0.0) == pytest.approx(1.0)
+        assert dslmath.sqrt(4.0) == pytest.approx(2.0)
+        assert dslmath.fabs(-3.0) == 3.0
+        assert dslmath.min(2.0, 5.0) == 2.0
+        assert dslmath.max(2.0, 5.0) == 5.0
+
+    def test_suffixed_variants_exist(self):
+        assert dslmath.expf(1.0) == pytest.approx(math.e)
+        assert dslmath.sqrtf(9.0) == pytest.approx(3.0)
+
+    def test_returns_python_scalars(self):
+        assert isinstance(dslmath.exp(1.0), float)
+
+    def test_vector_passthrough(self):
+        out = dslmath.exp(np.zeros(4, np.float32))
+        assert out.shape == (4,)
+
+    def test_all_intrinsics_exported(self):
+        from repro.intrinsics import INTRINSICS
+        for name in INTRINSICS:
+            assert hasattr(dslmath, name), name
+
+
+class TestReduceModes:
+    def test_identities(self):
+        assert reduce_identity(Reduce.SUM) == 0.0
+        assert reduce_identity(Reduce.PROD) == 1.0
+        assert reduce_identity(Reduce.MIN) == float("inf")
+        assert reduce_identity(Reduce.MAX) == float("-inf")
+
+    def test_string_coercion(self):
+        assert Reduce.coerce("sum") is Reduce.SUM
+        assert reduce_identity("max") == float("-inf")
+
+    def test_invalid(self):
+        with pytest.raises(DslError):
+            Reduce.coerce("mean")
+
+    def test_combine_table_complete(self):
+        assert set(REDUCE_COMBINE_OP) == set(Reduce)
+        for binop, intrinsic in REDUCE_COMBINE_OP.values():
+            assert (binop is None) != (intrinsic is None)
+
+
+class TestUniform:
+    def test_type_coercion(self):
+        assert Uniform(1.5).type is FLOAT
+        assert Uniform(3, int).type is INT
+        assert Uniform(1, "float32").type is FLOAT
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError_):
+            Uniform(1, "vec3")
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_hipacc_error(self):
+        for exc in (DslError, FrontendError, TypeError_,
+                    VerificationError, UnsupportedFunctionError,
+                    CodegenError, MappingError, LaunchError, DeviceFault):
+            assert issubclass(exc, HipaccError)
+
+    def test_frontend_error_location(self):
+        err = FrontendError("bad thing", lineno=7,
+                            source_line="    while True:")
+        assert "line 7" in str(err)
+        assert "while True:" in str(err)
+
+    def test_frontend_error_without_location(self):
+        assert str(FrontendError("plain")) == "plain"
+
+
+def _sample_body():
+    return [
+        N.VarDecl("a", N.BinOp("+", N.IntConst(1), N.IntConst(2))),
+        N.If(N.BoolConst(True),
+             [N.Assign("a", N.IntConst(5))],
+             [N.Assign("a", N.IntConst(6))]),
+        N.ForRange("i", N.IntConst(0), N.IntConst(3), N.IntConst(1),
+                   [N.Assign("a", N.BinOp("*", N.VarRef("a"),
+                                          N.VarRef("i")))]),
+        N.OutputWrite(N.Cast(FLOAT, N.VarRef("a"))),
+    ]
+
+
+class TestVisitors:
+    def test_walk_stmts_covers_nesting(self):
+        kinds = [type(s).__name__ for s in walk_stmts(_sample_body())]
+        assert kinds.count("Assign") == 3
+        assert "ForRange" in kinds and "If" in kinds
+
+    def test_iter_all_exprs_counts(self):
+        exprs = list(iter_all_exprs(_sample_body()))
+        assert sum(1 for e in exprs if isinstance(e, N.IntConst)) >= 7
+
+    def test_map_exprs_rewrites_everywhere(self):
+        def bump(e):
+            if isinstance(e, N.IntConst):
+                return N.IntConst(e.value + 100, e.type)
+            return e
+
+        out = map_exprs(_sample_body(), bump)
+        values = [e.value for e in iter_all_exprs(out)
+                  if isinstance(e, N.IntConst)]
+        assert all(v >= 100 for v in values)
+        # original untouched
+        orig_values = [e.value for e in iter_all_exprs(_sample_body())
+                       if isinstance(e, N.IntConst)]
+        assert all(v < 100 for v in orig_values)
+
+    def test_expr_transformer_bottom_up(self):
+        class Collapse(ExprTransformer):
+            def visit_BinOp(self, e):
+                if isinstance(e.lhs, N.IntConst) and \
+                        isinstance(e.rhs, N.IntConst) and e.op == "+":
+                    return N.IntConst(e.lhs.value + e.rhs.value)
+                return e
+
+        out = Collapse().rewrite_body(_sample_body())
+        assert isinstance(out[0].init, N.IntConst)
+        assert out[0].init.value == 3
+
+
+class TestPrinterEdgeCases:
+    def test_double_negation_parenthesised(self):
+        e = N.UnOp("-", N.UnOp("-", N.VarRef("x")))
+        assert format_expr(e) == "-(-x)"
+
+    def test_not_not(self):
+        e = N.UnOp("!", N.UnOp("!", N.VarRef("x")))
+        assert format_expr(e) == "!(!x)"
+
+    def test_nested_select(self):
+        e = N.Select(N.VarRef("c"),
+                     N.Select(N.VarRef("d"), N.IntConst(1),
+                              N.IntConst(2)),
+                     N.IntConst(3))
+        text = format_expr(e)
+        assert text.count("?") == 2
+
+    def test_precedence_mixed(self):
+        e = N.BinOp("*", N.BinOp("+", N.VarRef("a"), N.VarRef("b")),
+                    N.BinOp("-", N.VarRef("c"), N.VarRef("d")))
+        assert format_expr(e) == "(a + b) * (c - d)"
+
+    def test_c_float_literal_special_values(self):
+        from repro.backends.base import c_float_literal
+        assert c_float_literal(float("inf"), FLOAT) == "INFINITY"
+        assert c_float_literal(float("-inf"), FLOAT) == "-INFINITY"
+        assert c_float_literal(float("nan"), FLOAT) == "NAN"
+        assert c_float_literal(1.0, FLOAT).endswith("f")
+        from repro.types import DOUBLE
+        assert not c_float_literal(1.0, DOUBLE).endswith("f")
+        assert c_float_literal(2.0, None) == "2.0f"

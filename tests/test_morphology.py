@@ -1,0 +1,126 @@
+"""Erosion/dilation (convolve MIN/MAX) vs scipy.ndimage morphology."""
+
+import numpy as np
+import pytest
+from scipy import ndimage
+
+from repro import Boundary, compile_kernel
+from repro.filters.morphology import make_morphology, opening, top_hat
+
+from .helpers import random_image
+
+
+def _run(operation, data, size=3, boundary=Boundary.CLAMP):
+    h, w = data.shape
+    k, _, out = make_morphology(w, h, operation, size,
+                                boundary=boundary, data=data)
+    compile_kernel(k, use_texture=False).execute()
+    return out.get_data()
+
+
+class TestMorphology:
+    @pytest.mark.parametrize("size", [3, 5])
+    def test_erode_matches_scipy(self, size):
+        data = random_image(24, 20, seed=1)
+        got = _run("erode", data, size)
+        ref = ndimage.minimum_filter(data, size=size, mode="nearest")
+        np.testing.assert_array_equal(got, ref)
+
+    @pytest.mark.parametrize("size", [3, 5])
+    def test_dilate_matches_scipy(self, size):
+        data = random_image(24, 20, seed=2)
+        got = _run("dilate", data, size)
+        ref = ndimage.maximum_filter(data, size=size, mode="nearest")
+        np.testing.assert_array_equal(got, ref)
+
+    def test_mirror_boundary(self):
+        data = random_image(16, 16, seed=3)
+        got = _run("erode", data, 3, Boundary.MIRROR)
+        padded = np.pad(data, 1, mode="symmetric")
+        ref = np.zeros_like(data)
+        for y in range(16):
+            for x in range(16):
+                ref[y, x] = padded[y:y + 3, x:x + 3].min()
+        np.testing.assert_array_equal(got, ref)
+
+    def test_erode_le_dilate(self):
+        data = random_image(16, 16, seed=4)
+        assert np.all(_run("erode", data) <= _run("dilate", data))
+
+    def test_opening_removes_bright_specks(self):
+        data = np.zeros((32, 32), np.float32)
+        data[10, 10] = 1.0          # single bright pixel
+        data[20:28, 20:28] = 0.8    # large bright block survives
+        opened = opening(data, size=3)
+        assert opened[10, 10] == 0.0
+        assert opened[23, 23] == pytest.approx(0.8)
+
+    def test_top_hat_isolates_thin_structures(self):
+        data = np.full((32, 32), 0.5, np.float32)
+        data[:, 15] = 1.0           # thin bright line
+        th = top_hat(data, size=5)
+        assert th[16, 15] == pytest.approx(0.5)
+        assert abs(th[16, 3]) < 1e-6
+
+    def test_idempotent_opening(self):
+        data = random_image(20, 20, seed=5)
+        once = opening(data, size=3)
+        twice = opening(once, size=3)
+        np.testing.assert_allclose(twice, once, atol=1e-6)
+
+    def test_generated_code_uses_min_max(self):
+        from repro import CodegenOptions
+        from repro.backends import generate
+        from repro.frontend import parse_kernel
+        from repro.ir import typecheck_kernel
+
+        data = random_image(16, 16)
+        k, _, _ = make_morphology(16, 16, "erode", 3,
+                                  boundary=Boundary.CLAMP, data=data)
+        ir = typecheck_kernel(parse_kernel(k))
+        src = generate(ir, CodegenOptions(backend="cuda"),
+                       launch_geometry=(16, 16))
+        assert "min(" in src.device_code
+
+
+class TestStructuringShapes:
+    def test_disk_erosion_matches_scipy_footprint(self):
+        from scipy import ndimage
+        from repro.dsl.domain import disk_domain
+
+        data = random_image(20, 20, seed=7)
+        got = _run_shape("erode", data, 5, "disk")
+        half = 2
+        yy, xx = np.mgrid[-half:half + 1, -half:half + 1]
+        footprint = xx * xx + yy * yy <= half * half
+        ref = ndimage.minimum_filter(data, footprint=footprint,
+                                     mode="nearest")
+        np.testing.assert_array_equal(got, ref)
+
+    def test_cross_dilation(self):
+        from scipy import ndimage
+
+        data = random_image(20, 20, seed=8)
+        got = _run_shape("dilate", data, 3, "cross")
+        footprint = np.array([[0, 1, 0], [1, 1, 1], [0, 1, 0]], bool)
+        ref = ndimage.maximum_filter(data, footprint=footprint,
+                                     mode="nearest")
+        np.testing.assert_array_equal(got, ref)
+
+    def test_unknown_shape(self):
+        from repro.errors import DslError
+        from repro.filters.morphology import structuring_element
+
+        with pytest.raises(DslError):
+            structuring_element(3, "hexagon")
+
+
+def _run_shape(operation, data, size, shape):
+    from repro import compile_kernel
+    from repro.filters.morphology import make_morphology
+
+    h, w = data.shape
+    k, _, out = make_morphology(w, h, operation, size, shape,
+                                boundary=Boundary.CLAMP, data=data)
+    compile_kernel(k, use_texture=False).execute()
+    return out.get_data()

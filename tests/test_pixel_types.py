@@ -1,0 +1,148 @@
+"""Non-float pixel types and mixed multi-accessor kernels end to end."""
+
+import numpy as np
+import pytest
+from scipy.ndimage import correlate
+
+from repro import (
+    Accessor,
+    Boundary,
+    BoundaryCondition,
+    Image,
+    IterationSpace,
+    Kernel,
+    compile_kernel,
+)
+
+from .helpers import random_image
+
+
+class ThresholdU8(Kernel):
+    """uint8 -> uint8 threshold (integer select)."""
+
+    def __init__(self, iteration_space, inp, t):
+        super().__init__(iteration_space)
+        self.inp = inp
+        self.t = int(t)
+        self.add_accessor(inp)
+
+    def kernel(self):
+        v = self.inp(0, 0)
+        self.output(255 if v > self.t else 0)
+
+
+class BoxSumInt(Kernel):
+    """int32 3x3 neighbourhood sum."""
+
+    def __init__(self, iteration_space, inp):
+        super().__init__(iteration_space)
+        self.inp = inp
+        self.add_accessor(inp)
+
+    def kernel(self):
+        s = 0
+        for dy in range(-1, 2):
+            for dx in range(-1, 2):
+                s += self.inp(dx, dy)
+        self.output(s)
+
+
+class MixedWindows(Kernel):
+    """Two accessors with different windows and boundary modes — the
+    paper's rule: "the largest window size specified is taken"."""
+
+    def __init__(self, iteration_space, wide, narrow):
+        super().__init__(iteration_space)
+        self.wide = wide
+        self.narrow = narrow
+        self.add_accessor(wide)
+        self.add_accessor(narrow)
+
+    def kernel(self):
+        s = 0.0
+        for d in range(-3, 4):
+            s += self.wide(d, 0)
+        self.output(s * 0.1 + self.narrow(0, 1))
+
+
+class TestIntegerKernels:
+    def test_u8_threshold(self):
+        data = (np.arange(64, dtype=np.uint8).reshape(8, 8) * 4) \
+            .astype(np.uint8)
+        src = Image(8, 8, "uint8").set_data(data)
+        dst = Image(8, 8, "uint8")
+        k = ThresholdU8(IterationSpace(dst), Accessor(src), 100)
+        compiled = compile_kernel(k, backend="cuda", use_texture=False)
+        compiled.execute()
+        ref = np.where(data > 100, 255, 0).astype(np.uint8)
+        np.testing.assert_array_equal(dst.get_data(), ref)
+        assert dst.get_data().dtype == np.uint8
+
+    def test_u8_codegen_types(self):
+        data = np.zeros((8, 8), np.uint8)
+        src = Image(8, 8, "uint8").set_data(data)
+        dst = Image(8, 8, "uint8")
+        k = ThresholdU8(IterationSpace(dst), Accessor(src), 100)
+        cu = compile_kernel(k, backend="cuda", use_texture=False)
+        assert "unsigned char * OUT" in cu.device_code
+        assert "unsigned char v" in cu.device_code
+        cl = compile_kernel(k, backend="opencl", use_texture=False)
+        assert "uchar" in cl.device_code
+
+    def test_int_box_sum_with_boundary(self):
+        data = np.arange(100, dtype=np.int32).reshape(10, 10)
+        src = Image(10, 10, "int").set_data(data)
+        dst = Image(10, 10, "int")
+        bc = BoundaryCondition(src, 3, 3, Boundary.CLAMP)
+        k = BoxSumInt(IterationSpace(dst), Accessor(bc))
+        compile_kernel(k, backend="opencl", device="hd6970",
+                       use_texture=False).execute()
+        ref = correlate(data.astype(np.int64), np.ones((3, 3), np.int64),
+                        mode="nearest")
+        np.testing.assert_array_equal(dst.get_data().astype(np.int64),
+                                      ref)
+
+    def test_short_roundtrip(self):
+        data = (random_image(8, 8, seed=1) * 1000).astype(np.int16)
+        src = Image(8, 8, "int16").set_data(data)
+        dst = Image(8, 8, "int16")
+        from .helpers import CopyKernel
+        k = CopyKernel(IterationSpace(dst), Accessor(src))
+        compile_kernel(k, use_texture=False).execute()
+        np.testing.assert_array_equal(dst.get_data(), data)
+
+
+class TestMultiAccessor:
+    def _build(self, data):
+        src = Image(16, 16).set_data(data)
+        dst = Image(16, 16)
+        wide = Accessor(BoundaryCondition(src, 7, 1, Boundary.CLAMP))
+        narrow = Accessor(BoundaryCondition(src, 3, 3, Boundary.MIRROR))
+        return MixedWindows(IterationSpace(dst), wide, narrow), dst
+
+    def test_largest_window_drives_layout(self):
+        data = random_image(16, 16, seed=2)
+        k, _ = self._build(data)
+        compiled = compile_kernel(k, use_texture=False, block=(8, 2))
+        assert compiled.window == (7, 3)
+
+    def test_functional_result(self):
+        data = random_image(16, 16, seed=3)
+        k, dst = self._build(data)
+        compile_kernel(k, use_texture=False, block=(8, 2)).execute()
+        padded_c = np.pad(data, ((0, 0), (3, 3)), mode="edge")
+        wide_sum = sum(padded_c[:, 3 + d:3 + d + 16]
+                       for d in range(-3, 4))
+        padded_m = np.pad(data, 1, mode="symmetric")
+        narrow = padded_m[2:2 + 16, 1:1 + 16]
+        expected = (wide_sum * np.float32(0.1) + narrow) \
+            .astype(np.float32)
+        np.testing.assert_allclose(dst.get_data(), expected, atol=1e-5)
+
+    def test_each_accessor_keeps_its_mode_in_codegen(self):
+        data = random_image(16, 16, seed=4)
+        k, _ = self._build(data)
+        compiled = compile_kernel(k, use_texture=False, block=(8, 2))
+        code = compiled.device_code
+        assert "bh_clamp" in code      # the wide accessor
+        assert "bh_mirror" in code     # the narrow accessor

@@ -1,0 +1,172 @@
+"""Global operators: image-wide reductions (paper Sections I / VIII)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Accessor,
+    AbsMaxReduction,
+    GlobalReduction,
+    Image,
+    IterationSpace,
+    MaxReduction,
+    MinReduction,
+    SumReduction,
+    compile_reduction,
+)
+from repro.errors import DslError, FrontendError
+
+from repro.dsl.math import fabs, max  # noqa: A004 (kernel intrinsics)
+
+from .helpers import random_image
+
+
+class MeanAbsCombine(GlobalReduction):
+    """Custom combine with a local temporary and an intrinsic."""
+
+    def reduce(self, left, right):
+        bigger = max(fabs(left), fabs(right))
+        return bigger
+
+
+class BadNoReturn(GlobalReduction):
+    def reduce(self, left, right):
+        x = left + right  # noqa: F841
+
+
+class BadArity(GlobalReduction):
+    def reduce(self, left):  # type: ignore[override]
+        return left
+
+
+def _setup(width=33, height=21, seed=0, signed=True):
+    data = random_image(width, height, seed=seed)
+    if signed:
+        data = (data - 0.5).astype(np.float32)
+    img = Image(width, height).set_data(data)
+    return data, img, IterationSpace(img), Accessor(img)
+
+
+class TestBuiltins:
+    def test_sum(self):
+        data, img, space, acc = _setup()
+        result = compile_reduction(SumReduction(space, acc)).execute()
+        assert result.value == pytest.approx(float(data.sum()), rel=1e-4)
+
+    def test_min_max(self):
+        data, img, space, acc = _setup(seed=1)
+        assert compile_reduction(MinReduction(space, acc)).execute() \
+            .value == pytest.approx(float(data.min()))
+        assert compile_reduction(MaxReduction(space, acc)).execute() \
+            .value == pytest.approx(float(data.max()))
+
+    def test_absmax(self):
+        data, img, space, acc = _setup(seed=2)
+        result = compile_reduction(AbsMaxReduction(space, acc)).execute()
+        assert result.value == pytest.approx(float(np.abs(data).max()))
+
+    def test_execute_shortcut(self):
+        data, img, space, acc = _setup(seed=3)
+        value = SumReduction(space, acc).execute(device="quadro")
+        assert value == pytest.approx(float(data.sum()), rel=1e-4)
+
+    def test_roi_reduction(self):
+        data, img, _, acc = _setup(48, 48, seed=4)
+        roi = IterationSpace(img, 12, 10, offset_x=8, offset_y=6)
+        result = compile_reduction(SumReduction(roi, acc)).execute()
+        ref = float(data[6:16, 8:20].sum())
+        assert result.value == pytest.approx(ref, rel=1e-4)
+
+    def test_tree_order_is_float32(self):
+        # the pairwise tree over many elements differs from float64 sums
+        data, img, space, acc = _setup(128, 128, seed=5, signed=False)
+        result = compile_reduction(SumReduction(space, acc)).execute()
+        assert result.value == pytest.approx(float(data.sum()), rel=1e-4)
+        assert isinstance(result.value, float)
+
+    def test_custom_combine(self):
+        data, img, space, acc = _setup(seed=6)
+        result = compile_reduction(MeanAbsCombine(space, acc)).execute()
+        assert result.value == pytest.approx(float(np.abs(data).max()))
+
+
+class TestCodegen:
+    def _source(self, backend):
+        _, img, space, acc = _setup()
+        return compile_reduction(SumReduction(space, acc),
+                                 backend=backend)
+
+    @pytest.mark.parametrize("backend", ["cuda", "opencl"])
+    def test_two_stage_structure(self, backend):
+        compiled = self._source(backend)
+        code = compiled.device_code
+        assert "REDUCE(a, b)" in code
+        assert "_stage1" in code and "_stage2" in code
+        assert compiled.source.num_variants == 2
+        assert code.count("{") == code.count("}")
+
+    def test_cuda_uses_shared_memory_tree(self):
+        code = self._source("cuda").device_code
+        assert "__shared__ float _sdata" in code
+        assert "__syncthreads();" in code
+        assert "s >>= 1" in code
+
+    def test_opencl_uses_local_memory_tree(self):
+        code = self._source("opencl").device_code
+        assert "__local float _sdata" in code
+        assert "barrier(CLK_LOCAL_MEM_FENCE);" in code
+
+    def test_combine_macro_inlined(self):
+        code = self._source("cuda").device_code
+        assert "#define REDUCE(a, b) ((a) + (b))" in code
+
+    def test_multi_statement_combine_becomes_function(self):
+        _, img, space, acc = _setup()
+        compiled = compile_reduction(MeanAbsCombine(space, acc))
+        assert "reduce_op(" in compiled.device_code
+
+    def test_block_size_power_of_two(self):
+        from repro.errors import CodegenError
+        _, img, space, acc = _setup()
+        with pytest.raises(CodegenError):
+            compile_reduction(SumReduction(space, acc), block_size=200)
+
+    def test_host_driver_emitted(self):
+        compiled = self._source("cuda")
+        assert "cudaMalloc" in compiled.source.host_code
+        assert "_stage2<<<1," in compiled.source.host_code
+
+
+class TestValidation:
+    def test_missing_return(self):
+        _, img, space, acc = _setup()
+        with pytest.raises(FrontendError, match="return"):
+            compile_reduction(BadNoReturn(space, acc))
+
+    def test_wrong_arity(self):
+        _, img, space, acc = _setup()
+        with pytest.raises(FrontendError, match="two value parameters"):
+            compile_reduction(BadArity(space, acc))
+
+    def test_base_class_not_implemented(self):
+        _, img, space, acc = _setup()
+        with pytest.raises(FrontendError, match="override"):
+            compile_reduction(GlobalReduction(space, acc))
+
+    def test_requires_accessor_and_space(self):
+        _, img, space, acc = _setup()
+        with pytest.raises(DslError):
+            GlobalReduction(space, "nope")
+        with pytest.raises(DslError):
+            GlobalReduction("nope", acc)
+
+    def test_non_reduction_rejected(self):
+        with pytest.raises(DslError):
+            compile_reduction("nope")
+
+    def test_timing_is_bandwidth_bound(self):
+        _, img, space, acc = _setup(512, 512)
+        compiled = compile_reduction(SumReduction(space, acc))
+        t = compiled.estimate_time_ms()
+        # one streaming pass of 1 MB at ~144 GB/s + two launches
+        assert 0.005 < t < 1.0

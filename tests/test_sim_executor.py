@@ -1,0 +1,277 @@
+"""Functional executor: vectorised IR evaluation semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Boundary
+from repro.backends.border import Side
+from repro.errors import DeviceFault, VerificationError
+from repro.frontend import parse_kernel
+from repro.frontend.parser import accessor_objects
+from repro.ir import nodes as N
+from repro.ir import typecheck_kernel
+from repro.sim.executor import (
+    _c_int_div,
+    _c_int_mod,
+    evaluate_body,
+    sample_accessor,
+)
+from repro.sim.reference import execute_reference
+from repro.types import FLOAT
+
+from .helpers import (
+    AddUniform,
+    BranchKernel,
+    ConvolveSyntax,
+    CopyKernel,
+    IntArithmetic,
+    IterationSpace,
+    MaskConvolution,
+    MinReduce,
+    PositionKernel,
+    accessor_for,
+    box_mask,
+    build_image_pair,
+    random_image,
+)
+
+
+def _compile(kernel_cls, *args, width=12, height=10, window=1,
+             mode=Boundary.CLAMP, seed=3, **kwargs):
+    data = random_image(width, height, seed=seed)
+    src, dst = build_image_pair(width, height, data=data)
+    k = kernel_cls(IterationSpace(dst), accessor_for(src, window, mode),
+                   *args, **kwargs)
+    ir = typecheck_kernel(parse_kernel(k))
+    return ir, accessor_objects(k), data
+
+
+def _grid(width=12, height=10):
+    return np.meshgrid(np.arange(width), np.arange(height))
+
+
+class TestCIntegerSemantics:
+    @settings(max_examples=200)
+    @given(a=st.integers(-1000, 1000), b=st.integers(-50, 50))
+    def test_div_mod_match_c(self, a, b):
+        if b == 0:
+            return
+        # C: truncation toward zero; remainder takes the dividend's sign
+        expected_q = int(a / b) if a * b >= 0 else -(-a // b) \
+            if a < 0 else -(a // -b)
+        expected_q = int(np.trunc(a / b))
+        expected_r = a - expected_q * b
+        assert int(_c_int_div(np.int64(a), np.int64(b))) == expected_q
+        assert int(_c_int_mod(np.int64(a), np.int64(b))) == expected_r
+
+    def test_examples(self):
+        assert int(_c_int_div(np.int32(-7), np.int32(2))) == -3
+        assert int(_c_int_mod(np.int32(-7), np.int32(2))) == -1
+        assert int(_c_int_div(np.int32(7), np.int32(-2))) == -3
+        assert int(_c_int_mod(np.int32(7), np.int32(-2))) == 1
+
+
+class TestBasicExecution:
+    def test_copy(self):
+        ir, accs, data = _compile(CopyKernel)
+        gx, gy = _grid()
+        out = evaluate_body(ir, accs, gx, gy)
+        np.testing.assert_array_equal(out, data)
+
+    def test_output_dtype_is_pixel_type(self):
+        ir, accs, _ = _compile(CopyKernel)
+        gx, gy = _grid()
+        assert evaluate_body(ir, accs, gx, gy).dtype == np.float32
+
+    def test_uniform_param_value_used(self):
+        ir, accs, data = _compile(AddUniform, 2.5)
+        gx, gy = _grid()
+        out = evaluate_body(ir, accs, gx, gy)
+        np.testing.assert_allclose(out, data + np.float32(2.5), rtol=1e-6)
+
+    def test_position_kernel(self):
+        ir, accs, data = _compile(PositionKernel)
+        gx, gy = _grid()
+        out = evaluate_body(ir, accs, gx, gy)
+        expected = (data + gx.astype(np.float32) * np.float32(0.001)
+                    + gy.astype(np.float32) * np.float32(0.002))
+        np.testing.assert_allclose(out, expected, rtol=1e-5)
+
+    def test_divergent_branch(self):
+        ir, accs, data = _compile(BranchKernel, 0.5)
+        gx, gy = _grid()
+        out = evaluate_body(ir, accs, gx, gy)
+        expected = np.where(data > 0.5, data * 2.0, data * 0.5)
+        np.testing.assert_allclose(out, expected.astype(np.float32),
+                                   rtol=1e-6)
+
+    def test_int_arithmetic_kernel(self):
+        ir, accs, data = _compile(IntArithmetic)
+        gx, gy = _grid()
+        out = evaluate_body(ir, accs, gx, gy)
+        ix = gx - 5
+        q = np.trunc(ix / 3)
+        r = ix - q * 3
+        expected = data + q.astype(np.float32) \
+            + np.float32(0.125) * r.astype(np.float32)
+        np.testing.assert_allclose(out, expected, rtol=1e-5)
+
+    def test_convolution_matches_scipy(self):
+        from scipy.ndimage import correlate
+        ir, accs, data = _compile(MaskConvolution, box_mask(3), 1, 1,
+                                  window=3)
+        gx, gy = _grid()
+        out = evaluate_body(ir, accs, gx, gy)
+        ref = correlate(data, np.full((3, 3), 1 / 9, np.float32),
+                        mode="nearest")
+        np.testing.assert_allclose(out, ref, atol=1e-6)
+
+    def test_min_reduce_convolve(self):
+        from scipy.ndimage import minimum_filter
+        ir, accs, data = _compile(MinReduce, box_mask(3), window=3)
+        gx, gy = _grid()
+        out = evaluate_body(ir, accs, gx, gy)
+        ref = minimum_filter(data, size=3, mode="nearest")
+        np.testing.assert_allclose(out, ref, atol=1e-6)
+
+    def test_missing_output_raises(self):
+        body = [N.VarDecl("x", N.FloatConst(1.0, FLOAT), FLOAT)]
+        k = N.KernelIR("t", FLOAT, body)
+        with pytest.raises(VerificationError, match="output"):
+            evaluate_body(k, {}, np.array([0]), np.array([0]))
+
+    def test_missing_mask_coefficients_raise(self):
+        from repro.dsl import Mask
+        src, dst = build_image_pair()
+        mask = Mask(3, 3)   # never .set()
+        k = MaskConvolution(IterationSpace(dst), accessor_for(src, 3),
+                            mask, 1, 1)
+        ir = typecheck_kernel(parse_kernel(k))
+        with pytest.raises(VerificationError, match="coefficients"):
+            evaluate_body(ir, accessor_objects(k), *_grid(16, 16))
+
+
+class TestAgainstReference:
+    """Vectorised executor == scalar per-pixel interpreter."""
+
+    @pytest.mark.parametrize("mode", [Boundary.CLAMP, Boundary.MIRROR,
+                                      Boundary.REPEAT, Boundary.CONSTANT])
+    def test_convolution_all_modes(self, mode):
+        ir, accs, _ = _compile(MaskConvolution, box_mask(3), 1, 1,
+                               window=3, mode=mode)
+        gx, gy = _grid()
+        fast = evaluate_body(ir, accs, gx, gy)
+        slow = execute_reference(ir, accs, 12, 10)
+        np.testing.assert_array_equal(fast, slow)
+
+    def test_branch_kernel(self):
+        ir, accs, _ = _compile(BranchKernel, 0.4)
+        gx, gy = _grid()
+        fast = evaluate_body(ir, accs, gx, gy)
+        slow = execute_reference(ir, accs, 12, 10)
+        np.testing.assert_array_equal(fast, slow)
+
+    def test_convolve_syntax_kernel(self):
+        ir, accs, _ = _compile(ConvolveSyntax, box_mask(3), window=3)
+        gx, gy = _grid()
+        fast = evaluate_body(ir, accs, gx, gy)
+        slow = execute_reference(ir, accs, 12, 10)
+        np.testing.assert_array_equal(fast, slow)
+
+
+class TestSideLimitedSampling:
+    """sample_accessor's side-limited adjustments = the C bh_* helpers."""
+
+    def _acc(self, mode, constant=0.0):
+        data = random_image(8, 6, seed=9)
+        src = build_image_pair(8, 6, data=data)[0]
+        return accessor_for(src, 3, mode, constant), data
+
+    @pytest.mark.parametrize("mode", [Boundary.CLAMP, Boundary.MIRROR,
+                                      Boundary.REPEAT])
+    def test_lo_side_only_adjusts_low(self, mode):
+        acc, data = self._acc(mode)
+        ix = np.array([-1, 0, 3])
+        iy = np.array([0, 0, 0])
+        out = sample_accessor(acc, ix, iy, Side.LO, Side.NONE, False)
+        # -1 adjusted; in-bounds untouched
+        assert out[1] == data[0, 0]
+        assert out[2] == data[0, 3]
+
+    def test_lo_clamp_example(self):
+        acc, data = self._acc(Boundary.CLAMP)
+        out = sample_accessor(acc, np.array([-2]), np.array([0]),
+                              Side.LO, Side.NONE, False)
+        assert out[0] == data[0, 0]
+
+    def test_hi_mirror_example(self):
+        acc, data = self._acc(Boundary.MIRROR)
+        out = sample_accessor(acc, np.array([8]), np.array([0]),
+                              Side.HI, Side.NONE, False)
+        assert out[0] == data[0, 7]
+        out = sample_accessor(acc, np.array([9]), np.array([0]),
+                              Side.HI, Side.NONE, False)
+        assert out[0] == data[0, 6]
+
+    def test_constant_side_limited_predicate(self):
+        acc, data = self._acc(Boundary.CONSTANT, constant=0.5)
+        # only LO guarded: a low OOB read yields the constant
+        out = sample_accessor(acc, np.array([-1]), np.array([0]),
+                              Side.LO, Side.NONE, False)
+        assert out[0] == np.float32(0.5)
+
+    def test_undefined_fault(self):
+        data = random_image(8, 6)
+        src = build_image_pair(8, 6, data=data)[0]
+        from repro.dsl import Accessor
+        acc = Accessor(src)
+        with pytest.raises(DeviceFault):
+            sample_accessor(acc, np.array([-1]), np.array([0]),
+                            Side.NONE, Side.NONE, True)
+
+    def test_undefined_no_fault_returns_values(self):
+        data = random_image(8, 6)
+        src = build_image_pair(8, 6, data=data)[0]
+        from repro.dsl import Accessor
+        acc = Accessor(src)
+        out = sample_accessor(acc, np.array([-1]), np.array([0]),
+                              Side.NONE, Side.NONE, False)
+        assert out.shape == (1,)    # unspecified value, but no crash
+
+    @settings(max_examples=100)
+    @given(
+        mode=st.sampled_from([Boundary.CLAMP, Boundary.MIRROR,
+                              Boundary.REPEAT]),
+        offsets=st.lists(st.integers(-6, 13), min_size=1, max_size=16),
+    )
+    def test_both_sides_equals_full_adjustment(self, mode, offsets):
+        """Side.BOTH sampling must equal the Accessor's own full
+        boundary-handled sample()."""
+        acc, data = self._acc(mode)
+        ix = np.array(offsets)
+        iy = np.zeros_like(ix)
+        full = acc.sample(ix, iy)
+        sided = sample_accessor(acc, ix, iy, Side.BOTH, Side.BOTH, False)
+        np.testing.assert_array_equal(full, sided)
+
+
+class TestFloat32Fidelity:
+    def test_accumulation_stays_float32(self):
+        """The simulator must accumulate in float32 like the device —
+        summing many small values shows the difference vs float64."""
+        ir, accs, data = _compile(MaskConvolution, box_mask(5), 2, 2,
+                                  width=16, height=16, window=5)
+        gx, gy = _grid(16, 16)
+        out = evaluate_body(ir, accs, gx, gy)
+        assert out.dtype == np.float32
+        # float32 sequential accumulation reference
+        coeffs = np.full((5, 5), 1 / 25, np.float32)
+        padded = np.pad(data, 2, mode="edge")
+        expected = np.zeros((16, 16), np.float32)
+        for dy in range(5):
+            for dx in range(5):
+                expected = expected + np.float32(coeffs[dy, dx]) * \
+                    padded[dy:dy + 16, dx:dx + 16]
+        np.testing.assert_allclose(out, expected, atol=2e-6)

@@ -1,0 +1,176 @@
+"""Launch simulation: region-specialised execution must equal the
+whole-image reference for every mode/geometry — the correctness claim
+behind the paper's nine-region optimisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Boundary, BorderMode, CodegenOptions
+from repro.errors import DeviceFault, LaunchError
+from repro.frontend import parse_kernel
+from repro.frontend.parser import accessor_objects
+from repro.hwmodel import get_device
+from repro.ir import typecheck_kernel
+from repro.sim.launch import simulate_launch
+from repro.sim.reference import execute_reference
+
+from .helpers import (
+    IterationSpace,
+    MaskConvolution,
+    accessor_for,
+    box_mask,
+    build_image_pair,
+    random_image,
+)
+
+
+def _setup(width, height, window, mode, seed=0, constant=0.25):
+    data = random_image(width, height, seed=seed)
+    src, dst = build_image_pair(width, height, data=data)
+    k = MaskConvolution(IterationSpace(dst),
+                        accessor_for(src, window, mode, constant),
+                        box_mask(window), window // 2, window // 2)
+    ir = typecheck_kernel(parse_kernel(k))
+    return k, ir, dst
+
+
+MODES = [Boundary.CLAMP, Boundary.MIRROR, Boundary.REPEAT,
+         Boundary.CONSTANT]
+
+
+class TestRegionSpecialisationCorrectness:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_specialized_equals_reference(self, mode):
+        k, ir, dst = _setup(40, 28, 5, mode)
+        options = CodegenOptions(backend="cuda", block=(16, 4),
+                                 border=BorderMode.SPECIALIZED)
+        result = simulate_launch(ir, accessor_objects(k),
+                                 k.iteration_space, options,
+                                 get_device("tesla"))
+        ref = execute_reference(ir, accessor_objects(k), 40, 28)
+        np.testing.assert_array_equal(dst.get_data(), ref)
+        assert result.pixels_written == 40 * 28
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_inline_equals_specialized(self, mode):
+        k, ir, dst = _setup(33, 19, 3, mode, seed=4)
+        accs = accessor_objects(k)
+        dev = get_device("tesla")
+        simulate_launch(ir, accs, k.iteration_space,
+                        CodegenOptions(backend="cuda", block=(8, 4),
+                                       border=BorderMode.SPECIALIZED),
+                        dev)
+        spec = dst.get_data()
+        simulate_launch(ir, accs, k.iteration_space,
+                        CodegenOptions(backend="cuda", block=(8, 4),
+                                       border=BorderMode.INLINE), dev)
+        np.testing.assert_array_equal(spec, dst.get_data())
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        width=st.integers(9, 36),
+        height=st.integers(9, 36),
+        bx=st.sampled_from([8, 16, 32]),
+        by=st.sampled_from([1, 2, 4, 8]),
+        mode=st.sampled_from(MODES),
+        window=st.sampled_from([3, 5, 7]),
+    )
+    def test_property_specialized_equals_reference(self, width, height,
+                                                   bx, by, mode, window):
+        k, ir, dst = _setup(width, height, window, mode, seed=1)
+        options = CodegenOptions(backend="cuda", block=(bx, by),
+                                 border=BorderMode.SPECIALIZED)
+        simulate_launch(ir, accessor_objects(k), k.iteration_space,
+                        options, get_device("tesla"))
+        ref = execute_reference(ir, accessor_objects(k), width, height)
+        np.testing.assert_array_equal(dst.get_data(), ref)
+
+    def test_degenerate_layout_still_correct(self):
+        # window wider than the whole image: degenerate single region
+        k, ir, dst = _setup(10, 10, 7, Boundary.MIRROR)
+        options = CodegenOptions(backend="cuda", block=(8, 8),
+                                 border=BorderMode.SPECIALIZED)
+        result = simulate_launch(ir, accessor_objects(k),
+                                 k.iteration_space, options,
+                                 get_device("tesla"))
+        assert result.layout.degenerate
+        ref = execute_reference(ir, accessor_objects(k), 10, 10)
+        np.testing.assert_array_equal(dst.get_data(), ref)
+
+    def test_iteration_space_offset_respected(self):
+        data = random_image(24, 24, seed=2)
+        src, dst = build_image_pair(24, 24, data=data)
+        space = IterationSpace(dst, 10, 8, offset_x=4, offset_y=6)
+        k = MaskConvolution(space, accessor_for(src, 3, Boundary.CLAMP),
+                            box_mask(3), 1, 1)
+        ir = typecheck_kernel(parse_kernel(k))
+        options = CodegenOptions(backend="cuda", block=(8, 2))
+        result = simulate_launch(ir, accessor_objects(k), space, options,
+                                 get_device("tesla"))
+        assert result.pixels_written == 80
+        out = dst.get_data()
+        # untouched pixels remain zero
+        assert np.all(out[:6, :] == 0)
+        assert np.all(out[:, :4] == 0)
+        assert np.any(out[6:14, 4:14] != 0)
+
+
+class TestLaunchValidation:
+    def test_block_exceeding_device_raises(self):
+        k, ir, _ = _setup(16, 16, 3, Boundary.CLAMP)
+        options = CodegenOptions(backend="cuda", block=(1024, 2))
+        with pytest.raises(LaunchError):
+            simulate_launch(ir, accessor_objects(k), k.iteration_space,
+                            options, get_device("tesla"))
+
+    def test_amd_does_not_run_cuda(self):
+        k, ir, _ = _setup(16, 16, 3, Boundary.CLAMP)
+        options = CodegenOptions(backend="cuda", block=(32, 2))
+        with pytest.raises(LaunchError):
+            simulate_launch(ir, accessor_objects(k), k.iteration_space,
+                            options, get_device("hd5870"))
+
+    def test_excess_registers_raise(self):
+        k, ir, _ = _setup(16, 16, 3, Boundary.CLAMP)
+        options = CodegenOptions(backend="cuda", block=(128, 1))
+        with pytest.raises(LaunchError):
+            simulate_launch(ir, accessor_objects(k), k.iteration_space,
+                            options, get_device("tesla"),
+                            regs_per_thread=200)
+
+    def test_undefined_oob_faults_on_tesla(self):
+        k, ir, _ = _setup(16, 16, 3, Boundary.UNDEFINED)
+        options = CodegenOptions(backend="cuda", block=(8, 2),
+                                 border=BorderMode.NONE)
+        with pytest.raises(DeviceFault):
+            simulate_launch(ir, accessor_objects(k), k.iteration_space,
+                            options, get_device("tesla"))
+
+    def test_undefined_oob_tolerated_on_quadro(self):
+        k, ir, dst = _setup(16, 16, 3, Boundary.UNDEFINED)
+        options = CodegenOptions(backend="cuda", block=(8, 2),
+                                 border=BorderMode.NONE)
+        result = simulate_launch(ir, accessor_objects(k),
+                                 k.iteration_space, options,
+                                 get_device("quadro"))
+        assert result.pixels_written == 256
+
+    def test_memory_padding_applied(self):
+        k, ir, _ = _setup(17, 16, 3, Boundary.CLAMP)
+        options = CodegenOptions(backend="cuda", block=(8, 2))
+        simulate_launch(ir, accessor_objects(k), k.iteration_space,
+                        options, get_device("tesla"))
+        acc = next(iter(accessor_objects(k).values()))
+        # Fermi: 128-byte segments = 32 floats -> stride padded to 32
+        assert acc.image.stride == 32
+
+    def test_occupancy_reported(self):
+        k, ir, _ = _setup(32, 32, 3, Boundary.CLAMP)
+        options = CodegenOptions(backend="cuda", block=(32, 6))
+        result = simulate_launch(ir, accessor_objects(k),
+                                 k.iteration_space, options,
+                                 get_device("tesla"))
+        assert result.occupancy.occupancy == 1.0
+        assert result.grid == (1, 6)

@@ -1,0 +1,194 @@
+"""Analytical timing model: each mechanism must move time the right way."""
+
+import dataclasses
+
+import pytest
+
+from repro import Boundary, BorderMode, MaskMemory
+from repro.errors import LaunchError
+from repro.hwmodel import get_device
+from repro.ir.analysis import InstructionMix
+from repro.sim.timing import (
+    BOUNDARY_ADJUST_COST,
+    LaunchSpec,
+    estimate_time,
+)
+
+
+def _mix(taps=169, exps_per_tap=1, reads_per_tap=1):
+    return InstructionMix(
+        alu=18.0 * taps,
+        sfu=12.0 * exps_per_tap * taps,
+        global_reads=float(reads_per_tap * taps),
+        mask_reads=float(taps),
+        branches=2.0,
+        reads_by_accessor={"input": float(reads_per_tap * taps)},
+    )
+
+
+def _spec(**overrides):
+    defaults = dict(
+        device=get_device("tesla"),
+        backend="cuda",
+        width=4096,
+        height=4096,
+        block=(128, 1),
+        window=(13, 13),
+        mix=_mix(),
+        boundary_mode=Boundary.CLAMP,
+        border=BorderMode.SPECIALIZED,
+        regs_per_thread=24,
+    )
+    defaults.update(overrides)
+    return LaunchSpec(**defaults)
+
+
+def ms(**overrides):
+    return estimate_time(_spec(**overrides)).total_ms
+
+
+class TestMechanisms:
+    def test_more_compute_takes_longer(self):
+        assert ms(mix=_mix(exps_per_tap=3)) > ms(mix=_mix(exps_per_tap=1))
+
+    def test_larger_image_takes_longer(self):
+        assert ms(width=8192, height=8192) > 3.5 * ms()
+
+    def test_inline_boundary_slower_than_specialized(self):
+        for mode in (Boundary.CLAMP, Boundary.REPEAT, Boundary.CONSTANT):
+            inline = ms(border=BorderMode.INLINE, boundary_mode=mode)
+            spec = ms(border=BorderMode.SPECIALIZED, boundary_mode=mode)
+            assert inline > spec, mode
+
+    def test_specialized_near_constant_across_modes(self):
+        times = [ms(boundary_mode=m)
+                 for m in (Boundary.CLAMP, Boundary.REPEAT,
+                           Boundary.MIRROR, Boundary.CONSTANT)]
+        assert max(times) / min(times) < 1.10
+
+    def test_inline_varies_strongly_across_modes(self):
+        times = {m: ms(border=BorderMode.INLINE, boundary_mode=m)
+                 for m in (Boundary.UNDEFINED, Boundary.CLAMP,
+                           Boundary.REPEAT, Boundary.CONSTANT)}
+        assert times[Boundary.CONSTANT] / times[Boundary.UNDEFINED] > 1.4
+        assert times[Boundary.REPEAT] > times[Boundary.CLAMP]
+
+    def test_hardware_border_free(self):
+        hw = ms(border=BorderMode.HARDWARE, use_texture=True,
+                boundary_mode=Boundary.REPEAT)
+        inline = ms(border=BorderMode.INLINE, use_texture=True,
+                    boundary_mode=Boundary.REPEAT)
+        assert hw < inline
+
+    def test_mode_cost_table_ordering(self):
+        c = BOUNDARY_ADJUST_COST
+        assert c[Boundary.UNDEFINED] < c[Boundary.CLAMP] \
+            < c[Boundary.MIRROR] < c[Boundary.REPEAT] \
+            < c[Boundary.CONSTANT]
+
+    def test_texture_helps_memory_bound_kernels(self):
+        mem_bound = _mix(taps=169, exps_per_tap=0, reads_per_tap=3)
+        assert ms(mix=mem_bound, use_texture=True,
+                  device=get_device("quadro")) < \
+            ms(mix=mem_bound, use_texture=False,
+               device=get_device("quadro"))
+
+    def test_smem_hurts_small_windows(self):
+        """Tables VIII/IX: staging slows 3x3/5x5 filters down."""
+        small = _mix(taps=9, exps_per_tap=0)
+        base = ms(mix=small, window=(3, 3), block=(32, 4))
+        smem = ms(mix=small, window=(3, 3), block=(32, 4), use_smem=True,
+                  smem_bytes_per_block=(4 + 2) * (32 + 2 + 1) * 4)
+        assert smem > base
+
+    def test_constant_mask_cheaper_than_global(self):
+        const = ms(mask_memory=MaskMemory.CONSTANT)
+        glob = ms(mask_memory=MaskMemory.GLOBAL)
+        assert const < glob
+
+    def test_amd_constant_mask_less_beneficial(self):
+        """Muted mask benefit on VLIW (paper Section VI-A.1)."""
+        def ratio(device):
+            with_mask = ms(device=get_device(device), backend="opencl",
+                           mix=_mix(exps_per_tap=1))
+            without = ms(device=get_device(device), backend="opencl",
+                         mix=_mix(exps_per_tap=3))
+            return without / with_mask
+        assert ratio("hd5870") < ratio("quadro")
+
+    def test_framework_overhead_multiplies(self):
+        assert ms(framework_overhead=2.0) > 1.8 * ms()
+
+    def test_low_occupancy_penalised(self):
+        good = ms(block=(32, 6), regs_per_thread=20)
+        bad = ms(block=(32, 1), regs_per_thread=20)
+        assert bad > 1.5 * good
+
+    def test_kernel_launches_scale(self):
+        one = ms(kernel_launches=1)
+        two = ms(kernel_launches=2)
+        assert two == pytest.approx(2 * one, rel=0.01)
+
+    def test_ppt_amortises_fixed_cost(self):
+        small = _mix(taps=3, exps_per_tap=0)
+        ppt1 = ms(mix=small, window=(3, 1), pixels_per_thread=1)
+        ppt8 = ms(mix=small, window=(3, 1), pixels_per_thread=8)
+        assert ppt8 < ppt1
+
+    def test_opencl_slower_than_cuda_on_nvidia(self):
+        assert ms(backend="opencl") > ms(backend="cuda")
+
+    def test_opencl_gap_larger_for_sfu_heavy_kernels(self):
+        def gap(mix):
+            return ms(backend="opencl", mix=mix) / ms(backend="cuda",
+                                                      mix=mix)
+        sfu_heavy = _mix(exps_per_tap=3)
+        alu_only = _mix(exps_per_tap=0)
+        assert gap(sfu_heavy) > gap(alu_only)
+
+    def test_image_objects_penalised_on_opencl(self):
+        small = _mix(taps=9, exps_per_tap=0)
+        buf = ms(backend="opencl", mix=small, window=(3, 3))
+        img = ms(backend="opencl", mix=small, window=(3, 3),
+                 use_texture=True)
+        assert img > buf
+
+    def test_flat_boundary_cost_on_amd(self):
+        times = [ms(device=get_device("hd6970"), backend="opencl",
+                    border=BorderMode.INLINE, boundary_mode=m)
+                 for m in (Boundary.CLAMP, Boundary.REPEAT,
+                           Boundary.CONSTANT)]
+        assert max(times) / min(times) < 1.02
+
+    def test_rapidmind_boundary_override(self):
+        flat = ms(border=BorderMode.INLINE,
+                  boundary_mode=Boundary.CONSTANT,
+                  boundary_cost_override=10.0)
+        table = ms(border=BorderMode.INLINE,
+                   boundary_mode=Boundary.CONSTANT)
+        assert flat < table
+
+    def test_unsupported_backend_raises(self):
+        with pytest.raises(LaunchError):
+            ms(device=get_device("hd5870"), backend="cuda")
+
+    def test_invalid_block_raises(self):
+        with pytest.raises(LaunchError):
+            ms(block=(2048, 1))
+
+    def test_breakdown_fields(self):
+        t = estimate_time(_spec())
+        assert t.total_ms > 0
+        assert t.compute_ms > 0
+        assert t.memory_ms > 0
+        assert 0 <= t.occupancy <= 1
+        assert 0 <= t.border_thread_fraction <= 1
+        assert t.launch_ms < t.total_ms
+        assert t.traffic_bytes_per_pixel >= 4
+
+    def test_gt200_uncached_traffic_higher_than_fermi(self):
+        mem_bound = _mix(taps=25, exps_per_tap=0, reads_per_tap=1)
+        fermi = estimate_time(_spec(mix=mem_bound, window=(5, 5)))
+        gt200 = estimate_time(_spec(mix=mem_bound, window=(5, 5),
+                                    device=get_device("quadro")))
+        assert gt200.traffic_bytes_per_pixel > fermi.traffic_bytes_per_pixel

@@ -1,0 +1,104 @@
+"""Scratchpad staging (Listing 7) executed block-accurately: staged
+execution must be bit-identical to the direct path for every mode,
+block shape and region, and reads outside the staged halo must fail
+loudly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Boundary, CodegenOptions, compile_kernel
+from repro.backends.border import BorderRegion, Side
+from repro.dsl import Accessor, BoundaryCondition, Image
+from repro.filters.gaussian import make_gaussian
+from repro.sim.staging import TileAccessor, stage_tile
+
+from .helpers import (
+    IterationSpace,
+    MaskConvolution,
+    accessor_for,
+    box_mask,
+    build_image_pair,
+    random_image,
+)
+
+MODES = [Boundary.CLAMP, Boundary.MIRROR, Boundary.REPEAT,
+         Boundary.CONSTANT]
+
+
+def _run(data, window, mode, block, use_smem):
+    h, w = data.shape
+    src, dst = build_image_pair(w, h, data=data)
+    k = MaskConvolution(IterationSpace(dst),
+                        accessor_for(src, window, mode, 0.25),
+                        box_mask(window), window // 2, window // 2)
+    compile_kernel(k, backend="cuda", use_texture=False,
+                   use_smem=use_smem, block=block).execute()
+    return dst.get_data()
+
+
+class TestStagedEqualsDirect:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_all_modes(self, mode):
+        data = random_image(40, 36, seed=1)
+        direct = _run(data, 5, mode, (8, 4), use_smem=False)
+        staged = _run(data, 5, mode, (8, 4), use_smem=True)
+        np.testing.assert_array_equal(direct, staged)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        bx=st.sampled_from([4, 8, 16]),
+        by=st.sampled_from([2, 4, 8]),
+        window=st.sampled_from([3, 5, 7]),
+        mode=st.sampled_from(MODES),
+        width=st.integers(18, 40),
+        height=st.integers(18, 40),
+    )
+    def test_property(self, bx, by, window, mode, width, height):
+        data = random_image(width, height, seed=2)
+        direct = _run(data, window, mode, (bx, by), use_smem=False)
+        staged = _run(data, window, mode, (bx, by), use_smem=True)
+        np.testing.assert_array_equal(direct, staged)
+
+    def test_point_accessor_not_staged(self):
+        # smem with a 1x1 window accessor: no staging, still correct
+        data = random_image(16, 16, seed=3)
+        k, _, out = make_gaussian(16, 16, size=3, data=data)
+        compile_kernel(k, use_texture=False, use_smem=True,
+                       block=(8, 4)).execute()
+        assert out.get_data().std() > 0
+
+
+class TestStageTile:
+    def _acc(self, mode=Boundary.CLAMP):
+        data = random_image(12, 10, seed=4)
+        img = Image(12, 10).set_data(data)
+        return Accessor(BoundaryCondition(img, 3, 3, mode)), data
+
+    def test_tile_shape_includes_halo(self):
+        acc, _ = self._acc()
+        region = BorderRegion(Side.BOTH, Side.BOTH, 0, 1, 0, 1)
+        tile = stage_tile(acc, (0, 0), (4, 4), (3, 3), region)
+        assert tile.shape == (6, 6)
+
+    def test_interior_tile_is_plain_copy(self):
+        acc, data = self._acc()
+        region = BorderRegion(Side.NONE, Side.NONE, 0, 1, 0, 1)
+        tile = stage_tile(acc, (4, 4), (4, 4), (3, 3), region)
+        np.testing.assert_array_equal(tile, data[3:9, 3:9])
+
+    def test_border_tile_applies_adjustment(self):
+        acc, data = self._acc(Boundary.MIRROR)
+        region = BorderRegion(Side.LO, Side.LO, 0, 1, 0, 1)
+        tile = stage_tile(acc, (0, 0), (4, 4), (3, 3), region)
+        # halo column -1 mirrors to column 0
+        np.testing.assert_array_equal(tile[1:, 0], tile[1:, 1])
+
+    def test_out_of_tile_read_raises(self):
+        acc, _ = self._acc()
+        region = BorderRegion(Side.BOTH, Side.BOTH, 0, 1, 0, 1)
+        tile = stage_tile(acc, (0, 0), (4, 4), (3, 3), region)
+        proxy = TileAccessor(acc, tile, (0, 0), (3, 3))
+        with pytest.raises(IndexError, match="staged"):
+            proxy.sample_tile(np.array([6]), np.array([0]))

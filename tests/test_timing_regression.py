@@ -1,0 +1,77 @@
+"""Calibration freeze: the timing model's table outputs are pinned to a
+committed snapshot (``tests/data_timing_snapshot.json``).
+
+The model is deterministic, so any drift means someone changed a
+calibration constant or a mechanism.  That can be intentional — then
+regenerate the snapshot (see the module-level docstring of
+``scripts/generate_experiments.py``) *and* re-check EXPERIMENTS.md — but
+it must never happen silently.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.evaluation.figure4 import figure4_exploration
+from repro.evaluation.opencv_cmp import gaussian_table
+from repro.evaluation.variants import bilateral_table
+
+SNAPSHOT_PATH = os.path.join(os.path.dirname(__file__),
+                             "data_timing_snapshot.json")
+
+#: generous drift bound — catches constant changes, tolerates float noise
+RTOL = 1e-3
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    with open(SNAPSHOT_PATH) as fh:
+        return json.load(fh)
+
+
+def _assert_row_close(got, want, context):
+    for mode, expected in want.items():
+        actual = got[mode]
+        if isinstance(expected, str):
+            assert actual == expected, (context, mode)
+        else:
+            assert actual == pytest.approx(expected, rel=RTOL), \
+                (context, mode, actual, expected)
+
+
+@pytest.mark.parametrize("key", [
+    "Tesla C2050|cuda", "Tesla C2050|opencl",
+    "Quadro FX 5800|cuda", "Quadro FX 5800|opencl",
+    "Radeon HD 5870|opencl", "Radeon HD 6970|opencl",
+])
+def test_bilateral_tables_frozen(snapshot, key):
+    device, backend = key.split("|")
+    table = bilateral_table(device, backend)
+    frozen = snapshot["bilateral"][key]
+    assert set(table) == set(frozen)
+    for name, row in frozen.items():
+        _assert_row_close(table[name], row, f"{key}/{name}")
+
+
+@pytest.mark.parametrize("key", [
+    "Tesla C2050|3", "Tesla C2050|5",
+    "Quadro FX 5800|3", "Quadro FX 5800|5",
+])
+def test_gaussian_tables_frozen(snapshot, key):
+    device, size = key.rsplit("|", 1)
+    table = gaussian_table(device, int(size))
+    frozen = snapshot["gaussian"][key]
+    for name, row in frozen.items():
+        _assert_row_close(table[name], row, f"{key}/{name}")
+
+
+def test_figure4_frozen(snapshot):
+    frozen = snapshot["figure4"]
+    result = figure4_exploration()
+    assert list(result.heuristic_block) == frozen["heuristic_block"]
+    assert result.heuristic_ms == pytest.approx(frozen["heuristic_ms"],
+                                                rel=RTOL)
+    assert result.best.time_ms == pytest.approx(frozen["best_ms"],
+                                                rel=RTOL)
+    assert len(result.points) == frozen["n_points"]

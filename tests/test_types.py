@@ -1,0 +1,115 @@
+"""Scalar type system: coercion and C-style promotion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TypeError_
+from repro.types import (
+    BOOL,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    SCALAR_TYPES,
+    SHORT,
+    UCHAR,
+    UINT,
+    USHORT,
+    as_scalar_type,
+    promote,
+)
+
+
+class TestAsScalarType:
+    def test_passthrough(self):
+        assert as_scalar_type(FLOAT) is FLOAT
+
+    def test_by_name(self):
+        assert as_scalar_type("float") is FLOAT
+        assert as_scalar_type("int") is INT
+        assert as_scalar_type("uchar") is UCHAR
+
+    def test_numpy_style_names(self):
+        assert as_scalar_type("float32") is FLOAT
+        assert as_scalar_type("float64") is DOUBLE
+        assert as_scalar_type("uint8") is UCHAR
+        assert as_scalar_type("int16") is SHORT
+
+    def test_python_builtins(self):
+        assert as_scalar_type(float) is FLOAT
+        assert as_scalar_type(int) is INT
+        assert as_scalar_type(bool) is BOOL
+
+    def test_numpy_dtypes(self):
+        assert as_scalar_type(np.float32) is FLOAT
+        assert as_scalar_type(np.dtype("uint16")) is USHORT
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(TypeError_):
+            as_scalar_type("quaternion")
+
+    def test_unknown_object_raises(self):
+        with pytest.raises(TypeError_):
+            as_scalar_type(object())
+
+    def test_all_registered_names_resolve(self):
+        for name, st in SCALAR_TYPES.items():
+            assert as_scalar_type(name) is st
+
+
+class TestScalarTypeProperties:
+    def test_sizes(self):
+        assert FLOAT.size == 4
+        assert DOUBLE.size == 8
+        assert UCHAR.size == 1
+        assert SHORT.size == 2
+
+    def test_float_flags(self):
+        assert FLOAT.is_float and DOUBLE.is_float
+        assert not INT.is_float
+        assert INT.is_integer and not FLOAT.is_integer
+
+    def test_backend_spellings(self):
+        assert UCHAR.cuda_name == "unsigned char"
+        assert UCHAR.opencl_name == "uchar"
+        assert FLOAT.cuda_name == FLOAT.opencl_name == "float"
+
+    def test_numpy_dtype_roundtrip(self):
+        for st in SCALAR_TYPES.values():
+            assert np.dtype(st.np_dtype).itemsize == st.size
+
+
+class TestPromotion:
+    def test_same_type_identity(self):
+        assert promote(FLOAT, FLOAT) is FLOAT
+        assert promote(INT, INT) is INT
+
+    def test_sub_int_promotes_to_int(self):
+        assert promote(UCHAR, UCHAR) is INT
+        assert promote(CHAR, SHORT) is INT
+        assert promote(BOOL, BOOL) is INT
+
+    def test_float_wins_over_int(self):
+        assert promote(INT, FLOAT) is FLOAT
+        assert promote(FLOAT, INT) is FLOAT
+        assert promote(UCHAR, FLOAT) is FLOAT
+
+    def test_double_wins_over_float(self):
+        assert promote(FLOAT, DOUBLE) is DOUBLE
+        assert promote(DOUBLE, INT) is DOUBLE
+
+    def test_unsigned_wins_at_equal_rank(self):
+        assert promote(INT, UINT) is UINT
+        assert promote(UINT, INT) is UINT
+
+    def test_commutative(self):
+        for a in SCALAR_TYPES.values():
+            for b in SCALAR_TYPES.values():
+                assert promote(a, b) == promote(b, a)
+
+    def test_result_at_least_int_rank(self):
+        small = [BOOL, CHAR, UCHAR, SHORT, USHORT]
+        for a in small:
+            for b in small:
+                result = promote(a, b)
+                assert result.size >= 4 or result.is_float
