@@ -1,0 +1,130 @@
+"""Compilation-cache and parallel-exploration speedups.
+
+Two headline numbers back the cache subsystem (docs/CACHING.md):
+
+* **cold vs warm compile** — a cache hit replays the stored artifact
+  (plus the memoised frontend) instead of the parse -> typecheck ->
+  codegen -> Algorithm-2 pipeline; target >= 10x.
+* **serial vs parallel exploration** — ``explore_many`` fans whole
+  per-device Figure-4 walks out over a process pool; target >= 2x on a
+  4-core runner (reported honestly: a 1-core box shows ~1x).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_cache_exploration.py [--quick]
+
+Under pytest the same measurements assert the acceptance bounds (the
+parallel bound only where >= 4 cores exist).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+from repro import CompilationCache, compile_kernel
+from repro.evaluation.figure4 import figure4_device_sweep
+from repro.filters.gaussian import make_gaussian
+
+DEVICE = "Tesla C2050"
+
+
+def _fresh_kernel():
+    # a new object every call: a warm hit must come from the content
+    # address, not from object identity
+    return make_gaussian(256, 256, size=5)[0]
+
+
+def measure_cache(repeats: int = 20):
+    """Return (cold_ms, warm_ms): best-of-N full pipeline vs cache hit."""
+    cold = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        compile_kernel(_fresh_kernel(), backend="cuda", device=DEVICE,
+                       cache=CompilationCache())
+        cold.append((time.perf_counter() - t0) * 1e3)
+
+    cache = CompilationCache()
+    compile_kernel(_fresh_kernel(), backend="cuda", device=DEVICE,
+                   cache=cache)                      # prime
+    warm = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        compiled = compile_kernel(_fresh_kernel(), backend="cuda",
+                                  device=DEVICE, cache=cache)
+        warm.append((time.perf_counter() - t0) * 1e3)
+        assert compiled.from_cache
+    return min(cold), min(warm)
+
+
+def measure_exploration(size: int = 4096, workers: int = 4,
+                        repeats: int = 2):
+    """Return (serial_s, parallel_s) for the 4-device Figure-4 sweep."""
+    serial = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        serial_result = figure4_device_sweep(width=size, height=size)
+        serial.append(time.perf_counter() - t0)
+    parallel = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        parallel_result = figure4_device_sweep(width=size, height=size,
+                                               workers=workers,
+                                               use_processes=True)
+        parallel.append(time.perf_counter() - t0)
+    assert parallel_result == serial_result, \
+        "parallel sweep diverged from serial"
+    return min(serial), min(parallel)
+
+
+def report(quick: bool = False, workers: int = 0):
+    cores = os.cpu_count() or 1
+    workers = workers or min(4, cores)
+    repeats = 5 if quick else 20
+    cold_ms, warm_ms = measure_cache(repeats)
+    cache_speedup = cold_ms / warm_ms
+    print(f"cache:        cold {cold_ms:7.2f} ms   warm {warm_ms:7.2f} ms"
+          f"   speedup {cache_speedup:5.1f}x   (target >= 10x)")
+
+    size = 512 if quick else 4096
+    serial_s, parallel_s = measure_exploration(
+        size=size, workers=workers, repeats=1 if quick else 2)
+    explore_speedup = serial_s / parallel_s
+    print(f"exploration:  serial {serial_s:6.2f} s   parallel "
+          f"{parallel_s:6.2f} s   speedup {explore_speedup:5.1f}x   "
+          f"({workers} workers on {cores} cores; target >= 2x on a "
+          f"4-core runner)")
+    return cache_speedup, explore_speedup, cores
+
+
+def test_warm_cache_speedup():
+    cold_ms, warm_ms = measure_cache()
+    assert cold_ms / warm_ms >= 10.0, \
+        f"warm cache only {cold_ms / warm_ms:.1f}x faster " \
+        f"({cold_ms:.2f} ms -> {warm_ms:.2f} ms)"
+
+
+def test_parallel_exploration_speedup():
+    import pytest
+    cores = os.cpu_count() or 1
+    if cores < 4:
+        pytest.skip(f"needs a 4-core runner, found {cores}")
+    serial_s, parallel_s = measure_exploration()
+    assert serial_s / parallel_s >= 2.0, \
+        f"parallel exploration only {serial_s / parallel_s:.1f}x faster"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small geometry + few repeats (CI smoke)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="pool size for the parallel sweep "
+                             "(default: min(4, cores))")
+    args = parser.parse_args()
+    report(quick=args.quick, workers=args.workers)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Repo-level pytest configuration.
+
+Adds the ``--repro-seed`` determinism knob (see ``tests/helpers.py`` for
+the fixture) and pins hypothesis to a derandomized profile so property
+failures reproduce bit-for-bit in CI.
+"""
+
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.abspath(__file__))
+for _p in (os.path.join(_ROOT, "src"), _ROOT):
+    if _p not in sys.path:
+        sys.path.insert(0, _p)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-seed", type=int, default=20120521,
+        help="seed for the randomised tests (numpy + random); the "
+             "repro_seed fixture in tests/helpers.py applies it")
+
+
+def pytest_configure(config):
+    try:
+        from hypothesis import settings
+    except ImportError:
+        return
+    settings.register_profile("repro", derandomize=True, deadline=None,
+                              print_blob=True)
+    settings.load_profile("repro")
+
+
+from tests.helpers import repro_seed  # noqa: E402,F401

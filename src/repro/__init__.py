@@ -70,6 +70,12 @@ from .dsl import (  # noqa: F401
     Uniform,
 )
 from .backends.base import BorderMode, CodegenOptions, MaskMemory  # noqa: F401
+from .cache import (  # noqa: F401
+    CacheStats,
+    CompilationCache,
+    get_default_cache,
+    set_default_cache,
+)
 from .hwmodel import (  # noqa: F401
     DEVICES,
     DeviceSpec,
@@ -92,8 +98,10 @@ __all__ = [
     "Boundary",
     "BoundaryCondition",
     "BorderMode",
+    "CacheStats",
     "CodegenError",
     "CodegenOptions",
+    "CompilationCache",
     "CompiledKernel",
     "DEVICES",
     "DeviceFault",
@@ -119,6 +127,8 @@ __all__ = [
     "AbsMaxReduction",
     "compile_kernel",
     "compile_reduction",
+    "get_default_cache",
     "get_device",
     "list_devices",
+    "set_default_cache",
 ]

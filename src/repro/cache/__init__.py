@@ -1,0 +1,45 @@
+"""Content-addressed compilation cache (see ROADMAP: caching/batching).
+
+The pipeline behind :func:`repro.runtime.compile_kernel` is deterministic
+in (kernel IR, codegen options, device, backend, package version), so its
+artifacts are content-addressable.  This package provides:
+
+* :mod:`repro.cache.key` — canonical IR serialisation and sha256 key
+  composition (stable across processes: no ``id()``/``hash()``);
+* :mod:`repro.cache.store` — :class:`CompilationCache`, a thread-safe
+  in-memory LRU front with an optional atomic on-disk JSON store, plus
+  the process-wide default cache;
+* :mod:`repro.cache.serialize` — round-tripping of generated sources,
+  options and resource estimates through JSON-able dicts.
+
+See ``docs/CACHING.md`` for key composition and invalidation rules.
+"""
+
+from .key import (  # noqa: F401
+    canonical_ir,
+    compute_key,
+    device_signature,
+    ir_digest,
+    kernel_fingerprint,
+)
+from .serialize import entry_from_dict, entry_to_dict  # noqa: F401
+from .store import (  # noqa: F401
+    CacheStats,
+    CompilationCache,
+    get_default_cache,
+    set_default_cache,
+)
+
+__all__ = [
+    "CacheStats",
+    "CompilationCache",
+    "canonical_ir",
+    "compute_key",
+    "device_signature",
+    "entry_from_dict",
+    "entry_to_dict",
+    "get_default_cache",
+    "ir_digest",
+    "kernel_fingerprint",
+    "set_default_cache",
+]

@@ -1,0 +1,244 @@
+"""The compilation cache: an in-memory LRU front over an optional
+on-disk content-addressed store.
+
+Design points:
+
+* **Thread safety** — every structure is guarded by one re-entrant lock;
+  payloads enter the cache only as complete dicts, so a concurrent
+  reader can never observe a partially-written entry.
+* **Atomic disk writes** — entries are serialised to a temporary file in
+  the same directory and ``os.replace``d into place, which is atomic on
+  POSIX and Windows; a crashed writer leaves at most a ``*.tmp`` file,
+  never a torn JSON document.
+* **Content addressing** — keys are sha256 hex digests produced by
+  :mod:`repro.cache.key`; the disk layout shards by the first two hex
+  characters (``<dir>/ab/abcdef....json``) to keep directories small.
+* **Statistics** — hits/misses/evictions/stores plus disk counters,
+  exposed through :class:`CacheStats` and the CLI's ``--cache-stats``.
+
+The cache also hosts the *frontend memo* — an in-memory-only map from a
+pre-parse kernel fingerprint to the type-checked IR and its digest, which
+is what lets a warm ``compile_kernel`` skip the Python-AST frontend.  IR
+objects are treated as immutable by the whole pipeline (transforms
+rebuild nodes), so sharing them across compiles is safe.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import json
+import os
+import tempfile
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Counters for one :class:`CompilationCache`."""
+
+    hits: int = 0                # in-memory hits
+    misses: int = 0              # not found anywhere
+    evictions: int = 0           # LRU evictions from the memory front
+    stores: int = 0              # new entries written
+    disk_hits: int = 0           # found on disk (after a memory miss)
+    disk_writes: int = 0
+    frontend_hits: int = 0       # pre-parse fingerprint memo hits
+    frontend_misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.disk_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return (self.hits + self.disk_hits) / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+    def summary(self) -> str:
+        return (f"hits={self.hits} disk_hits={self.disk_hits} "
+                f"misses={self.misses} stores={self.stores} "
+                f"evictions={self.evictions} "
+                f"frontend_hits={self.frontend_hits} "
+                f"hit_rate={self.hit_rate:.1%}")
+
+
+class CompilationCache:
+    """Content-addressed store for compilation artifacts.
+
+    :param capacity: maximum in-memory entries (LRU eviction beyond it).
+    :param directory: optional on-disk store; created on first write.
+        Entries evicted from memory remain retrievable from disk, and a
+        fresh process pointed at the same directory sees prior results.
+    """
+
+    def __init__(self, capacity: int = 512,
+                 directory: Optional[str] = None):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.directory = os.path.abspath(directory) if directory else None
+        self.stats = CacheStats()
+        self._lock = threading.RLock()
+        self._entries: "collections.OrderedDict[str, Dict[str, Any]]" = \
+            collections.OrderedDict()
+        # fingerprint -> (ir_digest, typechecked KernelIR); memory only
+        self._frontend: "collections.OrderedDict[str, Tuple[str, Any]]" = \
+            collections.OrderedDict()
+
+    # -- main entry store ---------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the payload for *key*, consulting memory then disk."""
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return payload
+        payload = self._disk_read(key)
+        with self._lock:
+            if payload is not None:
+                self.stats.disk_hits += 1
+                self._insert(key, payload)
+            else:
+                self.stats.misses += 1
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Store *payload* (a complete JSON-able dict) under *key*."""
+        with self._lock:
+            fresh = key not in self._entries
+            self._insert(key, payload)
+            if fresh:
+                self.stats.stores += 1
+        if self.directory is not None:
+            self._disk_write(key, payload)
+
+    def _insert(self, key: str, payload: Dict[str, Any]) -> None:
+        self._entries[key] = payload
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            if key in self._entries:
+                return True
+        return self._disk_path(key) is not None \
+            and os.path.exists(self._disk_path(key))
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop every in-memory entry; with *disk*, delete stored files."""
+        with self._lock:
+            self._entries.clear()
+            self._frontend.clear()
+        if disk and self.directory and os.path.isdir(self.directory):
+            for shard in os.listdir(self.directory):
+                shard_dir = os.path.join(self.directory, shard)
+                if not os.path.isdir(shard_dir):
+                    continue
+                for name in os.listdir(shard_dir):
+                    if name.endswith(".json"):
+                        try:
+                            os.unlink(os.path.join(shard_dir, name))
+                        except OSError:
+                            pass
+
+    # -- frontend memo ------------------------------------------------------
+
+    def frontend_get(self, fingerprint: str) -> Optional[Tuple[str, Any]]:
+        """(ir_digest, typechecked IR) for a kernel fingerprint, if known."""
+        with self._lock:
+            hit = self._frontend.get(fingerprint)
+            if hit is not None:
+                self._frontend.move_to_end(fingerprint)
+                self.stats.frontend_hits += 1
+            else:
+                self.stats.frontend_misses += 1
+            return hit
+
+    def frontend_put(self, fingerprint: str, ir_dig: str, ir: Any) -> None:
+        with self._lock:
+            self._frontend[fingerprint] = (ir_dig, ir)
+            self._frontend.move_to_end(fingerprint)
+            while len(self._frontend) > self.capacity:
+                self._frontend.popitem(last=False)
+
+    # -- disk layer ---------------------------------------------------------
+
+    def _disk_path(self, key: str) -> Optional[str]:
+        if self.directory is None:
+            return None
+        return os.path.join(self.directory, key[:2], f"{key}.json")
+
+    def _disk_read(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self._disk_path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None        # torn/corrupt file: treat as a miss
+
+    def _disk_write(self, key: str, payload: Dict[str, Any]) -> None:
+        path = self._disk_path(key)
+        shard_dir = os.path.dirname(path)
+        try:
+            os.makedirs(shard_dir, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(suffix=".tmp", dir=shard_dir)
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(payload, fh, separators=(",", ":"))
+                os.replace(tmp, path)     # atomic: readers never see a
+            except BaseException:         # partially-written entry
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            with self._lock:
+                self.stats.disk_writes += 1
+        except OSError:
+            pass               # disk store is best-effort
+
+
+# --------------------------------------------------------------------------
+# Process-wide default cache
+# --------------------------------------------------------------------------
+
+_default_cache: Optional[CompilationCache] = None
+_default_lock = threading.Lock()
+
+
+def get_default_cache() -> CompilationCache:
+    """The process-wide cache used by ``compile_kernel(..., cache=True)``.
+
+    Honors ``REPRO_CACHE_DIR`` (on-disk store location) and
+    ``REPRO_CACHE_CAPACITY`` (in-memory entry limit) at first use.
+    """
+    global _default_cache
+    with _default_lock:
+        if _default_cache is None:
+            directory = os.environ.get("REPRO_CACHE_DIR") or None
+            capacity = int(os.environ.get("REPRO_CACHE_CAPACITY", "512"))
+            _default_cache = CompilationCache(capacity=capacity,
+                                              directory=directory)
+        return _default_cache
+
+
+def set_default_cache(cache: Optional[CompilationCache]) -> None:
+    """Replace (or with ``None``, reset) the process-wide default cache."""
+    global _default_cache
+    with _default_lock:
+        _default_cache = cache

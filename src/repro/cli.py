@@ -9,7 +9,14 @@ Commands:
 * ``figure4``  — the configuration-space exploration;
 * ``explore``  — Algorithm 2 vs exhaustive exploration on any device;
 * ``demo``     — compile + simulate a filter on a synthetic angiography
-  frame and report timing/configuration.
+  frame and report timing/configuration;
+* ``cache``    — inspect or clear the on-disk compilation cache.
+
+``codegen`` and ``demo`` accept ``--cache`` (content-addressed compile
+cache, optionally persisted with ``--cache-dir``) and ``--cache-stats``
+(hit/miss/eviction counters and per-stage timings on stderr);
+``figure4`` and ``explore`` accept ``--workers`` to parallelise the
+configuration walk.  See docs/CACHING.md.
 """
 
 from __future__ import annotations
@@ -48,6 +55,38 @@ def _build_filter(name: str, size: int, boundary: str, data):
 FILTERS = ["bilateral", "gaussian", "sobel", "laplacian", "median"]
 
 
+def _cache_from_args(args):
+    """Build the CompilationCache requested by --cache/--cache-dir."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        from .cache import CompilationCache
+
+        return CompilationCache(directory=cache_dir)
+    if getattr(args, "cache", False):
+        # the process-wide default honors REPRO_CACHE_DIR / _CAPACITY,
+        # so `--cache` can persist across one-shot CLI invocations
+        from .cache import get_default_cache
+
+        return get_default_cache()
+    return None
+
+
+def _print_cache_stats(cache, compiled=None) -> None:
+    if cache is None:
+        print("cache: disabled (pass --cache or --cache-dir)",
+              file=sys.stderr)
+        return
+    print(f"cache: {cache.stats.summary()}", file=sys.stderr)
+    if compiled is not None and compiled.stage_timings:
+        stages = ", ".join(f"{name[:-3]} {ms:.3f}ms"
+                           for name, ms in
+                           compiled.stage_timings.items())
+        origin = "cache hit" if compiled.from_cache else "full pipeline"
+        print(f"compile ({origin}): {stages}", file=sys.stderr)
+        if compiled.cache_key:
+            print(f"key: {compiled.cache_key}", file=sys.stderr)
+
+
 def cmd_devices(args) -> int:
     from .hwmodel import DEVICES
 
@@ -82,10 +121,12 @@ def cmd_codegen(args) -> int:
         return 0
     from .runtime.compile import compile_kernel
 
+    cache = _cache_from_args(args)
     compiled = compile_kernel(kernel, backend=args.backend,
                               device=args.device,
                               vectorize=args.vectorize,
-                              pixels_per_thread=args.ppt)
+                              pixels_per_thread=args.ppt,
+                              cache=cache)
     if args.host:
         print(compiled.host_code)
     else:
@@ -94,6 +135,8 @@ def cmd_codegen(args) -> int:
           f"{compiled.resources.registers_per_thread} regs/thread, "
           f"{compiled.source.num_variants} border variants, "
           f"{compiled.source.device_lines} lines", file=sys.stderr)
+    if args.cache_stats:
+        _print_cache_stats(cache, compiled)
     return 0
 
 
@@ -104,8 +147,9 @@ def cmd_demo(args) -> int:
     frame = angiography_image(args.size, args.size, seed=0)
     kernel, _, out_img = _build_filter(args.filter, args.size,
                                        args.boundary, frame)
+    cache = _cache_from_args(args)
     compiled = compile_kernel(kernel, backend=args.backend,
-                              device=args.device)
+                              device=args.device, cache=cache)
     report = compiled.execute()
     out = out_img.get_data()
     print(f"{args.filter} on {args.size}x{args.size} angiography frame")
@@ -119,6 +163,50 @@ def cmd_demo(args) -> int:
           f"(compute {report.timing.compute_ms:.3f}, "
           f"memory {report.timing.memory_ms:.3f})")
     print(f"  output:    mean {out.mean():.4f}, std {out.std():.4f}")
+    if args.cache_stats:
+        _print_cache_stats(cache, compiled)
+    return 0
+
+
+def cmd_cache(args) -> int:
+    import json as _json
+    import os
+
+    from .cache import CompilationCache
+
+    directory = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if not directory:
+        print("no cache directory (pass --cache-dir or set "
+              "REPRO_CACHE_DIR)", file=sys.stderr)
+        return 1
+    if args.clear:
+        CompilationCache(directory=directory).clear(disk=True)
+        print(f"cleared on-disk cache at {directory}")
+        return 0
+    entries = 0
+    total_bytes = 0
+    kinds = {}
+    if os.path.isdir(directory):
+        for shard in sorted(os.listdir(directory)):
+            shard_dir = os.path.join(directory, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(shard_dir, name)
+                entries += 1
+                total_bytes += os.path.getsize(path)
+                try:
+                    with open(path, "r", encoding="utf-8") as fh:
+                        kind = _json.load(fh).get("kind", "?")
+                except (OSError, ValueError):
+                    kind = "corrupt"
+                kinds[kind] = kinds.get(kind, 0) + 1
+    print(f"cache dir: {directory}")
+    print(f"entries:   {entries} ({total_bytes / 1024:.1f} KiB)")
+    for kind in sorted(kinds):
+        print(f"  {kind}: {kinds[kind]}")
     return 0
 
 
@@ -163,7 +251,7 @@ def cmd_table(args) -> int:
 def cmd_figure4(args) -> int:
     from .evaluation.figure4 import figure4_exploration
 
-    result = figure4_exploration()
+    result = figure4_exploration(workers=args.workers)
     worst = max(p.time_ms for p in result.points)
     print(f"Figure 4: {len(result.points)} configurations explored")
     print(f"  optimum   {result.best.block[0]}x{result.best.block[1]} "
@@ -181,7 +269,8 @@ def cmd_explore(args) -> int:
 
     dev = get_device(args.device)
     backend = "cuda" if dev.vendor == "NVIDIA" else "opencl"
-    result = figure4_exploration(device=dev, backend=backend)
+    result = figure4_exploration(device=dev, backend=backend,
+                                 workers=args.workers)
     print(f"{'block':>10}{'time ms':>10}{'occupancy':>11}")
     for p in sorted(result.points, key=lambda p: p.time_ms)[:args.top]:
         print(f"{p.block[0]:>5}x{p.block[1]:<4}{p.time_ms:>10.2f}"
@@ -201,6 +290,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("devices", help="list the modelled GPUs")
 
+    def add_cache_flags(p):
+        p.add_argument("--cache", action="store_true",
+                       help="use the content-addressed compilation cache")
+        p.add_argument("--cache-dir", default=None,
+                       help="persist cache entries under this directory "
+                            "(implies --cache)")
+        p.add_argument("--cache-stats", action="store_true",
+                       help="print cache counters and per-stage compile "
+                            "timings to stderr")
+
     p = sub.add_parser("codegen", help="emit source for a built-in filter")
     p.add_argument("--filter", choices=FILTERS, default="bilateral")
     p.add_argument("--backend", choices=["cuda", "opencl", "cpu"],
@@ -212,6 +311,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ppt", type=int, default=1)
     p.add_argument("--host", action="store_true",
                    help="print the host code instead of the kernel")
+    add_cache_flags(p)
 
     p = sub.add_parser("demo", help="compile + simulate on synthetic data")
     p.add_argument("--filter", choices=FILTERS, default="bilateral")
@@ -220,16 +320,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--device", default="Tesla C2050")
     p.add_argument("--boundary", default="mirror")
     p.add_argument("--size", type=int, default=256)
+    add_cache_flags(p)
 
     p = sub.add_parser("table", help="regenerate a paper table (2-9)")
     p.add_argument("number")
 
-    sub.add_parser("figure4", help="the Figure 4 exploration")
+    p = sub.add_parser("figure4", help="the Figure 4 exploration")
+    p.add_argument("--workers", type=int, default=None,
+                   help="parallelise the configuration walk over N "
+                        "workers")
 
     p = sub.add_parser("explore",
                        help="configuration exploration on any device")
     p.add_argument("--device", default="Tesla C2050")
     p.add_argument("--top", type=int, default=10)
+    p.add_argument("--workers", type=int, default=None,
+                   help="parallelise the configuration walk over N "
+                        "workers")
+
+    p = sub.add_parser("cache",
+                       help="inspect or clear the on-disk compile cache")
+    p.add_argument("--cache-dir", default=None,
+                   help="cache directory (default: $REPRO_CACHE_DIR)")
+    p.add_argument("--clear", action="store_true",
+                   help="delete every stored entry")
     return parser
 
 
@@ -240,6 +354,7 @@ COMMANDS = {
     "table": cmd_table,
     "figure4": cmd_figure4,
     "explore": cmd_explore,
+    "cache": cmd_cache,
 }
 
 

@@ -10,14 +10,19 @@ typically within 10% of the best configuration."
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..backends.base import BorderMode, MaskMemory
 from ..dsl.boundary import Boundary
 from ..hwmodel.database import get_device
 from ..hwmodel.device import DeviceSpec
 from ..hwmodel.resources import estimate_resources
-from ..mapping.explore import ExplorationPoint, explore_configurations
+from ..mapping.explore import (
+    ExplorationPoint,
+    ExplorationTask,
+    explore_configurations,
+    explore_many,
+)
 from ..mapping.heuristic import select_configuration
 from .variants import _bilateral_ir
 
@@ -46,8 +51,14 @@ def figure4_exploration(device: Union[str, DeviceSpec] = "Tesla C2050",
                         sigma_d: int = 3, sigma_r: float = 5.0,
                         boundary: Boundary = Boundary.CLAMP,
                         use_mask: bool = True,
-                        use_texture: bool = True) -> Figure4Result:
-    """Explore all legal configurations and compare with Algorithm 2."""
+                        use_texture: bool = True,
+                        workers: Optional[int] = None,
+                        use_processes: bool = False) -> Figure4Result:
+    """Explore all legal configurations and compare with Algorithm 2.
+
+    *workers* parallelises the candidate walk (see
+    :func:`repro.mapping.explore.explore_configurations`).
+    """
     dev = get_device(device) if isinstance(device, str) else device
     ir = _bilateral_ir(use_mask, boundary.value, sigma_d, sigma_r)
     window = (4 * sigma_d + 1, 4 * sigma_d + 1)
@@ -58,7 +69,8 @@ def figure4_exploration(device: Union[str, DeviceSpec] = "Tesla C2050",
         boundary_mode=boundary, backend=backend,
         border=BorderMode.SPECIALIZED, use_texture=use_texture,
         mask_memory=MaskMemory.CONSTANT,
-        regs_per_thread=resources.registers_per_thread)
+        regs_per_thread=resources.registers_per_thread,
+        workers=workers, use_processes=use_processes)
     best = min(points, key=lambda p: p.time_ms)
 
     selection = select_configuration(
@@ -74,3 +86,43 @@ def figure4_exploration(device: Union[str, DeviceSpec] = "Tesla C2050",
         heuristic_block=chosen,
         heuristic_ms=heuristic_ms,
     )
+
+
+def figure4_device_sweep(devices: Optional[Sequence[Union[str, DeviceSpec]]]
+                         = None,
+                         width: int = 4096, height: int = 4096,
+                         sigma_d: int = 3, sigma_r: float = 5.0,
+                         boundary: Boundary = Boundary.CLAMP,
+                         use_texture: bool = True,
+                         workers: Optional[int] = None,
+                         use_processes: bool = False
+                         ) -> Dict[str, List[ExplorationPoint]]:
+    """Run the Figure-4 exploration across several devices at once.
+
+    One :class:`~repro.mapping.explore.ExplorationTask` per device, fanned
+    out by :func:`~repro.mapping.explore.explore_many` — the chunky
+    parallel unit that puts every core to work on multi-device sweeps.
+    The backend follows the vendor (CUDA on NVIDIA, OpenCL elsewhere).
+    """
+    from ..hwmodel import EVALUATION_DEVICES
+
+    specs = [get_device(d) if isinstance(d, str) else d
+             for d in (devices if devices is not None
+                       else EVALUATION_DEVICES)]
+    ir = _bilateral_ir(True, boundary.value, sigma_d, sigma_r)
+    window = (4 * sigma_d + 1, 4 * sigma_d + 1)
+    tasks = []
+    for dev in specs:
+        backend = "cuda" if dev.vendor == "NVIDIA" else "opencl"
+        resources = estimate_resources(ir, dev, use_texture=use_texture,
+                                       border_variants=9)
+        tasks.append(ExplorationTask(
+            device=dev, mix=resources.instruction_mix,
+            width=width, height=height, window=window,
+            boundary_mode=boundary, backend=backend,
+            border=BorderMode.SPECIALIZED, use_texture=use_texture,
+            mask_memory=MaskMemory.CONSTANT,
+            regs_per_thread=resources.registers_per_thread))
+    results = explore_many(tasks, workers=workers,
+                           use_processes=use_processes)
+    return {dev.name: pts for dev, pts in zip(specs, results)}

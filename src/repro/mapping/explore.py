@@ -5,12 +5,22 @@ configurations for a given kernel" — the generated variant replaces the
 dispatch constants by macros set at JIT time.  Here the exploration walks
 the same candidate set and evaluates each configuration with the timing
 model, returning the series Figure 4 plots (execution time vs. block size,
-multiple points per thread count = different tilings)."""
+multiple points per thread count = different tilings).
+
+Exploration points are independent, so the walk parallelises trivially:
+``explore_configurations(..., workers=N)`` fans the candidate set out over
+a :mod:`concurrent.futures` pool, and :func:`explore_many` runs whole
+exploration tasks (one per device / kernel, the Figure-4 sweep shape) in
+parallel.  Both paths return exactly what the serial walk returns — same
+points, same ``LaunchError``-skipping, same canonical ordering — which
+``tests/test_parallel_explore.py`` locks down.
+"""
 
 from __future__ import annotations
 
+import concurrent.futures
 import dataclasses
-from typing import List, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..backends.base import BorderMode, MaskMemory
 from ..dsl.boundary import Boundary
@@ -18,7 +28,7 @@ from ..errors import LaunchError
 from ..hwmodel.device import DeviceSpec
 from ..ir.analysis import InstructionMix
 from ..sim.timing import LaunchSpec, estimate_time
-from .heuristic import candidate_configurations
+from .heuristic import Candidate, candidate_configurations
 
 
 @dataclasses.dataclass(frozen=True)
@@ -31,6 +41,88 @@ class ExplorationPoint:
     occupancy: float
 
 
+@dataclasses.dataclass(frozen=True)
+class ExplorationTask:
+    """One full exploration — the unit :func:`explore_many` parallelises.
+
+    Mirrors the keyword surface of :func:`explore_configurations`; being a
+    frozen dataclass of picklable fields, tasks can cross process
+    boundaries for multi-core sweeps.
+    """
+
+    device: DeviceSpec
+    mix: InstructionMix
+    width: int
+    height: int
+    window: Tuple[int, int]
+    boundary_mode: Boundary = Boundary.CLAMP
+    backend: str = "cuda"
+    border: BorderMode = BorderMode.SPECIALIZED
+    use_texture: bool = False
+    mask_memory: MaskMemory = MaskMemory.CONSTANT
+    regs_per_thread: int = 20
+    smem_per_block: int = 0
+
+
+def _launch_spec(task: ExplorationTask, block: Tuple[int, int]
+                 ) -> LaunchSpec:
+    return LaunchSpec(
+        device=task.device,
+        backend=task.backend,
+        width=task.width,
+        height=task.height,
+        block=block,
+        window=task.window,
+        mix=task.mix,
+        boundary_mode=task.boundary_mode,
+        border=task.border,
+        use_texture=task.use_texture,
+        mask_memory=task.mask_memory,
+        regs_per_thread=task.regs_per_thread,
+        smem_bytes_per_block=task.smem_per_block,
+    )
+
+
+def _evaluate_candidates(task: ExplorationTask,
+                         candidates: Sequence[Candidate]
+                         ) -> List[ExplorationPoint]:
+    """Evaluate a slice of the candidate set (runs in pool workers too)."""
+    points: List[ExplorationPoint] = []
+    for cand in candidates:
+        try:
+            t = estimate_time(_launch_spec(task, cand.block))
+        except LaunchError:
+            continue            # "will not run on a second device at all"
+        points.append(ExplorationPoint(
+            block=cand.block,
+            threads=cand.threads,
+            time_ms=t.total_ms,
+            occupancy=t.occupancy,
+        ))
+    return points
+
+
+def _chunks(items: Sequence, n: int) -> List[List]:
+    """Split *items* into at most *n* contiguous, near-equal chunks."""
+    n = max(1, min(n, len(items)))
+    size, extra = divmod(len(items), n)
+    out, start = [], 0
+    for i in range(n):
+        end = start + size + (1 if i < extra else 0)
+        out.append(list(items[start:end]))
+        start = end
+    return out
+
+
+def _sorted_points(points: List[ExplorationPoint]
+                   ) -> List[ExplorationPoint]:
+    # (threads, block_y) is unique per candidate block, so this canonical
+    # order is independent of evaluation order — serial and parallel walks
+    # return identical lists
+    points.sort(key=lambda p: (p.threads, p.block[1]))
+    return points
+
+
 def explore_configurations(device: DeviceSpec,
                            mix: InstructionMix,
                            width: int, height: int,
@@ -41,39 +133,61 @@ def explore_configurations(device: DeviceSpec,
                            use_texture: bool = False,
                            mask_memory: MaskMemory = MaskMemory.CONSTANT,
                            regs_per_thread: int = 20,
-                           smem_per_block: int = 0
+                           smem_per_block: int = 0,
+                           workers: Optional[int] = None,
+                           use_processes: bool = False
                            ) -> List[ExplorationPoint]:
-    """Evaluate every legal configuration; sorted by thread count then y."""
+    """Evaluate every legal configuration; sorted by thread count then y.
+
+    *workers* > 1 evaluates candidate chunks concurrently (threads by
+    default, processes with *use_processes* for CPU-bound multi-core
+    sweeps); the result is identical to the serial walk.
+    """
+    task = ExplorationTask(
+        device=device, mix=mix, width=width, height=height, window=window,
+        boundary_mode=boundary_mode, backend=backend, border=border,
+        use_texture=use_texture, mask_memory=mask_memory,
+        regs_per_thread=regs_per_thread, smem_per_block=smem_per_block)
+    candidates = candidate_configurations(device, regs_per_thread,
+                                          smem_per_block)
+    if not workers or workers <= 1 or len(candidates) < 2:
+        return _sorted_points(_evaluate_candidates(task, candidates))
+
+    pool_cls = (concurrent.futures.ProcessPoolExecutor if use_processes
+                else concurrent.futures.ThreadPoolExecutor)
+    chunks = _chunks(candidates, workers)
     points: List[ExplorationPoint] = []
-    for cand in candidate_configurations(device, regs_per_thread,
-                                         smem_per_block):
-        spec = LaunchSpec(
-            device=device,
-            backend=backend,
-            width=width,
-            height=height,
-            block=cand.block,
-            window=window,
-            mix=mix,
-            boundary_mode=boundary_mode,
-            border=border,
-            use_texture=use_texture,
-            mask_memory=mask_memory,
-            regs_per_thread=regs_per_thread,
-            smem_bytes_per_block=smem_per_block,
-        )
-        try:
-            t = estimate_time(spec)
-        except LaunchError:
-            continue
-        points.append(ExplorationPoint(
-            block=cand.block,
-            threads=cand.threads,
-            time_ms=t.total_ms,
-            occupancy=t.occupancy,
-        ))
-    points.sort(key=lambda p: (p.threads, p.block[1]))
-    return points
+    with pool_cls(max_workers=len(chunks)) as pool:
+        for chunk_points in pool.map(_evaluate_candidates,
+                                     [task] * len(chunks), chunks):
+            points.extend(chunk_points)
+    return _sorted_points(points)
+
+
+def run_exploration_task(task: ExplorationTask) -> List[ExplorationPoint]:
+    """Run one complete exploration (module-level, hence picklable)."""
+    candidates = candidate_configurations(task.device, task.regs_per_thread,
+                                          task.smem_per_block)
+    return _sorted_points(_evaluate_candidates(task, candidates))
+
+
+def explore_many(tasks: Sequence[ExplorationTask],
+                 workers: Optional[int] = None,
+                 use_processes: bool = False
+                 ) -> List[List[ExplorationPoint]]:
+    """Run several explorations, optionally in parallel.
+
+    This is the chunky unit of parallelism for Figure-4-style sweeps over
+    devices and kernels: each task amortises pool overhead over a whole
+    candidate walk.  Results keep the order of *tasks*.
+    """
+    tasks = list(tasks)
+    if not workers or workers <= 1 or len(tasks) < 2:
+        return [run_exploration_task(t) for t in tasks]
+    pool_cls = (concurrent.futures.ProcessPoolExecutor if use_processes
+                else concurrent.futures.ThreadPoolExecutor)
+    with pool_cls(max_workers=min(workers, len(tasks))) as pool:
+        return list(pool.map(run_exploration_task, tasks))
 
 
 def best_point(points: List[ExplorationPoint]) -> ExplorationPoint:

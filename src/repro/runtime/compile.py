@@ -10,11 +10,21 @@ Pipeline (paper Sections IV-V):
    usage (the nvcc stand-in);
 5. run Algorithm 2 to select block configuration and tiling;
 6. regenerate the final code for the selected configuration.
+
+With ``cache=`` the driver becomes content-addressed: the canonicalised
+kernel IR, the resolved codegen options, the device model, the backend
+and the package version are hashed into a key (:mod:`repro.cache.key`),
+and a hit skips stages 2-6 entirely — the paper's framework re-generates
+and re-tunes per kernel/device pair on every run, which auto-tuning
+stacks such as ImageCL and IPMACC memoize for exactly this reason.  A
+pre-parse kernel fingerprint additionally memoizes stage 1, so a warm
+compile costs a hash and a dictionary lookup.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+import time
+from typing import Dict, Optional, Tuple, Union
 
 from ..backends.base import (
     BorderMode,
@@ -22,6 +32,9 @@ from ..backends.base import (
     MaskMemory,
     generate,
 )
+from ..cache.key import compute_key, ir_digest, kernel_fingerprint
+from ..cache.serialize import entry_from_dict, entry_to_dict
+from ..cache.store import CompilationCache, get_default_cache
 from ..dsl.boundary import Boundary
 from ..dsl.kernel import Kernel
 from ..errors import DslError
@@ -44,6 +57,15 @@ def _resolve_device(device: Union[None, str, DeviceSpec],
     if device is None:
         device = _DEFAULT_DEVICE[backend]
     return get_device(device)
+
+
+def _resolve_cache(cache: Union[None, bool, CompilationCache]
+                   ) -> Optional[CompilationCache]:
+    if cache is None or cache is False:
+        return None
+    if cache is True:
+        return get_default_cache()
+    return cache
 
 
 def _max_window(ir) -> Tuple[int, int]:
@@ -71,20 +93,51 @@ def compile_kernel(kernel: Kernel,
                    emit_config_macros: bool = False,
                    vectorize: int = 1,
                    pixels_per_thread: int = 1,
-                   bake_params: bool = True) -> CompiledKernel:
+                   bake_params: bool = True,
+                   cache: Union[None, bool, CompilationCache] = None
+                   ) -> CompiledKernel:
     """Compile *kernel* for *backend*/*device* (see module docstring).
 
     Parameters left ``None`` are decided by the optimization database
     (texture, scratchpad) or Algorithm 2 (block configuration).
+
+    *cache* enables the content-addressed compilation cache: ``True``
+    uses the process-wide default (:func:`repro.cache.get_default_cache`,
+    honoring ``REPRO_CACHE_DIR``), or pass a
+    :class:`~repro.cache.CompilationCache` directly.  Cached artifacts
+    are byte-identical to fresh compiles; ``CompiledKernel.from_cache``
+    and ``.stage_timings`` report what happened.
     """
+    t_start = time.perf_counter()
     if not isinstance(kernel, Kernel):
         raise DslError("compile_kernel expects a Kernel instance")
     dev = _resolve_device(device, backend)
     if not dev.supports_backend(backend):
         raise DslError(
             f"{dev.name} does not support the {backend} backend")
+    store = _resolve_cache(cache)
 
-    ir = typecheck_kernel(parse_kernel(kernel, bake_params=bake_params))
+    timings: Dict[str, float] = {}
+
+    # ---- stage 1: frontend (memoised by kernel fingerprint) ---------------
+    t0 = time.perf_counter()
+    ir = None
+    ir_dig = None
+    fingerprint = None
+    if store is not None:
+        fingerprint = kernel_fingerprint(kernel, bake_params=bake_params)
+        if fingerprint is not None:
+            memo = store.frontend_get(fingerprint)
+            if memo is not None:
+                ir_dig, ir = memo
+    if ir is None:
+        ir = typecheck_kernel(parse_kernel(kernel, bake_params=bake_params))
+        if store is not None:
+            ir_dig = ir_digest(ir)
+            if fingerprint is not None:
+                store.frontend_put(fingerprint, ir_dig, ir)
+    timings["frontend_ms"] = (time.perf_counter() - t0) * 1e3
+
     window = _max_window(ir)
     geometry = (kernel.iteration_space.width, kernel.iteration_space.height)
 
@@ -110,6 +163,50 @@ def compile_kernel(kernel: Kernel,
     if isinstance(mask_memory, str):
         mask_memory = MaskMemory(mask_memory)
 
+    # ---- cache lookup -----------------------------------------------------
+    key = None
+    if store is not None:
+        t0 = time.perf_counter()
+        from .. import __version__
+        request = {
+            "geometry": list(geometry),
+            "block": list(block) if block is not None else "auto",
+            "border": border_mode.value,
+            "use_texture": use_texture,
+            "use_smem": use_smem,
+            "mask_memory": (mask_memory.value
+                            if isinstance(mask_memory, MaskMemory)
+                            else mask_memory),
+            "unroll": unroll,
+            "fold_constants": fold_constants,
+            "fast_math": fast_math,
+            "emit_config_macros": emit_config_macros,
+            "vectorize": vectorize,
+            "pixels_per_thread": pixels_per_thread,
+            "bake_params": bake_params,
+        }
+        key = compute_key(ir_dig, dev, backend, request, __version__)
+        payload = store.get(key)
+        timings["cache_lookup_ms"] = (time.perf_counter() - t0) * 1e3
+        if payload is not None:
+            final, options, resources, selected_occ = \
+                entry_from_dict(payload)
+            timings["total_ms"] = (time.perf_counter() - t_start) * 1e3
+            return CompiledKernel(
+                ir=ir,
+                source=final,
+                options=options,
+                device=dev,
+                resources=resources,
+                accessors=accessor_objects(kernel),
+                iteration_space=kernel.iteration_space,
+                window=window,
+                selected_occupancy=selected_occ,
+                cache_key=key,
+                from_cache=True,
+                stage_timings=timings,
+            )
+
     options = CodegenOptions(
         backend=backend,
         use_texture=use_texture,
@@ -126,8 +223,11 @@ def compile_kernel(kernel: Kernel,
     )
 
     # first pass: default configuration, to learn resource usage
+    t0 = time.perf_counter()
     provisional = generate(ir, options, launch_geometry=geometry)
+    timings["codegen_provisional_ms"] = (time.perf_counter() - t0) * 1e3
     smem_bytes = provisional.smem_bytes
+    t0 = time.perf_counter()
     resources = estimate_resources(
         ir, dev,
         use_texture=use_texture,
@@ -136,10 +236,12 @@ def compile_kernel(kernel: Kernel,
         smem_bytes=smem_bytes,
         unrolled=unroll,
     )
+    timings["resources_ms"] = (time.perf_counter() - t0) * 1e3
 
     selected_occ = 0.0
     if block is None:
         # Algorithm 2
+        t0 = time.perf_counter()
         if use_smem:
             # staging tile size depends on the block; pass the default
             # block's demand as the constraint
@@ -155,12 +257,19 @@ def compile_kernel(kernel: Kernel,
         )
         options.block = selection.block
         selected_occ = selection.occupancy
+        timings["select_ms"] = (time.perf_counter() - t0) * 1e3
         # regenerate with the final configuration (the paper regenerates
         # because the dispatch constants depend on the tiling)
+        t0 = time.perf_counter()
         final = generate(ir, options, launch_geometry=geometry)
+        timings["codegen_final_ms"] = (time.perf_counter() - t0) * 1e3
     else:
         final = provisional
 
+    if store is not None and key is not None:
+        store.put(key, entry_to_dict(final, resources, selected_occ))
+
+    timings["total_ms"] = (time.perf_counter() - t_start) * 1e3
     return CompiledKernel(
         ir=ir,
         source=final,
@@ -171,4 +280,7 @@ def compile_kernel(kernel: Kernel,
         iteration_space=kernel.iteration_space,
         window=window,
         selected_occupancy=selected_occ,
+        cache_key=key,
+        from_cache=False,
+        stage_timings=timings,
     )

@@ -5,7 +5,7 @@ handles to execute on the simulator or query the timing model."""
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -46,6 +46,22 @@ class CompiledKernel:
     iteration_space: IterationSpace
     window: Tuple[int, int]
     selected_occupancy: float = 0.0
+    #: content address of this compile in the compilation cache (None when
+    #: compiled without a cache); see docs/CACHING.md for key composition
+    cache_key: Optional[str] = None
+    #: True when this artifact was served from the cache rather than
+    #: produced by running the pipeline
+    from_cache: bool = False
+    #: wall-clock milliseconds per pipeline stage for this compile
+    #: (frontend_ms, cache_lookup_ms, codegen_provisional_ms,
+    #: resources_ms, select_ms, codegen_final_ms, total_ms)
+    stage_timings: Dict[str, float] = dataclasses.field(
+        default_factory=dict)
+
+    @property
+    def compile_ms(self) -> float:
+        """Total wall-clock time this compile took."""
+        return self.stage_timings.get("total_ms", 0.0)
 
     # -- queries -------------------------------------------------------------
 

@@ -7,7 +7,10 @@ test module is defined here.
 
 from __future__ import annotations
 
+import random
+
 import numpy as np
+import pytest
 
 from repro import (
     Accessor,
@@ -219,3 +222,30 @@ def box_mask(size, dtype=np.float32):
 def random_image(width=16, height=16, seed=0):
     rng = np.random.default_rng(seed)
     return rng.random((height, width)).astype(np.float32)
+
+
+@pytest.fixture
+def repro_seed(request):
+    """Seed the global RNGs from ``--repro-seed`` (registered in the
+    repo-level ``conftest.py``) so any randomised test replays exactly;
+    returns the seed for tests that want their own generators."""
+    seed = int(request.config.getoption("--repro-seed"))
+    random.seed(seed)
+    np.random.seed(seed % (2 ** 32))
+    return seed
+
+
+def build_convolution(size=16, mask_size=3, boundary=Boundary.CLAMP,
+                      coefficient_scale=1.0):
+    """Deterministic MaskConvolution instance — same bytes in every
+    process, so cache keys computed from it must agree across runs."""
+    data = np.linspace(0.0, 1.0, size * size,
+                       dtype=np.float32).reshape(size, size)
+    src, dst = build_image_pair(size, size, data)
+    acc = accessor_for(src, mask_size, boundary)
+    coeffs = np.linspace(-1.0, float(coefficient_scale),
+                         mask_size * mask_size,
+                         dtype=np.float32).reshape(mask_size, mask_size)
+    mask = Mask(mask_size, mask_size).set(coeffs)
+    half = mask_size // 2
+    return MaskConvolution(IterationSpace(dst), acc, mask, half, half)

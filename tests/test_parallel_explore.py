@@ -1,0 +1,178 @@
+"""Concurrency tests: parallel exploration and cache contention.
+
+The parallel configuration walk must be a pure speed-up — same point
+set, same canonical order, same ``LaunchError``-skipping — and the
+compilation cache must stay coherent when hammered from a thread pool:
+a reader sees either nothing or a complete entry, never a
+partially-written one.
+"""
+
+import concurrent.futures
+import threading
+
+import pytest
+
+from repro import CompilationCache, compile_kernel
+from repro.backends.base import BorderMode, MaskMemory
+from repro.dsl.boundary import Boundary
+from repro.errors import LaunchError
+from repro.evaluation.figure4 import figure4_device_sweep
+from repro.filters.gaussian import make_gaussian
+from repro.hwmodel import get_device
+from repro.mapping import explore as explore_mod
+from repro.mapping.explore import (
+    ExplorationTask,
+    explore_configurations,
+    explore_many,
+    run_exploration_task,
+)
+
+from .helpers import build_convolution, random_image
+
+WINDOW = (5, 5)
+
+
+def _mix_and_regs():
+    """An InstructionMix + register count from a real compile."""
+    kernel, _, _ = make_gaussian(64, 64, size=5, data=random_image(64, 64))
+    compiled = compile_kernel(kernel, backend="cuda",
+                              device="Tesla C2050")
+    res = compiled.resources
+    return res.instruction_mix, res.registers_per_thread
+
+
+def _explore(device_name, backend, mix, regs, **kw):
+    return explore_configurations(
+        get_device(device_name), mix, 1024, 1024, WINDOW,
+        boundary_mode=Boundary.CLAMP, backend=backend,
+        border=BorderMode.SPECIALIZED, use_texture=False,
+        mask_memory=MaskMemory.CONSTANT, regs_per_thread=regs, **kw)
+
+
+class TestParallelEqualsSerial:
+    @pytest.mark.parametrize("device_name,backend", [
+        ("Tesla C2050", "cuda"),
+        ("Radeon HD 5870", "opencl"),
+    ])
+    def test_threads(self, device_name, backend):
+        mix, regs = _mix_and_regs()
+        serial = _explore(device_name, backend, mix, regs)
+        parallel = _explore(device_name, backend, mix, regs, workers=4)
+        assert parallel == serial
+        assert len(serial) > 0
+
+    def test_processes(self):
+        # the smallest candidate set keeps process start-up cheap; this
+        # proves ExplorationTask and the points pickle cleanly
+        mix, regs = _mix_and_regs()
+        serial = _explore("Radeon HD 5870", "opencl", mix, regs)
+        parallel = _explore("Radeon HD 5870", "opencl", mix, regs,
+                            workers=2, use_processes=True)
+        assert parallel == serial
+
+    def test_launcherror_skipping_matches(self, monkeypatch):
+        mix, regs = _mix_and_regs()
+        real = explore_mod.estimate_time
+
+        def flaky(spec):
+            if spec.block[0] * spec.block[1] >= 256:
+                raise LaunchError("synthetic: configuration rejected")
+            return real(spec)
+
+        monkeypatch.setattr(explore_mod, "estimate_time", flaky)
+        serial = _explore("Tesla C2050", "cuda", mix, regs)
+        parallel = _explore("Tesla C2050", "cuda", mix, regs, workers=4)
+        assert parallel == serial
+        assert serial                        # something survived
+        assert all(p.threads < 256 for p in serial)
+
+    def test_explore_many_preserves_task_order(self):
+        mix, regs = _mix_and_regs()
+        tasks = [
+            ExplorationTask(device=get_device(name), mix=mix,
+                            width=1024, height=1024, window=WINDOW,
+                            backend=backend, regs_per_thread=regs)
+            for name, backend in [("Tesla C2050", "cuda"),
+                                  ("Quadro FX 5800", "cuda"),
+                                  ("Radeon HD 5870", "opencl")]
+        ]
+        serial = explore_many(tasks)
+        parallel = explore_many(tasks, workers=3)
+        assert parallel == serial
+        assert serial == [run_exploration_task(t) for t in tasks]
+
+    def test_figure4_device_sweep_parallel_consistent(self):
+        serial = figure4_device_sweep(width=512, height=512)
+        parallel = figure4_device_sweep(width=512, height=512, workers=4)
+        assert parallel == serial
+        assert set(serial) == {"Tesla C2050", "Quadro FX 5800",
+                               "Radeon HD 5870", "Radeon HD 6970"}
+        assert all(pts for pts in serial.values())
+
+
+class TestCacheContention:
+    REQUIRED = {"kind", "format", "source", "options", "resources"}
+
+    def test_contended_compiles_match_serial_reference(self, tmp_path):
+        variants = [dict(mask_size=3), dict(mask_size=5),
+                    dict(boundary=Boundary.MIRROR),
+                    dict(coefficient_scale=2.0)]
+        reference = {
+            i: compile_kernel(build_convolution(**kw), backend="cuda",
+                              device="Tesla C2050").source.device_code
+            for i, kw in enumerate(variants)}
+
+        cache = CompilationCache(directory=str(tmp_path))
+
+        def job(i):
+            kw = variants[i % len(variants)]
+            compiled = compile_kernel(build_convolution(**kw),
+                                      backend="cuda",
+                                      device="Tesla C2050", cache=cache)
+            return i % len(variants), compiled.source.device_code
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(job, range(16)))
+        for i, code in results:
+            assert code == reference[i], f"variant {i} diverged"
+        # the initial 8-thread burst may double-miss each variant (both
+        # threads compile before either stores — benign duplicate work),
+        # but afterwards every compile must hit
+        assert cache.stats.hits + cache.stats.disk_hits >= \
+            len(results) - 2 * len(variants)
+
+    def test_no_partial_entries_under_contention(self, tmp_path):
+        # hammer one key with full payloads from half the threads while
+        # the other half reads: a get() must yield None or a complete
+        # payload, never a partially-written dict or corrupt JSON
+        cache = CompilationCache(capacity=4, directory=str(tmp_path))
+        payload = {k: f"value-{k}" for k in sorted(self.REQUIRED)}
+        stop = threading.Event()
+        bad = []
+
+        def writer(key):
+            while not stop.is_set():
+                cache.put(key, dict(payload))
+
+        def reader(key):
+            while not stop.is_set():
+                got = cache.get(key)
+                if got is not None and set(got) != set(payload):
+                    bad.append(got)
+            # disk path too: a fresh instance re-reads the JSON file
+            got = CompilationCache(directory=str(tmp_path)).get(key)
+            if got is not None and set(got) != set(payload):
+                bad.append(got)
+
+        keys = [f"{i:02x}" * 32 for i in range(4)]
+        threads = [threading.Thread(target=writer, args=(k,))
+                   for k in keys]
+        threads += [threading.Thread(target=reader, args=(k,))
+                    for k in keys]
+        for t in threads:
+            t.start()
+        threading.Event().wait(0.5)
+        stop.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert not bad, f"partial entries observed: {bad[:3]}"

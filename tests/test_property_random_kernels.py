@@ -32,6 +32,10 @@ from repro.ir.optimize import (
 from repro.sim.executor import evaluate_body
 from repro.types import FLOAT
 
+# --repro-seed (conftest.py) pins the global RNGs; together with the
+# derandomized hypothesis profile every failure here replays exactly
+pytestmark = pytest.mark.usefixtures("repro_seed")
+
 WIDTH, HEIGHT = 14, 11
 MASK_SIZE = 3
 HALF = MASK_SIZE // 2
