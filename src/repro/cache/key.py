@@ -16,7 +16,8 @@ produces the addresses:
 * :func:`kernel_fingerprint` — a *pre-parse* fingerprint of a DSL
   :class:`~repro.dsl.kernel.Kernel` instance covering everything the
   frontend consumes (kernel-method source, scalar attributes, accessor /
-  mask / domain metadata, numeric module globals).  It front-ends an
+  mask / domain metadata, the iteration-space output pixel type, numeric
+  module globals).  It front-ends an
   in-memory memo so a warm compile skips re-parsing entirely; when an
   attribute cannot be fingerprinted soundly the function returns ``None``
   and the caller falls back to a full parse (correct, just slower).
@@ -40,6 +41,7 @@ from typing import Any, Dict, List, Mapping, Optional
 import numpy as np
 
 from ..hwmodel.device import DeviceSpec
+from .serialize import ENTRY_FORMAT
 from ..ir.nodes import (
     AccessorInfo,
     Assign,
@@ -187,6 +189,10 @@ def compute_key(ir_dig: str, device: DeviceSpec, backend: str,
     """
     payload = {
         "schema": KEY_SCHEMA_VERSION,
+        # entries of another layout must never be looked up: folding the
+        # format into the key turns an ENTRY_FORMAT bump into a cache miss
+        # for pre-existing on-disk stores instead of a decode error
+        "entry_format": ENTRY_FORMAT,
         "version": version,
         "backend": backend,
         "ir": ir_dig,
@@ -241,6 +247,12 @@ def kernel_fingerprint(kernel, bake_params: bool = True) -> Optional[str]:
     h.update(b"baked" if bake_params else b"uniform")
 
     try:
+        # the parser reads the output pixel type off the iteration space
+        # (KernelIR.pixel_type); geometry stays out — it never reaches the
+        # IR, and compute_key() hashes it separately via the request
+        h.update(json.dumps(
+            ["iteration_space",
+             kernel.iteration_space.pixel_type.name]).encode())
         for name in sorted(vars(kernel)):
             if name.startswith("_") or name == "iteration_space":
                 continue

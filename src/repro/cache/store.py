@@ -111,13 +111,30 @@ class CompilationCache:
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
         """Store *payload* (a complete JSON-able dict) under *key*."""
+        # content addressing makes re-stores of an existing key no-ops:
+        # an entry evicted from memory but still on disk is neither a new
+        # store (stats) nor worth rewriting (the bytes cannot differ)
+        path = self._disk_path(key)
+        on_disk = path is not None and os.path.exists(path)
         with self._lock:
-            fresh = key not in self._entries
+            fresh = key not in self._entries and not on_disk
             self._insert(key, payload)
             if fresh:
                 self.stats.stores += 1
-        if self.directory is not None:
+        if path is not None and not on_disk:
             self._disk_write(key, payload)
+
+    def invalidate(self, key: str) -> None:
+        """Drop *key* everywhere — memory and disk.  For callers that find
+        a stored payload undecodable; the next put() re-stores it."""
+        with self._lock:
+            self._entries.pop(key, None)
+        path = self._disk_path(key)
+        if path is not None:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
 
     def _insert(self, key: str, payload: Dict[str, Any]) -> None:
         self._entries[key] = payload
@@ -188,8 +205,16 @@ class CompilationCache:
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 return json.load(fh)
-        except (OSError, ValueError):
-            return None        # torn/corrupt file: treat as a miss
+        except ValueError:
+            # corrupt file: a miss — and since put() skips writes for
+            # existing files, unlink it so the re-store can heal it
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        except OSError:
+            return None
 
     def _disk_write(self, key: str, payload: Dict[str, Any]) -> None:
         path = self._disk_path(key)

@@ -103,12 +103,20 @@ def figure4_device_sweep(devices: Optional[Sequence[Union[str, DeviceSpec]]]
     out by :func:`~repro.mapping.explore.explore_many` — the chunky
     parallel unit that puts every core to work on multi-device sweeps.
     The backend follows the vendor (CUDA on NVIDIA, OpenCL elsewhere).
+    Results are keyed by ``DeviceSpec.name``; passing two devices sharing
+    a name raises :class:`ValueError` rather than dropping one silently.
     """
     from ..hwmodel import EVALUATION_DEVICES
 
     specs = [get_device(d) if isinstance(d, str) else d
              for d in (devices if devices is not None
                        else EVALUATION_DEVICES)]
+    names = [dev.name for dev in specs]
+    duplicates = sorted({n for n in names if names.count(n) > 1})
+    if duplicates:
+        raise ValueError(
+            f"duplicate device name(s) {duplicates}: results are keyed "
+            f"by device name, so duplicates would be silently dropped")
     ir = _bilateral_ir(True, boundary.value, sigma_d, sigma_r)
     window = (4 * sigma_d + 1, 4 * sigma_d + 1)
     tasks = []

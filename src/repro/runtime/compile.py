@@ -189,8 +189,16 @@ def compile_kernel(kernel: Kernel,
         payload = store.get(key)
         timings["cache_lookup_ms"] = (time.perf_counter() - t0) * 1e3
         if payload is not None:
-            final, options, resources, selected_occ = \
-                entry_from_dict(payload)
+            try:
+                final, options, resources, selected_occ = \
+                    entry_from_dict(payload)
+            except (KeyError, TypeError, ValueError):
+                # an entry this build cannot decode (hand-edited file,
+                # foreign layout) is a miss: evict it so the recompile
+                # below re-stores a good one
+                store.invalidate(key)
+                payload = None
+        if payload is not None:
             timings["total_ms"] = (time.perf_counter() - t_start) * 1e3
             return CompiledKernel(
                 ir=ir,

@@ -16,6 +16,7 @@ pipeline run:
   corrupt entries.
 """
 
+import json
 import os
 import subprocess
 import sys
@@ -28,7 +29,7 @@ from repro.filters.gaussian import make_gaussian
 from repro.filters.laplacian import make_laplacian
 from repro.filters.sobel import make_sobel
 
-from .helpers import AddScalar, AddUniform, accessor_for, \
+from .helpers import AddScalar, AddUniform, CopyKernel, accessor_for, \
     build_convolution, build_image_pair, random_image
 from repro.dsl import IterationSpace
 
@@ -148,6 +149,28 @@ class TestKeySensitivity:
         assert b.from_cache
         assert a.source.device_code == b.source.device_code
 
+    def test_output_pixel_type_changes_key(self):
+        # differential for the fingerprint memo: the output pixel type is
+        # the one thing the parser reads off iteration_space, so two
+        # kernels identical in every other fingerprinted attribute must
+        # not share a frontend memo entry (or the second would be served
+        # code generated for the wrong type)
+        from repro import Image
+
+        def build(pixel_type):
+            src, _ = build_image_pair(16, 16, random_image())
+            dst = Image(16, 16, pixel_type)
+            return CopyKernel(IterationSpace(dst), accessor_for(src))
+
+        cache = CompilationCache()
+        a = compile_kernel(build("float32"), cache=cache)
+        b = compile_kernel(build("float64"), cache=cache)
+        assert not b.from_cache
+        assert a.cache_key != b.cache_key
+        assert a.source.device_code != b.source.device_code
+        assert a.ir.pixel_type.name == "float"
+        assert b.ir.pixel_type.name == "double"
+
     def test_boundary_changes_key(self):
         assert self._key(build_convolution(boundary=Boundary.CLAMP)) != \
             self._key(build_convolution(boundary=Boundary.MIRROR))
@@ -225,6 +248,51 @@ class TestDiskStore:
         assert not again.from_cache
         assert second.stats.misses == 1
         assert _artifact(cold) == _artifact(again)
+        # the recompile healed the corrupt file in place
+        assert second.stats.disk_writes == 1
+        third = CompilationCache(directory=str(tmp_path))
+        assert compile_kernel(build_convolution(), backend="cuda",
+                              device="Tesla C2050",
+                              cache=third).from_cache
+
+    def test_undecodable_entry_is_a_miss(self, tmp_path):
+        # an entry under the current key whose body this build cannot
+        # decode (e.g. hand-edited) must fall through to a recompile and
+        # be replaced, never crash compile_kernel
+        first = CompilationCache(directory=str(tmp_path))
+        cold = compile_kernel(build_convolution(), backend="cuda",
+                              device="Tesla C2050", cache=first)
+        [entry] = list(tmp_path.rglob("*.json"))
+        data = json.loads(entry.read_text())
+        data["format"] = 999
+        entry.write_text(json.dumps(data))
+
+        second = CompilationCache(directory=str(tmp_path))
+        again = compile_kernel(build_convolution(), backend="cuda",
+                               device="Tesla C2050", cache=second)
+        assert not again.from_cache
+        assert _artifact(cold) == _artifact(again)
+        assert json.loads(entry.read_text())["format"] != 999
+        third = CompilationCache(directory=str(tmp_path))
+        assert compile_kernel(build_convolution(), backend="cuda",
+                              device="Tesla C2050",
+                              cache=third).from_cache
+
+    def test_entry_format_is_part_of_the_key(self, monkeypatch, tmp_path):
+        # a future ENTRY_FORMAT bump must orphan old entries, not decode
+        # them: same compile under a patched format lands on another key
+        import repro.cache.key as key_mod
+        cache = CompilationCache(directory=str(tmp_path))
+        current = compile_kernel(build_convolution(), backend="cuda",
+                                 device="Tesla C2050", cache=cache)
+        monkeypatch.setattr(key_mod, "ENTRY_FORMAT",
+                            key_mod.ENTRY_FORMAT + 1)
+        bumped = compile_kernel(build_convolution(), backend="cuda",
+                                device="Tesla C2050",
+                                cache=CompilationCache(
+                                    directory=str(tmp_path)))
+        assert bumped.cache_key != current.cache_key
+        assert not bumped.from_cache
 
     def test_clear(self, tmp_path):
         cache = CompilationCache(directory=str(tmp_path))
@@ -245,3 +313,20 @@ class TestEviction:
                            cache=cache)
         assert len(cache) == 2
         assert cache.stats.evictions >= 1
+
+    def test_restore_after_eviction_not_counted_or_rewritten(self,
+                                                             tmp_path):
+        # an entry LRU-evicted from memory but still on disk is not a new
+        # store: re-putting it must leave stores/disk_writes untouched
+        cache = CompilationCache(capacity=1, directory=str(tmp_path))
+        key_a, key_b = "aa" + "0" * 62, "bb" + "0" * 62
+        cache.put(key_a, {"payload": "a"})
+        cache.put(key_b, {"payload": "b"})      # evicts key_a from memory
+        assert cache.stats.evictions == 1
+        assert cache.stats.stores == 2
+        assert cache.stats.disk_writes == 2
+
+        cache.put(key_a, {"payload": "a"})      # still on disk
+        assert cache.stats.stores == 2
+        assert cache.stats.disk_writes == 2
+        assert cache.get(key_a) == {"payload": "a"}

@@ -109,6 +109,13 @@ class TestParallelEqualsSerial:
                                "Radeon HD 5870", "Radeon HD 6970"}
         assert all(pts for pts in serial.values())
 
+    def test_figure4_device_sweep_rejects_duplicate_names(self):
+        # results are keyed by device name; a duplicate would silently
+        # shadow one device's point set after doing all the work
+        with pytest.raises(ValueError, match="duplicate device name"):
+            figure4_device_sweep(devices=["Tesla C2050", "Tesla C2050"],
+                                 width=256, height=256)
+
 
 class TestCacheContention:
     REQUIRED = {"kind", "format", "source", "options", "resources"}
