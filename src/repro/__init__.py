@@ -53,6 +53,7 @@ from .errors import (  # noqa: F401
     DeviceFault,
     DslError,
     FrontendError,
+    GraphError,
     HipaccError,
     LaunchError,
     MappingError,
@@ -90,8 +91,17 @@ from .dsl.reduction import (  # noqa: F401
     MinReduction,
     SumReduction,
 )
-from .runtime import CompiledKernel, compile_kernel  # noqa: F401
+from .runtime import CompiledKernel, compile_ir, compile_kernel  # noqa: F401
 from .runtime.reduce import CompiledReduction, compile_reduction  # noqa: F401
+from .graph import (  # noqa: F401
+    BufferPool,
+    GraphReport,
+    PipelineGraph,
+    execute_graph,
+    fuse_point_ops,
+    pipe,
+    stage,
+)
 
 __all__ = [
     "Accessor",
@@ -119,14 +129,23 @@ __all__ = [
     "MaskMemory",
     "Reduce",
     "Uniform",
+    "BufferPool",
+    "GraphError",
+    "GraphReport",
+    "PipelineGraph",
     "CompiledReduction",
     "GlobalReduction",
     "MaxReduction",
     "MinReduction",
     "SumReduction",
     "AbsMaxReduction",
+    "compile_ir",
     "compile_kernel",
     "compile_reduction",
+    "execute_graph",
+    "fuse_point_ops",
+    "pipe",
+    "stage",
     "get_default_cache",
     "get_device",
     "list_devices",

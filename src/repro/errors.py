@@ -59,6 +59,15 @@ class MappingError(HipaccError):
     """Device-specific mapping failed (no legal kernel configuration...)."""
 
 
+class GraphError(HipaccError):
+    """A multi-kernel pipeline graph is malformed.
+
+    Raised at build/validation time by :mod:`repro.graph` — dataflow
+    cycles, two kernels writing the same image, or shape-incompatible
+    edges that would fault at launch.
+    """
+
+
 class LaunchError(HipaccError):
     """The simulated runtime rejected a kernel launch.
 

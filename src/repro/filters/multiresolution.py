@@ -46,7 +46,8 @@ class _Resample(Kernel):
 
 def _device_resample(data: np.ndarray, out_w: int, out_h: int,
                      boundary: Boundary, device, backend: str,
-                     interpolation=Interpolation.LINEAR) -> np.ndarray:
+                     interpolation=Interpolation.LINEAR,
+                     cache=None) -> np.ndarray:
     """Resample on the simulated GPU through an InterpolatedAccessor."""
     from ..runtime.compile import compile_kernel
 
@@ -57,7 +58,7 @@ def _device_resample(data: np.ndarray, out_w: int, out_h: int,
     acc = InterpolatedAccessor(bc, out_w, out_h, interpolation)
     kernel = _Resample(IterationSpace(img_out), acc)
     compile_kernel(kernel, backend=backend, device=device,
-                   use_texture=False).execute()
+                   use_texture=False, cache=cache).execute()
     return img_out.get_data()
 
 
@@ -72,13 +73,14 @@ def _upsample(data: np.ndarray, shape) -> np.ndarray:
 
 
 def _blur(data: np.ndarray, boundary: Boundary, device, backend: str,
-          size: int = 5) -> np.ndarray:
+          size: int = 5, cache=None) -> np.ndarray:
     kernel, img_in, img_out = make_gaussian(
         data.shape[1], data.shape[0], size=size, boundary=boundary,
         data=data)
     from ..runtime.compile import compile_kernel
 
-    compiled = compile_kernel(kernel, backend=backend, device=device)
+    compiled = compile_kernel(kernel, backend=backend, device=device,
+                              cache=cache)
     compiled.execute()
     return img_out.get_data()
 
@@ -89,7 +91,8 @@ def multiresolution_filter(data: np.ndarray,
                            boundary: Boundary = Boundary.MIRROR,
                            device: Union[None, str, DeviceSpec] = None,
                            backend: str = "cuda",
-                           device_resample: bool = False) -> np.ndarray:
+                           device_resample: bool = False,
+                           cache=None) -> np.ndarray:
     """Multi-scale detail enhancement.
 
     Decomposes *data* into *levels* Laplacian levels (each detail level =
@@ -99,7 +102,17 @@ def multiresolution_filter(data: np.ndarray,
     down/upsampling also runs on the device through bilinear
     InterpolatedAccessors (HIPAcc's pyramid pattern) instead of host-side
     decimation/replication.
+
+    Every per-level blur/resample compile goes through one shared
+    compilation cache, so the synthesis pass reuses the analysis pass's
+    artifacts (same blur geometry per level).  *cache* follows the
+    :func:`~repro.runtime.compile.compile_kernel` convention — a
+    :class:`~repro.cache.CompilationCache` instance to share across
+    calls, ``True`` for the process default, ``False`` to disable — with
+    the default ``None`` meaning a fresh cache private to this call.
     """
+    from ..cache import CompilationCache, get_default_cache
+
     data = np.asarray(data, dtype=np.float32)
     if levels < 1:
         raise ValueError("levels must be >= 1")
@@ -107,20 +120,26 @@ def multiresolution_filter(data: np.ndarray,
         gains = [1.0] * levels
     if len(gains) != levels:
         raise ValueError(f"expected {levels} gains, got {len(gains)}")
+    if cache is None:
+        cache = CompilationCache()
+    elif cache is True:
+        cache = get_default_cache()
+    elif cache is False:
+        cache = None
 
     # analysis: Gaussian pyramid + detail levels
     current = data
     details: List[np.ndarray] = []
     bases: List[np.ndarray] = []
     for _ in range(levels):
-        blurred = _blur(current, boundary, device, backend)
+        blurred = _blur(current, boundary, device, backend, cache=cache)
         details.append(current - blurred)
         bases.append(current)
         if device_resample:
             h, w = blurred.shape
             current = _device_resample(blurred, max(1, w // 2),
                                        max(1, h // 2), boundary, device,
-                                       backend)
+                                       backend, cache=cache)
         else:
             current = _downsample(blurred)
 
@@ -131,9 +150,9 @@ def multiresolution_filter(data: np.ndarray,
         if device_resample:
             th, tw = bases[level].shape
             up = _device_resample(result, tw, th, boundary, device,
-                                  backend)
+                                  backend, cache=cache)
         else:
             up = _upsample(result, bases[level].shape)
-        up = _blur(up, boundary, device, backend)
+        up = _blur(up, boundary, device, backend, cache=cache)
         result = up + np.float32(gains[level]) * details[level]
     return result

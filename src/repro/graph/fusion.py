@@ -1,0 +1,305 @@
+"""Point-operator fusion: merge adjacent point-op nodes into one kernel.
+
+"Point operators are applied to the pixels of the image and solely the
+pixel the point operator is applied to contributes to the operation" —
+which makes a producer/consumer pair of them trivially fusable: the
+consumer's read of the intermediate pixel *is* the producer's output
+expression.  Fusing saves a kernel launch, the intermediate image's
+global-memory round trip, and (through the scheduler's pool accounting)
+its allocation outright.
+
+The pass works on typechecked :class:`~repro.ir.nodes.KernelIR`:
+
+1. eligibility — a node is a *point op* when it has no masks, every
+   accessor is an un-interpolated 1x1 window, every ``AccessorRead``
+   offset is the constant ``(0, 0)``, and the body ends in its single
+   top-level ``OutputWrite``;
+2. a producer fuses into its consumer when both are point ops with the
+   same full-image iteration space and compile options, and the
+   intermediate has exactly one consumer and is not a pipeline output;
+3. the merged IR is the producer's renamed body with its ``OutputWrite``
+   demoted to a local (cast to the intermediate's pixel type, so the
+   store/reload rounding of the unfused chain is reproduced *exactly*),
+   followed by the consumer's renamed body with reads of the fused
+   accessor replaced by that local.  The result is re-typechecked and
+   content-addressed like any other kernel.
+
+Numerical equivalence to the unfused graph is pinned by differential
+tests (randomized chains under hypothesis) — byte-identical, not just
+allclose, because the only value that ever crossed the intermediate is
+re-materialised through the same cast.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import GraphError
+from ..frontend.parser import parse_kernel
+from ..ir.nodes import (
+    AccessorRead,
+    Assign,
+    Cast,
+    Expr,
+    ForRange,
+    If,
+    KernelIR,
+    OutputWrite,
+    Stmt,
+    VarDecl,
+    VarRef,
+    const_int_value,
+)
+from ..ir.typecheck import typecheck_kernel
+from ..ir.visitors import iter_all_exprs, map_exprs, walk_stmts
+from .builder import GraphNode, PipelineGraph
+
+
+@dataclasses.dataclass
+class FusionStats:
+    """What the fusion pass did to a graph."""
+
+    nodes_before: int = 0
+    nodes_after: int = 0
+    pairs_fused: int = 0
+    #: bytes of intermediate images eliminated from the dataflow
+    intermediate_bytes_eliminated: int = 0
+
+    @property
+    def launches_saved(self) -> int:
+        return self.nodes_before - self.nodes_after
+
+    def summary(self) -> str:
+        return (f"{self.nodes_before} -> {self.nodes_after} nodes "
+                f"({self.pairs_fused} fusions, "
+                f"{self.intermediate_bytes_eliminated / 1024:.1f} KiB of "
+                f"intermediates eliminated)")
+
+
+# --------------------------------------------------------------------------
+# Eligibility
+# --------------------------------------------------------------------------
+
+
+def is_point_op(ir: KernelIR) -> bool:
+    """True when *ir* only touches the centre pixel of 1x1 accessors and
+    ends in its single top-level OutputWrite."""
+    if ir.masks:
+        return False
+    for acc in ir.accessors:
+        if acc.window != (1, 1) or acc.interpolation is not None:
+            return False
+    for e in iter_all_exprs(ir.body):
+        if isinstance(e, AccessorRead):
+            if const_int_value(e.dx) != 0 or const_int_value(e.dy) != 0:
+                return False
+    writes = [s for s in walk_stmts(ir.body) if isinstance(s, OutputWrite)]
+    if len(writes) != 1:
+        return False
+    return bool(ir.body) and ir.body[-1] is writes[0]
+
+
+def node_ir(node: GraphNode) -> KernelIR:
+    """The typechecked IR of a graph node (parsed on demand for DSL
+    nodes, stored directly on fused ones)."""
+    if node.ir is not None:
+        return node.ir
+    ir = typecheck_kernel(parse_kernel(node.kernel))
+    node.ir = ir
+    return ir
+
+
+def _full_cover(node: GraphNode) -> bool:
+    is_ = node.iteration_space
+    return (is_.offset_x == 0 and is_.offset_y == 0
+            and is_.width == is_.image.width
+            and is_.height == is_.image.height)
+
+
+def _same_geometry(a: GraphNode, b: GraphNode) -> bool:
+    return (a.iteration_space.width == b.iteration_space.width
+            and a.iteration_space.height == b.iteration_space.height
+            and a.iteration_space.offset_x == b.iteration_space.offset_x
+            and a.iteration_space.offset_y == b.iteration_space.offset_y)
+
+
+# --------------------------------------------------------------------------
+# IR renaming
+# --------------------------------------------------------------------------
+
+
+def _rename_body(body: List[Stmt], var_map: Dict[str, str],
+                 acc_map: Dict[str, str]) -> List[Stmt]:
+    def rename_expr(e: Expr) -> Expr:
+        if isinstance(e, VarRef) and e.name in var_map:
+            return dataclasses.replace(e, name=var_map[e.name])
+        if isinstance(e, AccessorRead) and e.accessor in acc_map:
+            return dataclasses.replace(e, accessor=acc_map[e.accessor])
+        return e
+
+    def rename_stmt(s: Stmt) -> Stmt:
+        if isinstance(s, VarDecl) and s.name in var_map:
+            return dataclasses.replace(s, name=var_map[s.name])
+        if isinstance(s, Assign) and s.name in var_map:
+            return dataclasses.replace(s, name=var_map[s.name])
+        if isinstance(s, ForRange):
+            return dataclasses.replace(
+                s, var=var_map.get(s.var, s.var),
+                body=[rename_stmt(b) for b in s.body])
+        if isinstance(s, If):
+            return dataclasses.replace(
+                s, then_body=[rename_stmt(b) for b in s.then_body],
+                else_body=[rename_stmt(b) for b in s.else_body])
+        return s
+
+    renamed = map_exprs(body, rename_expr)
+    return [rename_stmt(s) for s in renamed]
+
+
+def _collect_locals(body: List[Stmt]) -> List[str]:
+    names = []
+    for s in walk_stmts(body):
+        if isinstance(s, VarDecl) and s.name not in names:
+            names.append(s.name)
+        if isinstance(s, ForRange) and s.var not in names:
+            names.append(s.var)
+    return names
+
+
+def _renamed_ir(ir: KernelIR, prefix: str
+                ) -> Tuple[KernelIR, Dict[str, str]]:
+    """Prefix every local, accessor and param of *ir*; returns the new IR
+    and the accessor name map (old -> new)."""
+    var_map = {n: prefix + n for n in _collect_locals(ir.body)}
+    var_map.update({p.name: prefix + p.name for p in ir.params})
+    acc_map = {a.name: prefix + a.name for a in ir.accessors}
+    body = _rename_body(ir.body, var_map, acc_map)
+    accessors = [dataclasses.replace(a, name=acc_map[a.name])
+                 for a in ir.accessors]
+    params = [dataclasses.replace(p, name=var_map[p.name])
+              for p in ir.params]
+    return (dataclasses.replace(ir, body=body, accessors=accessors,
+                                params=params, masks=list(ir.masks)),
+            acc_map)
+
+
+# --------------------------------------------------------------------------
+# The merge
+# --------------------------------------------------------------------------
+
+
+def fuse_pair(producer: GraphNode, consumer: GraphNode,
+              intermediate, counter: int) -> GraphNode:
+    """Build the fused node replacing ``producer -> consumer``."""
+    p_ir = node_ir(producer)
+    c_ir = node_ir(consumer)
+    p_prefix = f"f{counter}p_"
+    c_prefix = f"f{counter}c_"
+    p_renamed, p_acc_map = _renamed_ir(p_ir, p_prefix)
+    c_renamed, c_acc_map = _renamed_ir(c_ir, c_prefix)
+
+    # which of the consumer's accessors read the intermediate?
+    fused_accs = {c_acc_map[attr] for attr, acc
+                  in consumer.accessor_objs.items()
+                  if acc.image is intermediate}
+    if not fused_accs:
+        raise GraphError(
+            f"fusion: {consumer.name!r} has no accessor on the "
+            f"intermediate image {intermediate.name!r}")
+
+    # producer body: OutputWrite -> local, cast through the intermediate's
+    # pixel type so the unfused chain's store/reload rounding is preserved
+    tmp = f"f{counter}_px"
+    inter_type = intermediate.pixel_type
+    *p_head, p_write = p_renamed.body
+    assert isinstance(p_write, OutputWrite)
+    fused_body: List[Stmt] = list(p_head)
+    fused_body.append(VarDecl(
+        tmp, Cast(inter_type, p_write.value, type=inter_type), inter_type))
+
+    def replace_read(e: Expr) -> Expr:
+        if isinstance(e, AccessorRead) and e.accessor in fused_accs:
+            return VarRef(tmp, type=inter_type)
+        return e
+
+    fused_body.extend(map_exprs(c_renamed.body, replace_read))
+
+    accessors = list(p_renamed.accessors) + [
+        a for a in c_renamed.accessors if a.name not in fused_accs]
+    merged = KernelIR(
+        name=f"{p_ir.name}_{c_ir.name}_fused",
+        pixel_type=c_ir.pixel_type,
+        body=fused_body,
+        accessors=accessors,
+        masks=[],
+        params=list(p_renamed.params) + list(c_renamed.params),
+    )
+    merged = typecheck_kernel(merged)
+
+    accessor_objs: Dict[str, object] = {}
+    for attr, acc in producer.accessor_objs.items():
+        accessor_objs[p_acc_map[attr]] = acc
+    for attr, acc in consumer.accessor_objs.items():
+        if c_acc_map[attr] not in fused_accs:
+            accessor_objs[c_acc_map[attr]] = acc
+
+    fused_from = (producer.fused_from or (producer.name,)) \
+        + (consumer.fused_from or (consumer.name,))
+    return GraphNode(
+        name=f"fused_{counter}_{producer.name}_{consumer.name}",
+        iteration_space=consumer.iteration_space,
+        accessor_objs=accessor_objs,
+        options=dict(consumer.options),
+        ir=merged,
+        fused_from=fused_from,
+    )
+
+
+def _find_fusable(graph: PipelineGraph
+                  ) -> Optional[Tuple[GraphNode, GraphNode, object]]:
+    outputs = graph.outputs()
+    for producer in graph.nodes:
+        inter = producer.output
+        if any(inter is o for o in outputs):
+            continue
+        consumers = graph.consumers_of(inter)
+        if len(consumers) != 1:
+            continue
+        consumer = consumers[0]
+        if consumer is producer:
+            continue
+        if producer.options != consumer.options:
+            continue
+        if not (_full_cover(producer) and _full_cover(consumer)
+                and _same_geometry(producer, consumer)):
+            continue
+        try:
+            if not (is_point_op(node_ir(producer))
+                    and is_point_op(node_ir(consumer))):
+                continue
+        except Exception:
+            continue             # unparsable node: leave it alone
+        return producer, consumer, inter
+    return None
+
+
+def fuse_point_ops(graph: PipelineGraph) -> FusionStats:
+    """Repeatedly merge fusable producer/consumer point-op pairs in
+    *graph* (in place) until a fixpoint; returns what happened.  Chains
+    collapse fully: ``a -> b -> c`` becomes one node because the fused
+    ``a+b`` is itself a point op."""
+    stats = FusionStats(nodes_before=len(graph.nodes))
+    counter = 0
+    while True:
+        found = _find_fusable(graph)
+        if found is None:
+            break
+        producer, consumer, inter = found
+        fused = fuse_pair(producer, consumer, inter, counter)
+        graph.replace_nodes([producer, consumer], fused)
+        stats.pairs_fused += 1
+        stats.intermediate_bytes_eliminated += inter.bytes
+        counter += 1
+    stats.nodes_after = len(graph.nodes)
+    return stats

@@ -1,0 +1,120 @@
+"""Size-bucketed arena pool for intermediate images.
+
+A naive pipeline materialises one fresh NumPy buffer per intermediate
+image and keeps all of them alive to the end — exactly what the hand
+chained examples did.  The graph scheduler instead computes the last use
+of every intermediate and services its allocation from this pool: a
+buffer released after its final consumer is handed to the next
+intermediate of a compatible size, so peak footprint tracks the *live
+set* of the schedule, not the total number of edges.
+
+Buckets are rounded up to a quantum so images of slightly different
+padded sizes share a free list; slices are re-viewed at the image's
+dtype and padded row stride (pre-padded to the device alignment via
+:func:`repro.sim.launch.padding_alignment`, so the launch-time
+``apply_padding`` becomes a no-op and never silently swaps a pooled
+buffer for a fresh allocation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..dsl.image import Image
+
+
+@dataclasses.dataclass
+class PoolStats:
+    """Accounting for one scheduled execution."""
+
+    #: bytes a naive executor would allocate (every intermediate its own
+    #: buffer, all live simultaneously)
+    naive_bytes: int = 0
+    #: high-water mark of live pooled bytes during execution
+    peak_bytes: int = 0
+    current_bytes: int = 0
+    #: fresh arena allocations
+    allocs: int = 0
+    #: allocations served by recycling a released buffer
+    reuses: int = 0
+    releases: int = 0
+
+    @property
+    def saved_bytes(self) -> int:
+        return max(0, self.naive_bytes - self.peak_bytes)
+
+    def summary(self) -> str:
+        return (f"naive {self.naive_bytes / 1024:.1f} KiB -> peak "
+                f"{self.peak_bytes / 1024:.1f} KiB "
+                f"({self.saved_bytes / 1024:.1f} KiB saved), "
+                f"{self.allocs} allocs, {self.reuses} reuses")
+
+
+class BufferPool:
+    """Arena of byte buffers bucketed by rounded size.
+
+    ``bind(image, alignment)`` installs a pooled, pre-padded backing
+    array into *image* (zeroed — identical to a fresh
+    :class:`~repro.dsl.image.Image`); ``release(image)`` returns the
+    backing to the free list once the scheduler proves the image dead.
+    Released images keep a readable view until the buffer is recycled,
+    which is why pipeline *outputs* are never pooled.
+    """
+
+    def __init__(self, bucket_quantum: int = 4096):
+        if bucket_quantum < 1:
+            raise ValueError("bucket quantum must be positive")
+        self.quantum = bucket_quantum
+        self.stats = PoolStats()
+        self._free: Dict[int, List[np.ndarray]] = {}
+        # id(image) -> (raw byte buffer, bucket size)
+        self._live: Dict[int, Tuple[np.ndarray, int]] = {}
+
+    def _bucket(self, nbytes: int) -> int:
+        return -(-nbytes // self.quantum) * self.quantum
+
+    @staticmethod
+    def padded_stride(width: int, alignment: int) -> int:
+        return -(-width // alignment) * alignment
+
+    def bind(self, image: Image, alignment: int = 1) -> None:
+        """Back *image* with a pooled buffer padded to *alignment*."""
+        if id(image) in self._live:
+            return
+        stride = self.padded_stride(image.width, alignment)
+        nbytes = image.height * stride * image.pixel_type.np_dtype.itemsize
+        bucket = self._bucket(nbytes)
+        free = self._free.get(bucket)
+        if free:
+            raw = free.pop()
+            self.stats.reuses += 1
+        else:
+            raw = np.empty(bucket, dtype=np.uint8)
+            self.stats.allocs += 1
+        view = raw[:nbytes].view(image.pixel_type.np_dtype)
+        view = view.reshape(image.height, stride)
+        view.fill(0)                      # fresh-Image semantics
+        image._data = view
+        image._stride = stride
+        self._live[id(image)] = (raw, bucket)
+        self.stats.current_bytes += bucket
+        self.stats.peak_bytes = max(self.stats.peak_bytes,
+                                    self.stats.current_bytes)
+
+    def release(self, image: Image) -> None:
+        """Return *image*'s pooled backing to the free list (no-op for
+        images this pool never bound, e.g. graph inputs/outputs)."""
+        entry = self._live.pop(id(image), None)
+        if entry is None:
+            return
+        raw, bucket = entry
+        self._free.setdefault(bucket, []).append(raw)
+        self.stats.current_bytes -= bucket
+        self.stats.releases += 1
+
+    @property
+    def live_count(self) -> int:
+        return len(self._live)

@@ -1,0 +1,101 @@
+"""Aggregated results of one pipeline-graph execution.
+
+Per-node the scheduler records the modelled :class:`TimingBreakdown`,
+the compile wall time and whether the artifact came out of the
+compilation cache; graph-wide it folds in the launch count, fusion and
+buffer-pool accounting and a snapshot of the shared cache's counters.
+``repro graph`` prints :meth:`GraphReport.summary`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.timing import TimingBreakdown
+from .fusion import FusionStats
+from .pool import PoolStats
+
+
+@dataclasses.dataclass
+class NodeReport:
+    """One node's launch, as scheduled."""
+
+    name: str
+    kernel: str
+    device: str
+    backend: str
+    block: Tuple[int, int]
+    #: modelled device time of the launch (timing.total_ms)
+    time_ms: float
+    timing: TimingBreakdown
+    #: wall-clock compile time (0-ish on a cache hit)
+    compile_ms: float
+    from_cache: bool
+    fused_from: Tuple[str, ...] = ()
+
+    def row(self) -> str:
+        origin = "cache" if self.from_cache else "fresh"
+        label = self.kernel if not self.fused_from \
+            else "+".join(self.fused_from)
+        return (f"{self.name:<34} {label:<28} {self.backend:<7}"
+                f"{self.block[0]}x{self.block[1]:<4} "
+                f"{self.time_ms:>9.4f} ms   compile {self.compile_ms:>8.2f}"
+                f" ms ({origin})")
+
+
+@dataclasses.dataclass
+class GraphReport:
+    """Everything one :func:`~repro.graph.scheduler.execute_graph` did."""
+
+    graph_name: str
+    nodes: List[NodeReport]
+    fusion: FusionStats
+    pool: PoolStats
+    #: wall-clock ms to compile all nodes (concurrent, shared cache)
+    compile_wall_ms: float
+    #: wall-clock ms to execute the schedule
+    execute_wall_ms: float
+    cache_stats: Optional[Dict[str, int]] = None
+
+    @property
+    def launches(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def total_device_ms(self) -> float:
+        """Sum of modelled per-launch device times (serial device cost)."""
+        return sum(n.time_ms for n in self.nodes)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for n in self.nodes if n.from_cache)
+
+    def node(self, name: str) -> NodeReport:
+        for n in self.nodes:
+            if n.name == name:
+                return n
+        raise KeyError(name)
+
+    def summary(self) -> str:
+        lines = [
+            f"pipeline {self.graph_name!r}: {self.launches} launches "
+            f"({self.fusion.launches_saved} saved by fusion), "
+            f"modelled device time {self.total_device_ms:.4f} ms",
+            f"  compile: {self.compile_wall_ms:.1f} ms wall, "
+            f"{self.cache_hits}/{self.launches} nodes from cache",
+            f"  execute: {self.execute_wall_ms:.1f} ms wall",
+            f"  fusion:  {self.fusion.summary()}",
+            f"  pool:    {self.pool.summary()}",
+        ]
+        if self.cache_stats is not None:
+            cs = self.cache_stats
+            lines.append(
+                f"  cache:   hits={cs.get('hits', 0)} "
+                f"misses={cs.get('misses', 0)} "
+                f"stores={cs.get('stores', 0)} "
+                f"frontend_hits={cs.get('frontend_hits', 0)}")
+        lines.append("  nodes:")
+        for n in self.nodes:
+            lines.append("    " + n.row())
+        return "\n".join(lines)

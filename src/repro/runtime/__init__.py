@@ -6,5 +6,5 @@ code generation — and returns a :class:`CompiledKernel` that can execute on
 the simulated device and report modelled timing.
 """
 
-from .compile import compile_kernel  # noqa: F401
+from .compile import compile_ir, compile_kernel  # noqa: F401
 from .program import CompiledKernel, ExecutionReport  # noqa: F401

@@ -138,8 +138,84 @@ def compile_kernel(kernel: Kernel,
                 store.frontend_put(fingerprint, ir_dig, ir)
     timings["frontend_ms"] = (time.perf_counter() - t0) * 1e3
 
+    return _compile_from_ir(
+        ir, accessor_objects(kernel), kernel.iteration_space,
+        dev=dev, backend=backend, block=block, border=border,
+        use_texture=use_texture, use_smem=use_smem,
+        mask_memory=mask_memory, unroll=unroll,
+        fold_constants=fold_constants, fast_math=fast_math,
+        emit_config_macros=emit_config_macros, vectorize=vectorize,
+        pixels_per_thread=pixels_per_thread, bake_params=bake_params,
+        store=store, ir_dig=ir_dig, timings=timings, t_start=t_start)
+
+
+def compile_ir(ir,
+               accessors: Dict[str, "Accessor"],
+               iteration_space,
+               backend: str = "cuda",
+               device: Union[None, str, DeviceSpec] = None,
+               block: Optional[Tuple[int, int]] = None,
+               border: Union[str, BorderMode, None] = None,
+               use_texture: Optional[bool] = None,
+               use_smem: Optional[bool] = None,
+               mask_memory: Union[str, MaskMemory] = MaskMemory.CONSTANT,
+               unroll: bool = False,
+               fold_constants: bool = True,
+               fast_math: bool = False,
+               emit_config_macros: bool = False,
+               vectorize: int = 1,
+               pixels_per_thread: int = 1,
+               cache: Union[None, bool, CompilationCache] = None
+               ) -> CompiledKernel:
+    """Compile a *type-checked* :class:`~repro.ir.nodes.KernelIR` directly,
+    skipping the Python frontend.
+
+    This is the entry point for synthesized kernels — notably the graph
+    runtime's fused point operators (:mod:`repro.graph.fusion`), whose IR
+    never existed as a ``Kernel.kernel()`` method.  *accessors* binds the
+    IR's accessor names to live :class:`~repro.dsl.Accessor` objects and
+    *iteration_space* supplies the launch geometry and output image.
+    Caching is content-addressed on the IR digest, exactly as in
+    :func:`compile_kernel`.
+    """
+    t_start = time.perf_counter()
+    dev = _resolve_device(device, backend)
+    if not dev.supports_backend(backend):
+        raise DslError(
+            f"{dev.name} does not support the {backend} backend")
+    store = _resolve_cache(cache)
+    ir_dig = None
+    if store is not None:
+        # digest the pre-analysis form: codegen fills AccessorInfo
+        # is_read/is_written in place, and compile_kernel hashes before
+        # that happens — normalising keeps the two paths' keys identical
+        # and makes repeated compile_ir calls on one IR object stable
+        import dataclasses as _dc
+        pristine = _dc.replace(ir, accessors=[
+            _dc.replace(a, is_read=False, is_written=False)
+            for a in ir.accessors])
+        ir_dig = ir_digest(pristine)
+    return _compile_from_ir(
+        ir, dict(accessors), iteration_space,
+        dev=dev, backend=backend, block=block, border=border,
+        use_texture=use_texture, use_smem=use_smem,
+        mask_memory=mask_memory, unroll=unroll,
+        fold_constants=fold_constants, fast_math=fast_math,
+        emit_config_macros=emit_config_macros, vectorize=vectorize,
+        pixels_per_thread=pixels_per_thread, bake_params=True,
+        store=store, ir_dig=ir_dig, timings={}, t_start=t_start)
+
+
+def _compile_from_ir(ir, accessor_objs, iteration_space, *,
+                     dev: DeviceSpec, backend: str,
+                     block, border, use_texture, use_smem, mask_memory,
+                     unroll, fold_constants, fast_math, emit_config_macros,
+                     vectorize, pixels_per_thread, bake_params,
+                     store, ir_dig, timings, t_start) -> CompiledKernel:
+    """Stages 2-6 of the driver, shared by :func:`compile_kernel` (after
+    its frontend stage) and :func:`compile_ir` (no frontend at all)."""
     window = _max_window(ir)
-    geometry = (kernel.iteration_space.width, kernel.iteration_space.height)
+    geometry = (iteration_space.width, iteration_space.height)
 
     # optimization database decisions (Section V-B)
     entry = default_database().lookup(dev, backend)
@@ -206,8 +282,8 @@ def compile_kernel(kernel: Kernel,
                 options=options,
                 device=dev,
                 resources=resources,
-                accessors=accessor_objects(kernel),
-                iteration_space=kernel.iteration_space,
+                accessors=accessor_objs,
+                iteration_space=iteration_space,
                 window=window,
                 selected_occupancy=selected_occ,
                 cache_key=key,
@@ -284,8 +360,8 @@ def compile_kernel(kernel: Kernel,
         options=options,
         device=dev,
         resources=resources,
-        accessors=accessor_objects(kernel),
-        iteration_space=kernel.iteration_space,
+        accessors=accessor_objs,
+        iteration_space=iteration_space,
         window=window,
         selected_occupancy=selected_occ,
         cache_key=key,

@@ -47,6 +47,14 @@ def _max_window(kernel: KernelIR) -> tuple:
     return (wx, wy)
 
 
+def padding_alignment(device: DeviceSpec) -> int:
+    """Row-stride alignment (in elements) the runtime pads images to on
+    *device* — the Section-II global-memory padding for coalescing.  The
+    graph runtime's buffer pool pre-pads its arena slices to this so a
+    later launch never re-allocates."""
+    return max(1, device.memory.coalesce_segment // 4)
+
+
 def _region_sides(options: CodegenOptions, region) -> tuple:
     """Sides the executed variant guards, mirroring
     ``KernelEmitter._regions_to_emit``."""
@@ -84,7 +92,7 @@ def simulate_launch(kernel: KernelIR,
         raise LaunchError(str(exc)) from exc
 
     # device-specific global memory padding for coalescing (Section II)
-    alignment = max(1, device.memory.coalesce_segment // 4)
+    alignment = padding_alignment(device)
     for acc in accessors.values():
         acc.image.apply_padding(alignment)
     iteration_space.image.apply_padding(alignment)

@@ -1,0 +1,175 @@
+"""PipelineGraph construction, validation and export.
+
+Build-time validation must catch malformed pipelines (cycles, double
+writers, shape-unsafe undefined-boundary reads) before anything
+compiles, and the structure queries (producers, consumers, topological
+order, intermediates) must be deterministic — the scheduler, the fusion
+pass and the buffer pool all trust them.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Accessor,
+    Boundary,
+    BoundaryCondition,
+    GraphError,
+    Image,
+    IterationSpace,
+    PipelineGraph,
+    pipe,
+    stage,
+)
+from repro.filters.point_ops import AddConstant, Scale
+from repro.filters.sobel import SOBEL_X, SobelX
+from repro.dsl import Mask
+
+from .helpers import CopyKernel, random_image
+
+
+def _image(w=16, h=12, data=True, name=None):
+    img = Image(w, h, float, name=name)
+    if data:
+        img.set_data(random_image(w, h))
+    return img
+
+
+def test_add_kernel_rejects_non_kernel():
+    g = PipelineGraph()
+    with pytest.raises(GraphError, match="Kernel instance"):
+        g.add_kernel(object())
+
+
+def test_duplicate_node_name_rejected():
+    src, a, b = _image(), _image(data=False), _image(data=False)
+    g = PipelineGraph()
+    g.add_kernel(CopyKernel(IterationSpace(a), Accessor(src)), name="n")
+    with pytest.raises(GraphError, match="duplicate node name"):
+        g.add_kernel(CopyKernel(IterationSpace(b), Accessor(src)),
+                     name="n")
+
+
+def test_single_writer_enforced():
+    src, out = _image(), _image(data=False)
+    g = PipelineGraph()
+    g.add_kernel(CopyKernel(IterationSpace(out), Accessor(src)))
+    with pytest.raises(GraphError, match="written by both"):
+        g.add_kernel(AddConstant(IterationSpace(out), Accessor(src), 1.0))
+
+
+def test_cycle_detection():
+    a, b = _image(), _image()
+    g = PipelineGraph("loop")
+    g.add_kernel(CopyKernel(IterationSpace(b), Accessor(a)))
+    g.add_kernel(CopyKernel(IterationSpace(a), Accessor(b)))
+    with pytest.raises(GraphError, match="cycle"):
+        g.validate()
+
+
+def test_undefined_boundary_shape_check():
+    # 3x3 window with UNDEFINED boundary over a full-size iteration
+    # space must go out of bounds -> build-time error
+    src, out = _image(), _image(data=False)
+    g = PipelineGraph()
+    k = SobelX(IterationSpace(out),
+               Accessor(BoundaryCondition(src, 3, 3, Boundary.UNDEFINED)),
+               Mask(3, 3).set(SOBEL_X))
+    g.add_kernel(k)
+    with pytest.raises(GraphError, match="undefined boundary"):
+        g.validate()
+    # the same read with a defined boundary mode is fine
+    g2 = PipelineGraph()
+    g2.add_kernel(SobelX(
+        IterationSpace(_image(data=False)),
+        Accessor(BoundaryCondition(src, 3, 3, Boundary.CLAMP)),
+        Mask(3, 3).set(SOBEL_X)))
+    g2.validate()
+
+
+def test_oversized_iteration_space_caught():
+    # a 1x1 read of a smaller image than the iteration space faults at
+    # launch; the graph catches it at build time
+    small = _image(8, 8)
+    big_out = _image(16, 16, data=False)
+    g = PipelineGraph()
+    g.add_kernel(CopyKernel(IterationSpace(big_out), Accessor(small)))
+    with pytest.raises(GraphError, match="undefined boundary"):
+        g.validate()
+
+
+def test_structure_queries_and_topological_order():
+    src = _image(name="src")
+    mid = _image(data=False, name="mid")
+    out1 = _image(data=False, name="out1")
+    out2 = _image(data=False, name="out2")
+    g = PipelineGraph()
+    n_mid = g.add_kernel(CopyKernel(IterationSpace(mid), Accessor(src)))
+    n1 = g.add_kernel(Scale(IterationSpace(out1), Accessor(mid), 2.0))
+    n2 = g.add_kernel(AddConstant(IterationSpace(out2), Accessor(mid),
+                                  1.0))
+    assert g.producer_of(mid) is n_mid
+    assert g.producer_of(src) is None
+    assert g.consumers_of(mid) == [n1, n2]
+    assert g.dependencies(n1) == [n_mid]
+    assert [img.name for img in g.inputs()] == ["src"]
+    assert {img.name for img in g.outputs()} == {"out1", "out2"}
+    assert [img.name for img in g.intermediates()] == ["mid"]
+    order = [n.name for n in g.topological_order()]
+    assert order.index(n_mid.name) == 0
+    # deterministic: same order every time
+    assert order == [n.name for n in g.topological_order()]
+
+
+def test_mark_output_removes_from_intermediates():
+    src, mid, out = _image(), _image(data=False), _image(data=False)
+    g = PipelineGraph()
+    g.add_kernel(CopyKernel(IterationSpace(mid), Accessor(src)))
+    g.add_kernel(Scale(IterationSpace(out), Accessor(mid), 2.0))
+    assert mid in g.intermediates()
+    g.mark_output(mid)
+    assert mid not in g.intermediates()
+    assert any(mid is o for o in g.outputs())
+
+
+def test_pipe_builds_linear_chain():
+    src = _image(32, 24, name="src")
+    g, out = pipe(
+        src,
+        stage(lambda IS, acc: Scale(IS, acc, 2.0)),
+        stage(lambda IS, acc: AddConstant(IS, acc, 0.5)),
+        name="chain")
+    assert len(g) == 2
+    assert out.width == 32 and out.height == 24
+    assert any(out is o for o in g.outputs())
+    g.run(fuse=False, workers=1)
+    expected = src.get_data() * np.float32(2.0) + np.float32(0.5)
+    assert np.array_equal(out.get_data(), expected)
+
+
+def test_pipe_local_stage_window():
+    src = _image(16, 16)
+    g, out = pipe(src, stage(
+        lambda IS, acc: SobelX(IS, acc, Mask(3, 3).set(SOBEL_X)),
+        window=(3, 3), boundary=Boundary.CLAMP))
+    g.validate()         # boundary condition was wired in -> no error
+
+
+def test_to_dot_export():
+    src, mid, out = (_image(name="src"), _image(data=False, name="mid"),
+                     _image(data=False, name="out"))
+    g = PipelineGraph("dotted")
+    g.add_kernel(CopyKernel(IterationSpace(mid), Accessor(src)),
+                 name="copy")
+    g.add_kernel(Scale(IterationSpace(out), Accessor(mid), 2.0),
+                 name="scale")
+    dot = g.to_dot()
+    assert dot.startswith('digraph "dotted"')
+    assert "CopyKernel" in dot and "Scale" in dot
+    assert '"src' in dot and '"mid' in dot
+    assert dot.count("->") == 4      # src->copy->mid->scale->out
+
+
+def test_empty_graph_invalid():
+    with pytest.raises(GraphError, match="no nodes"):
+        PipelineGraph("empty").validate()

@@ -1,0 +1,221 @@
+"""Point-operator fusion correctness.
+
+Fusion must be invisible: a fused graph produces byte-identical pixels
+to the unfused one (the merged kernel casts the producer's value through
+the intermediate's pixel type, reproducing the store/reload rounding of
+the two-launch version), and must refuse to fuse anything whose
+semantics it cannot preserve — local operators, multi-consumer
+intermediates, pinned outputs, mismatched compile options.
+
+The randomized chains (hypothesis, derandomized profile) sweep operator
+choice, parameters and chain length; every case is checked
+differentially against the unfused execution.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Accessor,
+    Boundary,
+    BoundaryCondition,
+    Image,
+    IterationSpace,
+    Mask,
+    PipelineGraph,
+)
+from repro.filters.point_ops import (AbsDiff, AddConstant, GammaCorrection,
+                                     Scale, Threshold)
+from repro.filters.sobel import SOBEL_X, SobelX
+from repro.frontend.parser import parse_kernel
+from repro.graph import fuse_point_ops, is_point_op
+from repro.graph.fusion import node_ir
+from repro.ir.typecheck import typecheck_kernel
+
+from .helpers import ShiftRead, random_image
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+W, H = 24, 16
+
+
+def _img(data=None, name=None):
+    img = Image(W, H, float, name=name)
+    if data is not None:
+        img.set_data(data)
+    return img
+
+
+def _ir(kernel):
+    return typecheck_kernel(parse_kernel(kernel))
+
+
+def test_is_point_op_classification():
+    src = _img(random_image(W, H))
+    out = _img()
+    assert is_point_op(_ir(Scale(IterationSpace(out), Accessor(src), 2.0)))
+    assert is_point_op(_ir(AbsDiff(IterationSpace(out), Accessor(src),
+                                   Accessor(src))))
+    # local operator: 3x3 mask window
+    sobel = SobelX(IterationSpace(_img()),
+                   Accessor(BoundaryCondition(src, 3, 3, Boundary.CLAMP)),
+                   Mask(3, 3).set(SOBEL_X))
+    assert not is_point_op(_ir(sobel))
+    # non-centre read
+    assert not is_point_op(_ir(ShiftRead(IterationSpace(_img()),
+                                         Accessor(src), 1, 0)))
+
+
+def _run_both(build):
+    """Execute *build()*'s graph unfused and fused; returns both outputs
+    and the fusion stats of the fused run."""
+    g1, out1 = build()
+    g1.run(fuse=False, workers=1)
+    ref = out1.get_data().copy()
+    g2, out2 = build()
+    stats = fuse_point_ops(g2)
+    g2.run(fuse=False, workers=1)    # already fused above
+    return ref, out2.get_data().copy(), stats, g2
+
+
+def test_linear_chain_collapses_to_one_node():
+    frame = random_image(W, H)
+
+    def build():
+        src = _img(frame, "src")
+        a, b, out = _img(name="a"), _img(name="b"), _img(name="out")
+        g = PipelineGraph()
+        g.add_kernel(Scale(IterationSpace(a), Accessor(src), 2.0))
+        g.add_kernel(AddConstant(IterationSpace(b), Accessor(a), 0.25))
+        g.add_kernel(Threshold(IterationSpace(out), Accessor(b), 0.9))
+        g.mark_output(out)
+        return g, out
+
+    ref, fused, stats, g = _run_both(build)
+    assert np.array_equal(ref, fused)
+    assert stats.pairs_fused == 2 and len(g) == 1
+    assert g.nodes[0].is_fused
+    assert len(g.nodes[0].fused_from) == 3
+    assert stats.launches_saved == 2
+    assert stats.intermediate_bytes_eliminated > 0
+
+
+def test_diamond_fuses_into_join():
+    frame = random_image(W, H)
+
+    def build():
+        src = _img(frame, "src")
+        a, b, out = _img(name="a"), _img(name="b"), _img(name="out")
+        g = PipelineGraph()
+        g.add_kernel(Scale(IterationSpace(a), Accessor(src), 3.0))
+        g.add_kernel(AddConstant(IterationSpace(b), Accessor(src), 0.5))
+        g.add_kernel(AbsDiff(IterationSpace(out), Accessor(a),
+                             Accessor(b)))
+        g.mark_output(out)
+        return g, out
+
+    ref, fused, stats, g = _run_both(build)
+    assert np.array_equal(ref, fused)
+    assert len(g) == 1 and stats.pairs_fused == 2
+
+
+def test_multi_consumer_intermediate_not_fused():
+    src = _img(random_image(W, H))
+    a, o1, o2 = _img(name="a"), _img(name="o1"), _img(name="o2")
+    g = PipelineGraph()
+    g.add_kernel(Scale(IterationSpace(a), Accessor(src), 2.0))
+    g.add_kernel(AddConstant(IterationSpace(o1), Accessor(a), 1.0))
+    g.add_kernel(AddConstant(IterationSpace(o2), Accessor(a), 2.0))
+    stats = fuse_point_ops(g)
+    assert stats.pairs_fused == 0 and len(g) == 3
+
+
+def test_marked_output_not_fused_away():
+    src = _img(random_image(W, H))
+    a, out = _img(name="a"), _img(name="out")
+    g = PipelineGraph()
+    g.add_kernel(Scale(IterationSpace(a), Accessor(src), 2.0))
+    g.add_kernel(AddConstant(IterationSpace(out), Accessor(a), 1.0))
+    g.mark_output(a)                 # caller wants the intermediate
+    stats = fuse_point_ops(g)
+    assert stats.pairs_fused == 0
+    g.run(fuse=False, workers=1)
+    assert np.array_equal(a.get_data() + np.float32(1.0), out.get_data())
+
+
+def test_mismatched_options_not_fused():
+    src = _img(random_image(W, H))
+    a, out = _img(name="a"), _img(name="out")
+    g = PipelineGraph()
+    g.add_kernel(Scale(IterationSpace(a), Accessor(src), 2.0),
+                 device="Tesla C2050")
+    g.add_kernel(AddConstant(IterationSpace(out), Accessor(a), 1.0),
+                 device="Quadro FX 5800")
+    assert fuse_point_ops(g).pairs_fused == 0
+
+
+def test_local_operator_blocks_fusion():
+    src = _img(random_image(W, H))
+    a, out = _img(name="a"), _img(name="out")
+    g = PipelineGraph()
+    g.add_kernel(Scale(IterationSpace(a), Accessor(src), 2.0))
+    g.add_kernel(SobelX(IterationSpace(out),
+                        Accessor(BoundaryCondition(a, 3, 3,
+                                                   Boundary.CLAMP)),
+                        Mask(3, 3).set(SOBEL_X)))
+    assert fuse_point_ops(g).pairs_fused == 0
+
+
+def test_fused_node_ir_is_point_op():
+    # a fused point op is itself a point op, so chains collapse fully
+    src = _img(random_image(W, H))
+    a, out = _img(name="a"), _img(name="out")
+    g = PipelineGraph()
+    g.add_kernel(Scale(IterationSpace(a), Accessor(src), 2.0))
+    g.add_kernel(AddConstant(IterationSpace(out), Accessor(a), 1.0))
+    fuse_point_ops(g)
+    assert len(g) == 1 and is_point_op(node_ir(g.nodes[0]))
+
+
+# -- randomized chains -------------------------------------------------------
+
+_OPS = st.sampled_from(["add", "scale", "threshold", "gamma"])
+_PARAM = st.floats(min_value=-2.0, max_value=2.0, allow_nan=False,
+                   width=32)
+
+
+def _make_op(op, param, space, acc):
+    if op == "add":
+        return AddConstant(space, acc, param)
+    if op == "scale":
+        return Scale(space, acc, param, offset=0.125)
+    if op == "threshold":
+        return Threshold(space, acc, param)
+    # gamma over |param| keeps pow() real for non-negative inputs
+    return GammaCorrection(space, acc, abs(param) + 0.5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=st.lists(st.tuples(_OPS, _PARAM), min_size=1, max_size=5),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_randomized_point_chain_fusion(ops, seed):
+    rng = np.random.default_rng(seed)
+    frame = rng.random((H, W), dtype=np.float32)   # in [0, 1): gamma-safe
+
+    def build():
+        src = _img(frame, "src")
+        g = PipelineGraph()
+        current = src
+        for i, (op, param) in enumerate(ops):
+            out = _img(name=f"t{i}")
+            g.add_kernel(_make_op(op, param, IterationSpace(out),
+                                  Accessor(current)))
+            current = out
+        g.mark_output(current)
+        return g, current
+
+    ref, fused, stats, g = _run_both(build)
+    assert len(g) == 1
+    assert stats.pairs_fused == len(ops) - 1
+    assert np.array_equal(ref, fused, equal_nan=True)

@@ -1,0 +1,65 @@
+"""Multiresolution filtering through a shared compilation cache.
+
+The pyramid compiles one blur per level per pass (analysis + synthesis)
+plus optional device resamples; routing them through one
+CompilationCache must leave the pixels untouched while the synthesis
+pass reuses the analysis pass's artifacts.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CompilationCache
+from repro.dsl.boundary import Boundary
+from repro.filters.multiresolution import multiresolution_filter
+
+from .helpers import random_image
+
+
+@pytest.fixture(scope="module")
+def frame():
+    return random_image(64, 64)
+
+
+def test_cached_results_identical_to_uncached(frame):
+    baseline = multiresolution_filter(frame, levels=2, cache=False)
+    cache = CompilationCache()
+    cached = multiresolution_filter(frame, levels=2, cache=cache)
+    assert np.array_equal(baseline, cached)
+    # synthesis blurs share geometry with analysis blurs level by level
+    assert cache.stats.hits > 0
+    assert cache.stats.misses == 2       # one fresh compile per level
+
+
+def test_default_uses_fresh_per_call_cache(frame):
+    baseline = multiresolution_filter(frame, levels=2, cache=False)
+    assert np.array_equal(baseline, multiresolution_filter(frame,
+                                                           levels=2))
+
+
+def test_shared_cache_across_calls(frame):
+    cache = CompilationCache()
+    first = multiresolution_filter(frame, levels=2, cache=cache)
+    misses_after_first = cache.stats.misses
+    second = multiresolution_filter(frame, levels=2, cache=cache)
+    assert np.array_equal(first, second)
+    # the second call compiles nothing new
+    assert cache.stats.misses == misses_after_first
+
+
+def test_device_resample_path_cached(frame):
+    kwargs = dict(levels=2, boundary=Boundary.MIRROR,
+                  device_resample=True)
+    baseline = multiresolution_filter(frame, cache=False, **kwargs)
+    cache = CompilationCache()
+    cached = multiresolution_filter(frame, cache=cache, **kwargs)
+    assert np.array_equal(baseline, cached)
+    assert cache.stats.hits + cache.stats.misses > 0
+
+
+def test_gains_still_apply_with_cache(frame):
+    cache = CompilationCache()
+    identity = multiresolution_filter(frame, levels=2, cache=cache)
+    boosted = multiresolution_filter(frame, levels=2, gains=[2.0, 1.0],
+                                     cache=cache)
+    assert not np.array_equal(identity, boosted)
