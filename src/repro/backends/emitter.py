@@ -24,6 +24,7 @@ from ..ir.nodes import (
     VarDecl,
     VarRef,
 )
+from ..hwmodel.resources import smem_tile_geometry
 from ..ir.analysis import analyze_accesses
 from ..ir.visitors import iter_all_exprs, walk_stmts
 from ..types import ScalarType
@@ -421,8 +422,7 @@ class KernelEmitter:
         name = acc.name
         wx, wy = acc.window
         hx, hy = wx // 2, wy // 2
-        tile_w = bx + (wx - 1) + 1      # +1: bank-conflict padding
-        tile_h = by + (wy - 1)
+        tile_w, tile_h = smem_tile_geometry((bx, by), (wx, wy))
         mode = Boundary(acc.boundary_mode)
 
         lines = [

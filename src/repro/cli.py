@@ -13,6 +13,9 @@ Commands:
 * ``graph``    — run the edge-detection pipeline as a declarative
   multi-kernel graph (fusion, buffer pool, parallel branches) and print
   the graph report, or export the DAG with ``--dot``;
+* ``lint``     — static-analyse kernels: run example files under the
+  diagnostic collector and/or lint the built-in filters, reporting
+  ``HIPxxx`` findings as text, JSON or SARIF (see docs/DIAGNOSTICS.md);
 * ``cache``    — inspect or clear the on-disk compilation cache.
 
 ``codegen`` and ``demo`` accept ``--cache`` (content-addressed compile
@@ -267,6 +270,57 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    import contextlib
+    import os
+    import runpy
+
+    from .lint import LintReport, collecting, lint_kernel
+
+    if not args.targets and not args.builtin:
+        print("nothing to lint: pass file targets and/or --builtin",
+              file=sys.stderr)
+        return 2
+
+    report = LintReport()
+    if args.builtin:
+        from .lint.builtin import builtin_kernels
+
+        for kernel in builtin_kernels():
+            report.extend(lint_kernel(kernel))
+
+    for target in args.targets:
+        # Kernels are built dynamically, so "lint this file" means "run
+        # it and collect everything the compile/graph verify emits".
+        # The target's own stdout is silenced — it would corrupt the
+        # json/sarif output streams.
+        with collecting() as sink:
+            try:
+                with open(os.devnull, "w") as devnull, \
+                        contextlib.redirect_stdout(devnull):
+                    runpy.run_path(target, run_name="__main__")
+            except Exception as exc:   # noqa: BLE001 - arbitrary user code
+                print(f"lint: executing {target} failed: "
+                      f"{type(exc).__name__}: {exc}", file=sys.stderr)
+                return 2
+        # one kernel often compiles many times (explorations, both cache
+        # paths); identical findings collapse to one
+        seen = set()
+        for d in sink:
+            key = (d.code, d.kernel, d.lineno, d.message)
+            if key not in seen:
+                seen.add(key)
+                report.diagnostics.append(d)
+
+    if args.format == "json":
+        print(report.to_json())
+    elif args.format == "sarif":
+        print(report.to_sarif())
+    else:
+        print(report.to_text())
+    return 1 if report.exceeds(args.fail_on) else 0
+
+
 def cmd_table(args) -> int:
     from .evaluation import paper_data
     from .evaluation.opencv_cmp import gaussian_table
@@ -396,6 +450,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the pipeline DAG as Graphviz and exit")
     add_cache_flags(p)
 
+    p = sub.add_parser(
+        "lint", help="static-analyse kernels (HIPxxx diagnostics)")
+    p.add_argument("targets", nargs="*",
+                   help="python files to execute under the diagnostic "
+                        "collector (examples, applications)")
+    p.add_argument("--builtin", action="store_true",
+                   help="lint every built-in filter kernel")
+    p.add_argument("--format", choices=["text", "json", "sarif"],
+                   default="text",
+                   help="report rendering (sarif for CI code scanning)")
+    p.add_argument("--fail-on", choices=["error", "warning", "never"],
+                   default="error", dest="fail_on",
+                   help="lowest severity that makes the exit status "
+                        "non-zero")
+
     p = sub.add_parser("table", help="regenerate a paper table (2-9)")
     p.add_argument("number")
 
@@ -426,6 +495,7 @@ COMMANDS = {
     "codegen": cmd_codegen,
     "demo": cmd_demo,
     "graph": cmd_graph,
+    "lint": cmd_lint,
     "table": cmd_table,
     "figure4": cmd_figure4,
     "explore": cmd_explore,

@@ -18,15 +18,19 @@ class DslError(HipaccError):
     """Invalid use of the DSL objects (Image/Accessor/Mask/Kernel...)."""
 
 
-class FrontendError(HipaccError):
-    """The kernel body uses Python constructs outside the supported subset.
+class LocatedError(HipaccError):
+    """A framework error that can point at a line of the user's
+    ``kernel()`` method.
 
-    Carries an optional source location so diagnostics can point at the
-    offending line of the user's ``kernel()`` method.
+    *lineno* is relative to the start of the kernel-method source (the
+    same numbering the frontend records on IR statements); *source_line*
+    is the offending line's text.  Both are optional so call sites
+    without location context keep working.
     """
 
     def __init__(self, message: str, lineno: int | None = None,
                  source_line: str | None = None):
+        self.bare_message = message
         self.lineno = lineno
         self.source_line = source_line
         loc = f" (line {lineno})" if lineno is not None else ""
@@ -34,13 +38,32 @@ class FrontendError(HipaccError):
         super().__init__(f"{message}{loc}{snippet}")
 
 
-class TypeError_(HipaccError):
+class FrontendError(LocatedError):
+    """The kernel body uses Python constructs outside the supported
+    subset."""
+
+
+class TypeError_(LocatedError):
     """Kernel IR failed type checking (named with a trailing underscore to
     avoid shadowing the builtin)."""
 
 
-class VerificationError(HipaccError):
+class VerificationError(LocatedError):
     """The IR violates a structural invariant (use before def, bad loop...)."""
+
+
+class LintError(HipaccError):
+    """Strict-mode compilation rejected a kernel on lint diagnostics.
+
+    Raised by :func:`repro.runtime.compile_kernel` /
+    :func:`~repro.runtime.compile.compile_ir` with ``strict=True`` when
+    the always-on verify passes report warnings or errors.  Carries the
+    structured :class:`repro.lint.Diagnostic` list on ``diagnostics``.
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        self.diagnostics = list(diagnostics)
+        super().__init__(message)
 
 
 class UnsupportedFunctionError(HipaccError):

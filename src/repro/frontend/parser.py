@@ -78,6 +78,26 @@ _AST_UNARYOPS = {ast.USub: "-", ast.UAdd: "+", ast.Not: "!", ast.Invert: "~"}
 _CAST_BUILTINS = {"float": FLOAT, "int": INT, "bool": BOOL}
 
 
+def _stamp_linenos(stmts: List[Stmt], lineno: Optional[int]) -> None:
+    """Fill ``lineno`` on every statement (recursively) that lacks one.
+
+    Statements built from nested AST nodes are stamped with their own
+    (more precise) line first — this only back-fills synthesized
+    statements, e.g. the loops a ``convolve()`` expansion produced while
+    lowering the enclosing assignment.
+    """
+    if lineno is None:
+        return
+    for s in stmts:
+        if s.lineno is None:
+            s.lineno = lineno
+        if isinstance(s, If):
+            _stamp_linenos(s.then_body, s.lineno)
+            _stamp_linenos(s.else_body, s.lineno)
+        elif isinstance(s, ForRange):
+            _stamp_linenos(s.body, s.lineno)
+
+
 class _ConvolveContext:
     """Active ``convolve`` expansion: maps mask-relative reads onto the
     synthesized loop variables (Mask) or the current constant tap offset
@@ -479,7 +499,9 @@ class _Parser:
     def body(self, nodes: List[ast.stmt]) -> List[Stmt]:
         out: List[Stmt] = []
         for n in nodes:
-            out.extend(self.stmt(n))
+            produced = self.stmt(n)
+            _stamp_linenos(produced, getattr(n, "lineno", None))
+            out.extend(produced)
         return out
 
     def _flush_pending(self, out: List[Stmt]) -> None:
@@ -646,6 +668,7 @@ class _Parser:
             accessors=list(self.accessors.values()),
             masks=list(self.masks.values()),
             params=list(self.params.values()),
+            source_lines=tuple(self._source_lines),
         )
 
 

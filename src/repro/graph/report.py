@@ -57,6 +57,9 @@ class GraphReport:
     #: wall-clock ms to execute the schedule
     execute_wall_ms: float
     cache_stats: Optional[Dict[str, int]] = None
+    #: HIP3xx graph-lint findings (:mod:`repro.lint`), recorded after
+    #: fusion so missed-fusion explanations refer to the final schedule
+    diagnostics: List = dataclasses.field(default_factory=list)
 
     @property
     def launches(self) -> int:
@@ -95,6 +98,10 @@ class GraphReport:
                 f"misses={cs.get('misses', 0)} "
                 f"stores={cs.get('stores', 0)} "
                 f"frontend_hits={cs.get('frontend_hits', 0)}")
+        if self.diagnostics:
+            lines.append(f"  lint:    {len(self.diagnostics)} finding(s)")
+            for d in self.diagnostics:
+                lines.append("    " + d.format().splitlines()[0])
         lines.append("  nodes:")
         for n in self.nodes:
             lines.append("    " + n.row())

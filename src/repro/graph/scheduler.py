@@ -100,6 +100,13 @@ def execute_graph(graph: PipelineGraph,
         fusion_stats = fuse_point_ops(graph)
         graph.validate()         # a bad merge must fail loudly, not run
 
+    # graph lint runs after fusion so HIP302 explains exactly the pairs
+    # the fuser declined, not ones it was about to merge anyway
+    from ..lint import lint_graph
+    from ..lint.collect import emit
+    graph_diags = lint_graph(graph)
+    emit(graph_diags)
+
     store = _resolve_cache(cache)
     compile_wall_ms = compile_graph(graph, cache=store, workers=workers)
 
@@ -167,6 +174,7 @@ def execute_graph(graph: PipelineGraph,
         compile_wall_ms=compile_wall_ms,
         execute_wall_ms=exec_wall_ms,
         cache_stats=(store.stats.as_dict() if store is not None else None),
+        diagnostics=graph_diags,
     )
 
 

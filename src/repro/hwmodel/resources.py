@@ -50,18 +50,35 @@ def _max_stmt_expr_depth(body) -> int:
     return depth
 
 
+#: Extra columns appended to every staged shared-memory tile row so
+#: consecutive rows start in different banks (Listing 7's ``+ 1``).  The
+#: emitter, the resource estimator and the lint bank-conflict pass all
+#: read this one constant — they can never disagree.
+BANK_CONFLICT_PAD = 1
+
+
+def smem_tile_geometry(block: Tuple[int, int], window: Tuple[int, int],
+                       bank_pad: int = BANK_CONFLICT_PAD
+                       ) -> Tuple[int, int]:
+    """(tile_w, tile_h) in elements of the staged input tile for *block*
+    and *window*: the block plus the window's apron, rows padded by
+    *bank_pad* columns."""
+    bx, by = block
+    wx, wy = window
+    sx, sy = wx - 1, wy - 1
+    return (bx + sx + bank_pad, by + sy)
+
+
 def smem_tile_bytes(block: Tuple[int, int], window: Tuple[int, int],
-                    elem_size: int, bank_pad: int = 1) -> int:
+                    elem_size: int, bank_pad: int = BANK_CONFLICT_PAD) -> int:
     """Scratchpad bytes for staging a block's input tile.
 
     Matches Listing 7: ``__shared__ float smem[SY + BSY][SX + BSX + 1]``
     where SX/SY are the extra pixels the window needs beyond the block and
     the ``+ 1`` avoids bank conflicts for row-based filters.
     """
-    bx, by = block
-    wx, wy = window
-    sx, sy = wx - 1, wy - 1
-    return (by + sy) * (bx + sx + bank_pad) * elem_size
+    tile_w, tile_h = smem_tile_geometry(block, window, bank_pad)
+    return tile_h * tile_w * elem_size
 
 
 def estimate_resources(kernel: KernelIR,

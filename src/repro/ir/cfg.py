@@ -67,6 +67,25 @@ class CFG:
     def reachable(self) -> set:
         return set(self.reverse_postorder())
 
+    def dump(self) -> str:
+        """Deterministic text rendering for golden tests and debugging.
+
+        One line per block, in index order::
+
+            B0[entry] stmts=1 -> B1, B3
+
+        Statement counts and successor order are exactly as built, so a
+        change in construction order shows up as a golden diff.
+        """
+        lines = []
+        for idx in sorted(self.blocks):
+            b = self.blocks[idx]
+            label = f"[{b.label}]" if b.label else ""
+            succ = ", ".join(f"B{s}" for s in b.successors)
+            arrow = f" -> {succ}" if succ else ""
+            lines.append(f"B{idx}{label} stmts={len(b.stmts)}{arrow}")
+        return "\n".join(lines)
+
     def __len__(self) -> int:
         return len(self.blocks)
 

@@ -211,7 +211,15 @@ class MaskRead(Expr):
 
 @dataclass
 class Stmt:
-    """Base class for IR statements."""
+    """Base class for IR statements.
+
+    Every concrete statement carries an optional ``lineno`` — the line of
+    the user's ``kernel()`` method (relative to the method source, the
+    numbering :class:`~repro.errors.FrontendError` uses) that produced
+    it.  ``None`` for synthesized IR (fusion, tests building IR by hand).
+    The field is deliberately excluded from cache-key canonicalisation:
+    moving a kernel within a file must not invalidate compile artifacts.
+    """
 
 
 @dataclass
@@ -222,6 +230,7 @@ class VarDecl(Stmt):
     name: str
     init: Expr
     type: Optional[ScalarType] = None
+    lineno: Optional[int] = None
 
 
 @dataclass
@@ -230,6 +239,7 @@ class Assign(Stmt):
 
     name: str
     value: Expr
+    lineno: Optional[int] = None
 
 
 @dataclass
@@ -237,6 +247,7 @@ class If(Stmt):
     cond: Expr
     then_body: List[Stmt]
     else_body: List[Stmt] = field(default_factory=list)
+    lineno: Optional[int] = None
 
 
 @dataclass
@@ -252,6 +263,7 @@ class ForRange(Stmt):
     stop: Expr
     step: Expr
     body: List[Stmt] = field(default_factory=list)
+    lineno: Optional[int] = None
 
 
 @dataclass
@@ -259,6 +271,7 @@ class OutputWrite(Stmt):
     """Write ``value`` to the output image at the current point."""
 
     value: Expr
+    lineno: Optional[int] = None
 
 
 # --------------------------------------------------------------------------
@@ -317,6 +330,9 @@ class KernelIR:
     accessors: List[AccessorInfo] = field(default_factory=list)
     masks: List[MaskInfo] = field(default_factory=list)
     params: List[ParamInfo] = field(default_factory=list)
+    #: dedented source lines of the user's ``kernel()`` method; index with
+    #: ``lineno - 1``.  Empty for synthesized IR.  Not part of cache keys.
+    source_lines: Tuple[str, ...] = ()
 
     def accessor(self, name: str) -> AccessorInfo:
         for a in self.accessors:

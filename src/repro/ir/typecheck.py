@@ -14,7 +14,7 @@ would, and enforces structural rules:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import TypeError_, VerificationError
 from ..intrinsics import intrinsic_result_type, resolve
@@ -177,10 +177,23 @@ class TypeChecker:
 
     # -- statements --------------------------------------------------------
 
+    def _locate(self, exc, s: Stmt):
+        """Attach *s*'s source location to an unlocated type/verify error."""
+        if exc.lineno is not None or s.lineno is None:
+            return exc
+        line = None
+        src = self.kernel.source_lines
+        if 0 < s.lineno <= len(src):
+            line = src[s.lineno - 1]
+        return type(exc)(str(exc), s.lineno, line)
+
     def check_body(self, body: List[Stmt], scope: _Scope) -> List[Stmt]:
         out: List[Stmt] = []
         for s in body:
-            out.append(self.check_stmt(s, scope))
+            try:
+                out.append(self.check_stmt(s, scope))
+            except (TypeError_, VerificationError) as exc:
+                raise self._locate(exc, s) from None
         return out
 
     def check_stmt(self, s: Stmt, scope: _Scope) -> Stmt:
@@ -191,7 +204,8 @@ class TypeChecker:
                 raise VerificationError(
                     f"redeclaration of variable {s.name!r}")
             scope.vars[s.name] = declared
-            return VarDecl(s.name, _coerce(init, declared), declared)
+            return dataclasses.replace(
+                s, init=_coerce(init, declared), type=declared)
         if isinstance(s, Assign):
             t = scope.lookup(s.name)
             if t is None:
@@ -201,13 +215,15 @@ class TypeChecker:
                 raise VerificationError(
                     f"loop variable {s.name!r} may not be reassigned")
             value = self.check_expr(s.value, scope)
-            return Assign(s.name, _coerce(value, t))
+            return dataclasses.replace(s, value=_coerce(value, t))
         if isinstance(s, If):
             cond = _coerce(self.check_expr(s.cond, scope), BOOL)
             then_scope = _Scope(scope)
             else_scope = _Scope(scope)
-            return If(cond, self.check_body(s.then_body, then_scope),
-                      self.check_body(s.else_body, else_scope))
+            return dataclasses.replace(
+                s, cond=cond,
+                then_body=self.check_body(s.then_body, then_scope),
+                else_body=self.check_body(s.else_body, else_scope))
         if isinstance(s, ForRange):
             start = self.check_expr(s.start, scope)
             stop = self.check_expr(s.stop, scope)
@@ -224,16 +240,18 @@ class TypeChecker:
             inner = _Scope(scope)
             inner.vars[s.var] = INT
             inner.loop_vars.add(s.var)
-            return ForRange(s.var, _coerce(start, INT), _coerce(stop, INT),
-                            _coerce(step, INT), self.check_body(s.body,
-                                                                inner))
+            return dataclasses.replace(
+                s, start=_coerce(start, INT), stop=_coerce(stop, INT),
+                step=_coerce(step, INT), body=self.check_body(s.body, inner))
         if isinstance(s, OutputWrite):
             value = self.check_expr(s.value, scope)
-            return OutputWrite(_coerce(value, self.kernel.pixel_type))
+            return dataclasses.replace(
+                s, value=_coerce(value, self.kernel.pixel_type))
         raise VerificationError(f"unknown statement node {type(s).__name__}")
 
 
-def _count_output_writes(body: List[Stmt]) -> int:
+def _count_output_writes(body: List[Stmt],
+                         source_lines: Tuple[str, ...] = ()) -> int:
     """Minimum number of output writes along any path would be ideal; we
     verify the simpler HIPAcc rule: at least one write exists and writes do
     not appear inside loops (each work-item writes its pixel once)."""
@@ -242,12 +260,17 @@ def _count_output_writes(body: List[Stmt]) -> int:
         if isinstance(s, OutputWrite):
             n += 1
         elif isinstance(s, If):
-            n += min(_count_output_writes(s.then_body),
-                     _count_output_writes(s.else_body))
+            n += min(_count_output_writes(s.then_body, source_lines),
+                     _count_output_writes(s.else_body, source_lines))
         elif isinstance(s, ForRange):
-            if _count_output_writes(s.body):
+            if _count_output_writes(s.body, source_lines):
+                lineno = s.lineno
+                line = None
+                if lineno is not None and 0 < lineno <= len(source_lines):
+                    line = source_lines[lineno - 1]
                 raise VerificationError(
-                    "output() may not be written inside a loop")
+                    "output() may not be written inside a loop",
+                    lineno, line)
     return n
 
 
@@ -261,7 +284,7 @@ def typecheck_kernel(kernel: KernelIR) -> KernelIR:
             scope.vars[p.name] = p.type
             scope.loop_vars.add(p.name)  # reuse: forbids reassignment
     body = checker.check_body(kernel.body, scope)
-    if _count_output_writes(body) < 1:
+    if _count_output_writes(body, kernel.source_lines) < 1:
         raise VerificationError(
             f"kernel {kernel.name!r} never writes output() on some path")
     return dataclasses.replace(kernel, body=body)

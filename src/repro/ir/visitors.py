@@ -90,13 +90,16 @@ class ExprTransformer:
         if isinstance(s, Assign):
             return dataclasses.replace(s, value=self.visit(s.value))
         if isinstance(s, If):
-            return If(self.visit(s.cond), self.rewrite_body(s.then_body),
-                      self.rewrite_body(s.else_body))
+            return dataclasses.replace(
+                s, cond=self.visit(s.cond),
+                then_body=self.rewrite_body(s.then_body),
+                else_body=self.rewrite_body(s.else_body))
         if isinstance(s, ForRange):
-            return ForRange(s.var, self.visit(s.start), self.visit(s.stop),
-                            self.visit(s.step), self.rewrite_body(s.body))
+            return dataclasses.replace(
+                s, start=self.visit(s.start), stop=self.visit(s.stop),
+                step=self.visit(s.step), body=self.rewrite_body(s.body))
         if isinstance(s, OutputWrite):
-            return OutputWrite(self.visit(s.value))
+            return dataclasses.replace(s, value=self.visit(s.value))
         return s
 
 

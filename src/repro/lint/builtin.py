@@ -1,0 +1,151 @@
+"""Instantiation registry of the built-in filters for ``repro lint``.
+
+The built-in filters are classes, not kernels — linting needs a live
+instance with bound accessors and masks.  Each entry here wires one
+representative configuration (small geometry; clamp boundaries, so the
+window declarations are honest) and returns the Kernel instances to
+lint.  The CI job runs ``repro lint --builtin --fail-on error`` over
+exactly this set.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..dsl import (
+    Accessor,
+    Boundary,
+    BoundaryCondition,
+    Image,
+    IterationSpace,
+    Kernel,
+)
+
+_W, _H = 64, 48
+
+
+def _img(pixel_type=float) -> Image:
+    return Image(_W, _H, pixel_type)
+
+
+def _point_acc() -> Accessor:
+    return Accessor(_img())
+
+
+def _make_bilateral() -> List[Kernel]:
+    from ..filters.bilateral import make_bilateral
+    kernels = []
+    for use_mask in (True, False):
+        k, _, _ = make_bilateral(_W, _H, sigma_d=2, sigma_r=0.1,
+                                 boundary=Boundary.CLAMP,
+                                 use_mask=use_mask)
+        kernels.append(k)
+    return kernels
+
+
+def _make_gaussian() -> List[Kernel]:
+    from ..filters.gaussian import (
+        SeparableGaussianCol,
+        SeparableGaussianRow,
+        col_mask,
+        make_gaussian,
+        row_mask,
+    )
+    k, _, _ = make_gaussian(_W, _H, size=5, boundary=Boundary.CLAMP)
+    row = SeparableGaussianRow(
+        IterationSpace(_img()),
+        Accessor(BoundaryCondition(_img(), 5, 1, Boundary.CLAMP)),
+        row_mask(5), 2)
+    col = SeparableGaussianCol(
+        IterationSpace(_img()),
+        Accessor(BoundaryCondition(_img(), 1, 5, Boundary.CLAMP)),
+        col_mask(5), 2)
+    return [k, row, col]
+
+
+def _make_sobel() -> List[Kernel]:
+    from ..filters.sobel import GradientMagnitude, make_sobel
+    kx, _, _ = make_sobel(_W, _H, axis="x", boundary=Boundary.CLAMP)
+    ky, _, _ = make_sobel(_W, _H, axis="y", boundary=Boundary.CLAMP)
+    mag = GradientMagnitude(IterationSpace(_img()), _point_acc(),
+                            _point_acc())
+    return [kx, ky, mag]
+
+
+def _make_laplacian() -> List[Kernel]:
+    from ..filters.laplacian import make_laplacian
+    return [make_laplacian(_W, _H, boundary=Boundary.CLAMP)[0]]
+
+
+def _make_median() -> List[Kernel]:
+    from ..filters.median import make_median
+    return [make_median(_W, _H, boundary=Boundary.CLAMP)[0]]
+
+
+def _make_point_ops() -> List[Kernel]:
+    from ..filters.point_ops import (
+        AbsDiff,
+        AddConstant,
+        GammaCorrection,
+        LinearBlend,
+        Scale,
+        Threshold,
+    )
+    space = IterationSpace(_img())
+    return [
+        AddConstant(space, _point_acc(), 0.5),
+        Scale(space, _point_acc(), 2.0),
+        AbsDiff(space, _point_acc(), _point_acc()),
+        Threshold(space, _point_acc(), 0.5),
+        LinearBlend(space, _point_acc(), _point_acc(), 0.25),
+        GammaCorrection(space, _point_acc(), 2.2),
+    ]
+
+
+def _make_harris() -> List[Kernel]:
+    from ..filters.harris import HarrisResponse, Multiply, _Smooth
+    from ..filters.gaussian import gaussian_mask_2d
+    space = IterationSpace(_img())
+    smooth = _Smooth(
+        IterationSpace(_img()),
+        Accessor(BoundaryCondition(_img(), 3, 3, Boundary.CLAMP)),
+        gaussian_mask_2d(3), 1)
+    return [
+        Multiply(space, _point_acc(), _point_acc()),
+        smooth,
+        HarrisResponse(IterationSpace(_img()), _point_acc(), _point_acc(),
+                       _point_acc(), 0.04),
+    ]
+
+
+def _make_diffusion() -> List[Kernel]:
+    from ..filters.diffusion import make_diffusion_step
+    return [make_diffusion_step(_W, _H, kappa=0.1)[0]]
+
+
+def _make_morphology() -> List[Kernel]:
+    from ..filters.morphology import make_morphology
+    return [make_morphology(_W, _H, operation=op)[0]
+            for op in ("erode", "dilate")]
+
+
+#: name -> factory returning the Kernel instances to lint
+BUILTIN_FACTORIES: Dict[str, Callable[[], List[Kernel]]] = {
+    "bilateral": _make_bilateral,
+    "gaussian": _make_gaussian,
+    "sobel": _make_sobel,
+    "laplacian": _make_laplacian,
+    "median": _make_median,
+    "point_ops": _make_point_ops,
+    "harris": _make_harris,
+    "diffusion": _make_diffusion,
+    "morphology": _make_morphology,
+}
+
+
+def builtin_kernels() -> List[Kernel]:
+    """Every registered built-in filter kernel, instantiated."""
+    kernels: List[Kernel] = []
+    for factory in BUILTIN_FACTORIES.values():
+        kernels.extend(factory())
+    return kernels

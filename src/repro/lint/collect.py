@@ -1,0 +1,51 @@
+"""Diagnostic collection across compile/execute calls.
+
+Examples and applications build kernels dynamically, so "lint this
+file" cannot work purely syntactically.  Instead the runtime *emits*
+every diagnostic it produces (compile-time verify, graph lint) into any
+active collectors; ``repro lint some_example.py`` runs the file under
+:func:`collecting` and reports whatever the execution compiled.
+
+Collectors nest and are thread-safe: the graph scheduler compiles nodes
+on a thread pool, and every worker's findings must land in the
+collector that was active when the pool was entered.  A plain
+thread-local would lose them, so registration is global with a lock.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Iterator, List, Sequence
+
+from .diagnostics import Diagnostic
+
+_lock = threading.Lock()
+_active: List[List[Diagnostic]] = []
+
+
+def emit(diags: Sequence[Diagnostic]) -> None:
+    """Deliver *diags* to every active collector (no-op when none)."""
+    if not diags:
+        return
+    with _lock:
+        for sink in _active:
+            sink.extend(diags)
+
+
+@contextlib.contextmanager
+def collecting() -> Iterator[List[Diagnostic]]:
+    """Collect every diagnostic the runtime emits inside the block::
+
+        with collecting() as diags:
+            compile_kernel(k).execute()
+        report = LintReport(diags)
+    """
+    sink: List[Diagnostic] = []
+    with _lock:
+        _active.append(sink)
+    try:
+        yield sink
+    finally:
+        with _lock:
+            _active.remove(sink)

@@ -1,0 +1,181 @@
+"""CFG dataflow analyses backing the correctness passes.
+
+Two classic analyses over :func:`repro.ir.cfg.build_cfg`:
+
+* **definite assignment** (forward, must/intersection at joins) — a
+  variable is *definitely assigned* at a program point when every path
+  from the entry assigns it first.  A use at a point where the variable
+  is not definitely assigned is a potential use-before-def (HIP101).
+* **liveness** (backward, may/union at joins) — a store whose value can
+  never reach a later use before being overwritten is dead (HIP102).
+
+Both iterate to a fixpoint; kernels are tiny (tens of blocks), so a
+worklist is unnecessary — a few passes over :meth:`CFG.reverse_postorder`
+converge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from ..ir.cfg import CFG
+from ..ir.nodes import (
+    Assign,
+    ForRange,
+    If,
+    Stmt,
+    VarDecl,
+    VarRef,
+)
+from ..ir.visitors import stmt_exprs, walk_exprs
+
+
+def stmt_uses(s: Stmt) -> Set[str]:
+    """Variable names read by *s*'s own expressions (If: the condition;
+    ForRange: the bounds — nested bodies are separate CFG blocks)."""
+    return {e.name for expr in stmt_exprs(s)
+            for e in walk_exprs(expr) if isinstance(e, VarRef)}
+
+
+def stmt_defs(s: Stmt) -> Set[str]:
+    """Variable names *s* assigns (a ForRange header defines its loop
+    variable for the body blocks that succeed it)."""
+    if isinstance(s, (VarDecl, Assign)):
+        return {s.name}
+    if isinstance(s, ForRange):
+        return {s.var}
+    return set()
+
+
+def _all_names(cfg: CFG) -> Set[str]:
+    names: Set[str] = set()
+    for block in cfg.blocks.values():
+        for s in block.stmts:
+            names |= stmt_defs(s)
+    return names
+
+
+def definite_assignment(
+        cfg: CFG, initial: Sequence[str] = ()
+) -> Iterator[Tuple[Stmt, Set[str]]]:
+    """Yield ``(stmt, undefined_uses)`` for every statement whose uses are
+    not definitely assigned at that point.
+
+    *initial* names variables defined before the body runs (non-baked
+    kernel parameters).
+    """
+    universe = _all_names(cfg) | set(initial)
+    # OUT starts at the full universe ("assigned on every path so far")
+    # except the entry, so the intersection at joins only shrinks.
+    out_sets: Dict[int, Set[str]] = {
+        i: set(universe) for i in cfg.blocks}
+    entry_in = set(initial)
+    order = cfg.reverse_postorder()
+
+    changed = True
+    while changed:
+        changed = False
+        for idx in order:
+            preds = cfg.predecessors(idx)
+            if idx == cfg.entry:
+                live_in = set(entry_in)
+            else:
+                live_in = set(universe)
+                for p in preds:
+                    live_in &= out_sets[p]
+                if not preds:
+                    live_in = set(entry_in)   # unreachable: be conservative
+            assigned = live_in
+            for s in cfg.blocks[idx].stmts:
+                assigned = assigned | stmt_defs(s)
+            if assigned != out_sets[idx]:
+                out_sets[idx] = assigned
+                changed = True
+
+    for idx in order:
+        preds = cfg.predecessors(idx)
+        if idx == cfg.entry or not preds:
+            assigned = set(entry_in)
+        else:
+            assigned = set(universe)
+            for p in preds:
+                assigned &= out_sets[p]
+        for s in cfg.blocks[idx].stmts:
+            undefined = stmt_uses(s) - assigned
+            if undefined:
+                yield s, undefined
+            assigned |= stmt_defs(s)
+
+
+def dead_stores(cfg: CFG, live_out_names: Sequence[str] = ()
+                ) -> List[Stmt]:
+    """Statements (VarDecl/Assign) whose stored value is never read.
+
+    *live_out_names* are treated as live at kernel exit (none, normally —
+    locals die with the work-item).  Loop variables are never reported:
+    a loop that ignores its index is idiomatic repetition, not a bug.
+    """
+    live_in: Dict[int, Set[str]] = {i: set() for i in cfg.blocks}
+    order = cfg.reverse_postorder()
+
+    def block_live_in(idx: int, live: Set[str]) -> Set[str]:
+        for s in reversed(cfg.blocks[idx].stmts):
+            live = (live - stmt_defs(s)) | stmt_uses(s)
+        return live
+
+    changed = True
+    while changed:
+        changed = False
+        for idx in reversed(order):
+            live = set(live_out_names) if idx == cfg.exit else set()
+            for succ in cfg.blocks[idx].successors:
+                live |= live_in[succ]
+            new_in = block_live_in(idx, live)
+            if new_in != live_in[idx]:
+                live_in[idx] = new_in
+                changed = True
+
+    dead: List[Stmt] = []
+    for idx in order:
+        live = set(live_out_names) if idx == cfg.exit else set()
+        for succ in cfg.blocks[idx].successors:
+            live |= live_in[succ]
+        for s in reversed(cfg.blocks[idx].stmts):
+            if isinstance(s, (VarDecl, Assign)) and s.name not in live:
+                dead.append(s)
+            live = (live - stmt_defs(s)) | stmt_uses(s)
+    dead.reverse()
+    return dead
+
+
+def gid_dependent_names(body: Sequence[Stmt]) -> Set[str]:
+    """Transitive closure of locals whose value depends on the thread
+    index (``self.x()``/``self.y()``) — feeds the divergence passes."""
+    from ..ir.nodes import GidX, GidY
+    from ..ir.visitors import walk_stmts
+
+    tainted: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for s in walk_stmts(body):
+            if not isinstance(s, (VarDecl, Assign)):
+                continue
+            expr = s.init if isinstance(s, VarDecl) else s.value
+            if s.name in tainted:
+                continue
+            for e in walk_exprs(expr):
+                if isinstance(e, (GidX, GidY)) or (
+                        isinstance(e, VarRef) and e.name in tainted):
+                    tainted.add(s.name)
+                    changed = True
+                    break
+    return tainted
+
+
+def is_gid_dependent(expr, tainted: Set[str]) -> bool:
+    from ..ir.nodes import GidX, GidY
+
+    return any(isinstance(e, (GidX, GidY))
+               or (isinstance(e, VarRef) and e.name in tainted)
+               for e in walk_exprs(expr))

@@ -1,0 +1,211 @@
+"""Structured diagnostics: codes, severities, and report rendering.
+
+Every finding the analysis passes produce is a :class:`Diagnostic` with a
+stable ``HIPxxx`` code (``HIP1xx`` correctness, ``HIP2xx`` performance,
+``HIP3xx`` pipeline graph), a :class:`Severity`, a human message, an
+optional fix-it hint, and — when the frontend recorded one — the line of
+the user's ``kernel()`` method that produced the offending IR.
+
+:class:`LintReport` aggregates diagnostics from many kernels/graphs and
+renders them as compiler-style text, JSON, or SARIF 2.1.0 (the format CI
+systems ingest for code-scanning annotations).
+
+The full catalogue with minimal triggering kernels lives in
+``docs/DIAGNOSTICS.md``.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+class Severity(enum.IntEnum):
+    """Ordered so ``max()`` over a report gives the worst finding."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+#: code -> (short title, default severity).  Codes are append-only: once
+#: shipped, a code keeps its meaning forever (CI configs reference them).
+CODES: Dict[str, tuple] = {
+    # -- correctness (HIP1xx) ------------------------------------------------
+    "HIP100": ("kernel rejected by frontend/typechecker", Severity.ERROR),
+    "HIP101": ("variable may be used before assignment", Severity.ERROR),
+    "HIP102": ("dead store: value is never read", Severity.WARNING),
+    "HIP103": ("accessor is declared but never read", Severity.WARNING),
+    "HIP104": ("mask is declared but never read", Severity.WARNING),
+    "HIP105": ("a control path never writes output()", Severity.ERROR),
+    "HIP106": ("a control path writes output() more than once",
+               Severity.WARNING),
+    "HIP107": ("accessor read outside the declared boundary window",
+               Severity.ERROR),
+    "HIP108": ("implicit float-to-int narrowing", Severity.WARNING),
+    # -- performance (HIP2xx) ------------------------------------------------
+    "HIP201": ("branch condition depends on the thread index "
+               "(divergence)", Severity.WARNING),
+    "HIP202": ("windowed reads under divergent control defeat "
+               "shared-memory staging", Severity.WARNING),
+    "HIP203": ("staged tile row stride maps all rows to one memory bank",
+               Severity.WARNING),
+    "HIP204": ("accessor offsets cannot be bounded statically",
+               Severity.WARNING),
+    # -- pipeline graph (HIP3xx) ---------------------------------------------
+    "HIP301": ("node output is neither consumed nor marked as a graph "
+               "output", Severity.WARNING),
+    "HIP302": ("adjacent nodes were not fused", Severity.INFO),
+}
+
+
+@dataclass
+class Diagnostic:
+    """One finding of one analysis pass."""
+
+    code: str
+    message: str
+    severity: Severity = None
+    kernel: Optional[str] = None       # kernel or graph-node name
+    lineno: Optional[int] = None       # 1-based, within the kernel() method
+    source_line: Optional[str] = None  # text of that line
+    hint: Optional[str] = None         # fix-it suggestion
+
+    def __post_init__(self):
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+        if self.severity is None:
+            self.severity = CODES[self.code][1]
+
+    @property
+    def title(self) -> str:
+        return CODES[self.code][0]
+
+    def format(self) -> str:
+        """Compiler-style one-finding rendering."""
+        where = self.kernel or "<ir>"
+        if self.lineno is not None:
+            where += f":{self.lineno}"
+        text = f"{where}: {self.severity}: {self.code}: {self.message}"
+        if self.source_line:
+            text += f"\n    {self.source_line.strip()}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> Dict:
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "kernel": self.kernel,
+            "lineno": self.lineno,
+            "source_line": self.source_line,
+            "hint": self.hint,
+        }
+
+
+@dataclass
+class LintReport:
+    """Aggregated findings over any number of kernels and graphs."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def extend(self, diags: Sequence[Diagnostic]) -> None:
+        self.diagnostics.extend(diags)
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    @property
+    def errors(self) -> int:
+        return self.count(Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return self.count(Severity.WARNING)
+
+    def worst(self) -> Optional[Severity]:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def exceeds(self, fail_on: str) -> bool:
+        """Whether the report should fail CI under a ``--fail-on`` policy
+        (``"error"``, ``"warning"``, or ``"never"``)."""
+        if fail_on == "never":
+            return False
+        threshold = Severity.ERROR if fail_on == "error" else Severity.WARNING
+        return any(d.severity >= threshold for d in self.diagnostics)
+
+    # -- renderers ---------------------------------------------------------
+
+    def to_text(self) -> str:
+        if not self.diagnostics:
+            return "no findings"
+        lines = [d.format() for d in self.diagnostics]
+        lines.append(f"{self.errors} error(s), {self.warnings} warning(s), "
+                     f"{self.count(Severity.INFO)} note(s)")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "summary": {
+                "errors": self.errors,
+                "warnings": self.warnings,
+                "notes": self.count(Severity.INFO),
+            },
+        }, indent=2)
+
+    def to_sarif(self) -> str:
+        """Minimal SARIF 2.1.0 document (one run, one rule per code)."""
+        levels = {Severity.INFO: "note", Severity.WARNING: "warning",
+                  Severity.ERROR: "error"}
+        used = sorted({d.code for d in self.diagnostics})
+        rules = [{
+            "id": code,
+            "shortDescription": {"text": CODES[code][0]},
+            "defaultConfiguration": {
+                "level": levels[CODES[code][1]],
+            },
+        } for code in used]
+        results = []
+        for d in self.diagnostics:
+            result = {
+                "ruleId": d.code,
+                "level": levels[d.severity],
+                "message": {"text": d.message},
+            }
+            location = {}
+            if d.kernel:
+                location["logicalLocations"] = [
+                    {"name": d.kernel, "kind": "function"}]
+            if d.lineno is not None:
+                location["physicalLocation"] = {
+                    "artifactLocation": {"uri": f"{d.kernel or 'kernel'}"},
+                    "region": {"startLine": d.lineno},
+                }
+            if location:
+                result["locations"] = [location]
+            results.append(result)
+        doc = {
+            "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                        "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+            "version": "2.1.0",
+            "runs": [{
+                "tool": {"driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://github.com/hipacc/hipacc",
+                    "rules": rules,
+                }},
+                "results": results,
+            }],
+        }
+        return json.dumps(doc, indent=2)

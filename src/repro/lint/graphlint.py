@@ -1,0 +1,118 @@
+"""Pipeline-graph passes (HIP3xx) over a :class:`PipelineGraph`.
+
+These explain graph-level behaviour that is invisible from any single
+kernel: outputs nobody reads (HIP301) and — the question every user of
+the fusion pass eventually asks — *why* two adjacent nodes were not
+merged (HIP302).  The scheduler runs them after fusion, so the remaining
+producer/consumer pairs are exactly the ones fusion declined.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..graph.builder import GraphNode, PipelineGraph
+from ..graph.fusion import (
+    _full_cover,
+    _same_geometry,
+    is_point_op,
+    node_ir,
+)
+from .diagnostics import Diagnostic
+
+
+def _node_diag(code: str, message: str, node: GraphNode,
+               hint: Optional[str] = None) -> Diagnostic:
+    return Diagnostic(code=code, message=message, kernel=node.name,
+                      hint=hint)
+
+
+def check_unconsumed_outputs(graph: PipelineGraph) -> List[Diagnostic]:
+    """HIP301: a node's output image is a sink the user did not mark.
+
+    Only fires when the graph marks outputs at all — a graph built
+    without :meth:`PipelineGraph.mark_output` treats every sink as an
+    implicit output, and flagging those would punish the common case."""
+    if not graph._marked_outputs:
+        return []
+    out: List[Diagnostic] = []
+    for node in graph.nodes:
+        img = node.output
+        if graph.consumers_of(img):
+            continue
+        if any(img is o for o in graph._marked_outputs):
+            continue
+        out.append(_node_diag(
+            "HIP301",
+            f"output image {img.name!r} of node {node.name!r} is never "
+            f"consumed and is not a marked pipeline output",
+            node,
+            hint=f"mark_output() the image if it is a result, or remove "
+                 f"the node"))
+    return out
+
+
+def _point_op_safe(node: GraphNode) -> Optional[bool]:
+    try:
+        return is_point_op(node_ir(node))
+    except Exception:
+        return None
+
+
+def explain_missed_fusion(graph: PipelineGraph) -> List[Diagnostic]:
+    """HIP302: for every remaining producer -> consumer edge where fusion
+    was plausible (at least one side is a point operator), say exactly
+    which precondition failed."""
+    out: List[Diagnostic] = []
+    outputs = graph.outputs()
+    for producer in graph.nodes:
+        inter = producer.output
+        consumers = graph.consumers_of(inter)
+        if not consumers:
+            continue
+        p_point = _point_op_safe(producer)
+        for consumer in consumers:
+            if consumer is producer:
+                continue
+            c_point = _point_op_safe(consumer)
+            if not (p_point or c_point):
+                continue       # two local operators: fusion never applies
+            reasons = []
+            if p_point is False:
+                reasons.append(
+                    f"{producer.name!r} is not a point operator")
+            if c_point is False:
+                reasons.append(
+                    f"{consumer.name!r} is not a point operator")
+            if None in (p_point, c_point):
+                reasons.append("a node's kernel could not be analyzed")
+            if len(consumers) > 1:
+                reasons.append(
+                    f"intermediate {inter.name!r} has "
+                    f"{len(consumers)} consumers")
+            if any(inter is o for o in outputs):
+                reasons.append(
+                    f"intermediate {inter.name!r} is a pipeline output")
+            if producer.options != consumer.options:
+                reasons.append("the nodes use different compile options")
+            if not (_full_cover(producer) and _full_cover(consumer)
+                    and _same_geometry(producer, consumer)):
+                reasons.append(
+                    "the nodes' iteration spaces differ or do not cover "
+                    "their images")
+            if not reasons:
+                continue       # fusable — the fusion pass will take it
+            out.append(_node_diag(
+                "HIP302",
+                f"nodes {producer.name!r} -> {consumer.name!r} were not "
+                f"fused: " + "; ".join(reasons),
+                producer,
+                hint="point-operator fusion needs a single-consumer "
+                     "intermediate, matching options and full-cover "
+                     "iteration spaces"))
+    return out
+
+
+def graph_passes(graph: PipelineGraph) -> List[Diagnostic]:
+    """All HIP3xx passes over one pipeline graph."""
+    return check_unconsumed_outputs(graph) + explain_missed_fusion(graph)

@@ -50,6 +50,42 @@ from .program import CompiledKernel
 _DEFAULT_DEVICE = {"cuda": "Tesla C2050", "opencl": "Tesla C2050"}
 
 
+def _verify(ir, options, *, strict: bool, timings) -> list:
+    """The always-on compile-time verify (:mod:`repro.lint`).
+
+    Runs the cheap kernel-level passes against the resolved
+    configuration, delivers the findings to any active
+    :func:`repro.lint.collecting` sinks, and — only with
+    ``strict=True`` — rejects the compile when anything at warning
+    severity or above fired.  By default findings are attached to the
+    :class:`CompiledKernel` without affecting compilation: kernels that
+    lint dirty (e.g. deliberate out-of-bounds reads under UNDEFINED
+    boundary handling) must still compile exactly as before.
+    """
+    import time as _time
+    from ..errors import LintError
+    from ..lint import Severity, lint_ir
+    from ..lint.collect import emit
+
+    t0 = _time.perf_counter()
+    # the driver's IR is already typed: pass it as its own typed
+    # counterpart so the verify never re-runs the typechecker
+    diags = lint_ir(ir, typed=ir, block=options.block,
+                    use_smem=options.use_smem)
+    emit(diags)
+    timings["lint_ms"] = (_time.perf_counter() - t0) * 1e3
+    if strict:
+        worst = [d for d in diags if d.severity >= Severity.WARNING]
+        if worst:
+            raise LintError(
+                "strict compile rejected kernel "
+                f"{ir.name!r}: {len(worst)} finding(s) at warning "
+                "severity or above:\n"
+                + "\n".join(d.format() for d in worst),
+                diagnostics=diags)
+    return diags
+
+
 def _resolve_device(device: Union[None, str, DeviceSpec],
                     backend: str) -> DeviceSpec:
     if isinstance(device, DeviceSpec):
@@ -94,12 +130,18 @@ def compile_kernel(kernel: Kernel,
                    vectorize: int = 1,
                    pixels_per_thread: int = 1,
                    bake_params: bool = True,
-                   cache: Union[None, bool, CompilationCache] = None
+                   cache: Union[None, bool, CompilationCache] = None,
+                   strict: bool = False
                    ) -> CompiledKernel:
     """Compile *kernel* for *backend*/*device* (see module docstring).
 
     Parameters left ``None`` are decided by the optimization database
     (texture, scratchpad) or Algorithm 2 (block configuration).
+
+    Every compile runs the cheap :mod:`repro.lint` verify passes and
+    attaches the findings to ``CompiledKernel.diagnostics``; with
+    ``strict=True`` any finding at warning severity or above raises
+    :class:`~repro.errors.LintError` instead of producing a kernel.
 
     *cache* enables the content-addressed compilation cache: ``True``
     uses the process-wide default (:func:`repro.cache.get_default_cache`,
@@ -146,7 +188,8 @@ def compile_kernel(kernel: Kernel,
         fold_constants=fold_constants, fast_math=fast_math,
         emit_config_macros=emit_config_macros, vectorize=vectorize,
         pixels_per_thread=pixels_per_thread, bake_params=bake_params,
-        store=store, ir_dig=ir_dig, timings=timings, t_start=t_start)
+        store=store, ir_dig=ir_dig, timings=timings, t_start=t_start,
+        strict=strict)
 
 
 def compile_ir(ir,
@@ -165,7 +208,8 @@ def compile_ir(ir,
                emit_config_macros: bool = False,
                vectorize: int = 1,
                pixels_per_thread: int = 1,
-               cache: Union[None, bool, CompilationCache] = None
+               cache: Union[None, bool, CompilationCache] = None,
+               strict: bool = False
                ) -> CompiledKernel:
     """Compile a *type-checked* :class:`~repro.ir.nodes.KernelIR` directly,
     skipping the Python frontend.
@@ -203,7 +247,8 @@ def compile_ir(ir,
         fold_constants=fold_constants, fast_math=fast_math,
         emit_config_macros=emit_config_macros, vectorize=vectorize,
         pixels_per_thread=pixels_per_thread, bake_params=True,
-        store=store, ir_dig=ir_dig, timings={}, t_start=t_start)
+        store=store, ir_dig=ir_dig, timings={}, t_start=t_start,
+        strict=strict)
 
 
 def _compile_from_ir(ir, accessor_objs, iteration_space, *,
@@ -211,7 +256,8 @@ def _compile_from_ir(ir, accessor_objs, iteration_space, *,
                      block, border, use_texture, use_smem, mask_memory,
                      unroll, fold_constants, fast_math, emit_config_macros,
                      vectorize, pixels_per_thread, bake_params,
-                     store, ir_dig, timings, t_start) -> CompiledKernel:
+                     store, ir_dig, timings, t_start,
+                     strict=False) -> CompiledKernel:
     """Stages 2-6 of the driver, shared by :func:`compile_kernel` (after
     its frontend stage) and :func:`compile_ir` (no frontend at all)."""
     window = _max_window(ir)
@@ -275,6 +321,7 @@ def _compile_from_ir(ir, accessor_objs, iteration_space, *,
                 store.invalidate(key)
                 payload = None
         if payload is not None:
+            diags = _verify(ir, options, strict=strict, timings=timings)
             timings["total_ms"] = (time.perf_counter() - t_start) * 1e3
             return CompiledKernel(
                 ir=ir,
@@ -289,6 +336,7 @@ def _compile_from_ir(ir, accessor_objs, iteration_space, *,
                 cache_key=key,
                 from_cache=True,
                 stage_timings=timings,
+                diagnostics=diags,
             )
 
     options = CodegenOptions(
@@ -353,6 +401,7 @@ def _compile_from_ir(ir, accessor_objs, iteration_space, *,
     if store is not None and key is not None:
         store.put(key, entry_to_dict(final, resources, selected_occ))
 
+    diags = _verify(ir, options, strict=strict, timings=timings)
     timings["total_ms"] = (time.perf_counter() - t_start) * 1e3
     return CompiledKernel(
         ir=ir,
@@ -367,4 +416,5 @@ def _compile_from_ir(ir, accessor_objs, iteration_space, *,
         cache_key=key,
         from_cache=False,
         stage_timings=timings,
+        diagnostics=diags,
     )

@@ -57,6 +57,9 @@ class CompiledKernel:
     #: resources_ms, select_ms, codegen_final_ms, total_ms)
     stage_timings: Dict[str, float] = dataclasses.field(
         default_factory=dict)
+    #: lint findings from the always-on compile-time verify
+    #: (:mod:`repro.lint`); populated on fresh and cached compiles alike
+    diagnostics: list = dataclasses.field(default_factory=list)
 
     @property
     def compile_ms(self) -> float:

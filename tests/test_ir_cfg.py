@@ -1,0 +1,171 @@
+"""CFG construction edge cases, locked down by golden block/edge dumps
+(:meth:`repro.ir.cfg.CFG.dump`): nested If inside ForRange, empty
+branches, and the loop back-edge's successor ordering."""
+
+from __future__ import annotations
+
+from repro.ir.cfg import build_cfg
+from repro.ir.nodes import (
+    Assign,
+    FloatConst,
+    ForRange,
+    If,
+    IntConst,
+    OutputWrite,
+    VarDecl,
+    VarRef,
+)
+
+
+def _decl(name="a"):
+    return VarDecl(name, FloatConst(0.0))
+
+
+def _assign(name="a"):
+    return Assign(name, FloatConst(1.0))
+
+
+def _loop(body, var="i"):
+    return ForRange(var, IntConst(0), IntConst(4), IntConst(1), body)
+
+
+class TestStraightLine:
+    def test_single_block_plus_exit(self):
+        cfg = build_cfg([_decl(), _assign(), OutputWrite(VarRef("a"))])
+        assert cfg.dump() == (
+            "B0[entry] stmts=3 -> B1\n"
+            "B1[exit] stmts=0")
+        assert cfg.entry == 0
+        assert cfg.exit == 1
+
+    def test_empty_body(self):
+        cfg = build_cfg([])
+        assert cfg.dump() == (
+            "B0[entry] stmts=0 -> B1\n"
+            "B1[exit] stmts=0")
+
+
+class TestIf:
+    def test_diamond_with_else(self):
+        cfg = build_cfg([
+            _decl(),
+            If(VarRef("a"), [_assign()], [Assign("a", FloatConst(2.0))]),
+            OutputWrite(VarRef("a")),
+        ])
+        # cond block branches to then (B1) and else (B3); both join in B2
+        assert cfg.dump() == (
+            "B0[entry] stmts=2 -> B1, B3\n"
+            "B1[then] stmts=1 -> B2\n"
+            "B2[join] stmts=1 -> B4\n"
+            "B3[else] stmts=1 -> B2\n"
+            "B4[exit] stmts=0")
+
+    def test_empty_else_falls_through(self):
+        cfg = build_cfg([
+            _decl(),
+            If(VarRef("a"), [_assign()], []),
+            OutputWrite(VarRef("a")),
+        ])
+        # no else block: the condition edge goes straight to the join
+        assert cfg.dump() == (
+            "B0[entry] stmts=2 -> B1, B2\n"
+            "B1[then] stmts=1 -> B2\n"
+            "B2[join] stmts=1 -> B3\n"
+            "B3[exit] stmts=0")
+
+    def test_empty_then_branch(self):
+        # an empty then body still gets its own block (then -> join)
+        cfg = build_cfg([
+            _decl(),
+            If(VarRef("a"), [], [_assign()]),
+        ])
+        assert cfg.dump() == (
+            "B0[entry] stmts=2 -> B1, B3\n"
+            "B1[then] stmts=0 -> B2\n"
+            "B2[join] stmts=0 -> B4\n"
+            "B3[else] stmts=1 -> B2\n"
+            "B4[exit] stmts=0")
+
+
+class TestForRange:
+    def test_back_edge_successor_ordering(self):
+        cfg = build_cfg([
+            _decl(),
+            _loop([_assign()]),
+            OutputWrite(VarRef("a")),
+        ])
+        # the header's successors are [body, after] in that order — the
+        # body edge is added first, then the exit edge; the body's last
+        # block closes the back edge to the header
+        assert cfg.dump() == (
+            "B0[entry] stmts=1 -> B1\n"
+            "B1[loop-header] stmts=1 -> B2, B3\n"
+            "B2[loop-body] stmts=1 -> B1\n"
+            "B3[loop-exit] stmts=1 -> B4\n"
+            "B4[exit] stmts=0")
+        header = cfg.blocks[1]
+        assert header.successors == [2, 3]
+        assert cfg.predecessors(1) == [0, 2]   # entry edge + back edge
+
+    def test_empty_loop_body(self):
+        cfg = build_cfg([_loop([])])
+        assert cfg.dump() == (
+            "B0[entry] stmts=0 -> B1\n"
+            "B1[loop-header] stmts=1 -> B2, B3\n"
+            "B2[loop-body] stmts=0 -> B1\n"
+            "B3[loop-exit] stmts=0 -> B4\n"
+            "B4[exit] stmts=0")
+
+    def test_nested_if_inside_for(self):
+        cfg = build_cfg([
+            _decl(),
+            _loop([
+                If(VarRef("i"), [_assign()], []),
+            ]),
+            OutputWrite(VarRef("a")),
+        ])
+        # the If's join block carries the back edge to the loop header
+        assert cfg.dump() == (
+            "B0[entry] stmts=1 -> B1\n"
+            "B1[loop-header] stmts=1 -> B2, B5\n"
+            "B2[loop-body] stmts=1 -> B3, B4\n"
+            "B3[then] stmts=1 -> B4\n"
+            "B4[join] stmts=0 -> B1\n"
+            "B5[loop-exit] stmts=1 -> B6\n"
+            "B6[exit] stmts=0")
+
+    def test_nested_loops(self):
+        cfg = build_cfg([_loop([_loop([_assign()], var="j")])])
+        # the inner loop-exit (B5) carries the outer back edge
+        assert cfg.dump() == (
+            "B0[entry] stmts=0 -> B1\n"
+            "B1[loop-header] stmts=1 -> B2, B6\n"
+            "B2[loop-body] stmts=0 -> B3\n"
+            "B3[loop-header] stmts=1 -> B4, B5\n"
+            "B4[loop-body] stmts=1 -> B3\n"
+            "B5[loop-exit] stmts=0 -> B1\n"
+            "B6[loop-exit] stmts=0 -> B7\n"
+            "B7[exit] stmts=0")
+
+
+class TestTraversals:
+    def test_reverse_postorder_starts_at_entry(self):
+        cfg = build_cfg([
+            _decl(),
+            If(VarRef("a"), [_assign()], [Assign("a", FloatConst(2.0))]),
+            _loop([_assign()]),
+        ])
+        order = cfg.reverse_postorder()
+        assert order[0] == cfg.entry
+        assert set(order) == set(cfg.blocks)
+        # every edge u->v with v != back-edge target appears in order
+        pos = {b: i for i, b in enumerate(order)}
+        for b in cfg.blocks.values():
+            for s in b.successors:
+                if cfg.blocks[s].label == "loop-header" and pos[s] < pos[b.index]:
+                    continue    # the back edge is the only exception
+                assert pos[s] > pos[b.index]
+
+    def test_reachable_covers_all_blocks(self):
+        cfg = build_cfg([_decl(), _loop([_assign()])])
+        assert cfg.reachable() == set(cfg.blocks)

@@ -199,3 +199,57 @@ class TestRules:
                                              N.FloatConst(2.0))))]
         with pytest.raises(TypeError_, match="argument"):
             typecheck_kernel(_kernel(body))
+
+
+class TestErrorLocations:
+    """Typecheck errors point at the user's kernel() line when the
+    frontend recorded one (and stay location-free when it didn't)."""
+
+    def test_located_error_from_frontend_ir(self):
+        from repro import Accessor, Image, IterationSpace, Kernel
+        from repro.frontend.parser import parse_kernel
+
+        class FloatOffset(Kernel):
+            def __init__(self):
+                super().__init__(IterationSpace(Image(8, 8, float)))
+                self.inp = Accessor(Image(8, 8, float))
+                self.add_accessor(self.inp)
+
+            def kernel(self):
+                v = self.inp(0, 0)
+                self.output(self.inp(v, 0))
+
+        with pytest.raises(TypeError_) as exc_info:
+            typecheck_kernel(parse_kernel(FloatOffset()))
+        exc = exc_info.value
+        assert exc.lineno == 3     # 1-based from the def kernel line
+        assert "self.output(self.inp(v, 0))" in exc.source_line
+        assert "(line 3)" in str(exc)
+        assert exc.bare_message == ("accessor 'inp': x-offset must be an "
+                                    "integer expression, got float")
+
+    def test_synthesized_ir_stays_unlocated(self):
+        body = [N.OutputWrite(
+            N.AccessorRead("inp", N.FloatConst(1.0), N.IntConst(0)))]
+        with pytest.raises(TypeError_) as exc_info:
+            typecheck_kernel(_kernel(body))
+        assert exc_info.value.lineno is None
+        assert "(line" not in str(exc_info.value)
+
+    def test_verification_error_located(self):
+        from repro import Accessor, Image, IterationSpace, Kernel
+        from repro.frontend.parser import parse_kernel
+
+        class LoopWrite(Kernel):
+            def __init__(self):
+                super().__init__(IterationSpace(Image(8, 8, float)))
+                self.inp = Accessor(Image(8, 8, float))
+                self.add_accessor(self.inp)
+
+            def kernel(self):
+                for i in range(0, 2):
+                    self.output(self.inp(0, 0))
+
+        with pytest.raises(VerificationError) as exc_info:
+            typecheck_kernel(parse_kernel(LoopWrite()))
+        assert exc_info.value.lineno is not None

@@ -1,0 +1,129 @@
+"""The ``repro lint`` CLI: target execution under the collector,
+``--builtin``, output formats and ``--fail-on`` policy."""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import textwrap
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = main(list(argv))
+    return code, out.getvalue()
+
+
+DIRTY_TARGET = textwrap.dedent("""\
+    from repro import Accessor, Image, IterationSpace, Kernel
+    from repro.runtime.compile import compile_kernel
+
+    class DeadStore(Kernel):
+        def __init__(self):
+            super().__init__(IterationSpace(Image(16, 16, float)))
+            self.inp = Accessor(Image(16, 16, float))
+            self.add_accessor(self.inp)
+
+        def kernel(self):
+            a = 1.0
+            a = 2.0
+            self.output(self.inp(0, 0) * a)
+
+    if __name__ == "__main__":
+        # compiled twice: identical findings must collapse to one
+        compile_kernel(DeadStore())
+        compile_kernel(DeadStore())
+        print("target stdout must not leak into the report")
+""")
+
+CLEAN_TARGET = textwrap.dedent("""\
+    from repro import Accessor, Image, IterationSpace, Kernel
+    from repro.runtime.compile import compile_kernel
+
+    class Halve(Kernel):
+        def __init__(self):
+            super().__init__(IterationSpace(Image(16, 16, float)))
+            self.inp = Accessor(Image(16, 16, float))
+            self.add_accessor(self.inp)
+
+        def kernel(self):
+            self.output(self.inp(0, 0) * 0.5)
+
+    if __name__ == "__main__":
+        compile_kernel(Halve())
+""")
+
+
+class TestLintCli:
+    def test_builtin_filters_are_clean(self):
+        code, out = run_cli("lint", "--builtin")
+        assert code == 0
+        assert "no findings" in out
+
+    def test_dirty_target_text(self, tmp_path):
+        target = tmp_path / "dirty.py"
+        target.write_text(DIRTY_TARGET)
+        code, out = run_cli("lint", str(target), "--fail-on", "warning")
+        assert code == 1
+        assert out.count("HIP102") == 1    # deduplicated across compiles
+        assert "target stdout" not in out  # target prints are silenced
+
+    def test_fail_on_policy(self, tmp_path):
+        target = tmp_path / "dirty.py"
+        target.write_text(DIRTY_TARGET)
+        # warnings don't fail the default (error) policy ...
+        code, _ = run_cli("lint", str(target))
+        assert code == 0
+        # ... nor an explicit --fail-on never
+        code, _ = run_cli("lint", str(target), "--fail-on", "never")
+        assert code == 0
+
+    def test_clean_target(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text(CLEAN_TARGET)
+        code, out = run_cli("lint", str(target), "--fail-on", "warning")
+        assert code == 0
+        assert "no findings" in out
+
+    def test_json_format(self, tmp_path):
+        target = tmp_path / "dirty.py"
+        target.write_text(DIRTY_TARGET)
+        code, out = run_cli("lint", str(target), "--format", "json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["summary"]["warnings"] == 1
+        assert payload["diagnostics"][0]["code"] == "HIP102"
+        assert payload["diagnostics"][0]["kernel"] == "DeadStore"
+
+    def test_sarif_format(self, tmp_path):
+        target = tmp_path / "dirty.py"
+        target.write_text(DIRTY_TARGET)
+        code, out = run_cli("lint", str(target), "--format", "sarif")
+        assert code == 0
+        sarif = json.loads(out)
+        assert sarif["version"] == "2.1.0"
+        results = sarif["runs"][0]["results"]
+        assert results[0]["ruleId"] == "HIP102"
+
+    def test_no_targets_is_usage_error(self, capsys):
+        code, _ = run_cli("lint")
+        assert code == 2
+
+    def test_crashing_target_fails(self, tmp_path):
+        target = tmp_path / "boom.py"
+        target.write_text("raise RuntimeError('boom')\n")
+        code, _ = run_cli("lint", str(target))
+        assert code == 2
+
+    def test_builtin_and_target_combine(self, tmp_path):
+        target = tmp_path / "dirty.py"
+        target.write_text(DIRTY_TARGET)
+        code, out = run_cli("lint", "--builtin", str(target),
+                            "--format", "json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["summary"]["warnings"] == 1

@@ -1,0 +1,149 @@
+"""Pipeline-graph diagnostics (HIP3xx) and their scheduler wiring."""
+
+from __future__ import annotations
+
+from repro.dsl import (
+    Accessor,
+    Boundary,
+    BoundaryCondition,
+    Image,
+    IterationSpace,
+    Mask,
+)
+from repro.filters.median import Median3x3
+from repro.filters.point_ops import GammaCorrection, Scale
+from repro.graph import PipelineGraph, execute_graph
+from repro.lint import Severity, collecting, lint_graph
+
+N = 32
+
+
+def _img(name):
+    return Image(N, N, name=name)
+
+
+def codes(diags):
+    return sorted(d.code for d in diags)
+
+
+def _chain(mark=True, dangling=False):
+    """src -> scale -> gamma (point ops, fusable), optionally plus a
+    dangling median node nobody consumes."""
+    src = _img("src")
+    mid = _img("mid")
+    out = _img("out")
+    g = PipelineGraph("t")
+    g.add_kernel(Scale(IterationSpace(mid), Accessor(src), factor=2.0),
+                 name="scale")
+    g.add_kernel(GammaCorrection(IterationSpace(out), Accessor(mid),
+                                 gamma=0.5), name="gamma")
+    if dangling:
+        dang = _img("dangling")
+        g.add_kernel(Median3x3(IterationSpace(dang), Accessor(
+            BoundaryCondition(src, 3, 3, Boundary.CLAMP))), name="median")
+    if mark:
+        g.mark_output(out)
+    return g, out
+
+
+class TestHip301:
+    def test_unconsumed_unmarked_output(self):
+        g, _ = _chain(mark=True, dangling=True)
+        diags = [d for d in lint_graph(g) if d.code == "HIP301"]
+        assert len(diags) == 1
+        assert "'dangling'" in diags[0].message
+        assert diags[0].kernel == "median"
+        assert diags[0].severity == Severity.WARNING
+
+    def test_marked_sink_is_clean(self):
+        g, _ = _chain(mark=True, dangling=False)
+        assert "HIP301" not in codes(lint_graph(g))
+
+    def test_silent_without_any_marks(self):
+        # graphs that never call mark_output treat sinks as implicit
+        # outputs; flagging them would punish the common case
+        g, _ = _chain(mark=False, dangling=True)
+        assert "HIP301" not in codes(lint_graph(g))
+
+
+class TestHip302:
+    def test_point_into_local_explained(self):
+        src = _img("src")
+        mid = _img("mid")
+        out = _img("out")
+        g = PipelineGraph("t")
+        g.add_kernel(Scale(IterationSpace(mid), Accessor(src), factor=2.0),
+                     name="scale")
+        g.add_kernel(Median3x3(IterationSpace(out), Accessor(
+            BoundaryCondition(mid, 3, 3, Boundary.CLAMP))), name="median")
+        diags = [d for d in lint_graph(g) if d.code == "HIP302"]
+        assert len(diags) == 1
+        assert "'median' is not a point operator" in diags[0].message
+        assert diags[0].severity == Severity.INFO
+
+    def test_multi_consumer_explained(self):
+        src = _img("src")
+        mid = _img("mid")
+        a = _img("a")
+        b = _img("b")
+        g = PipelineGraph("t")
+        g.add_kernel(Scale(IterationSpace(mid), Accessor(src), factor=2.0),
+                     name="scale")
+        g.add_kernel(Scale(IterationSpace(a), Accessor(mid), factor=3.0),
+                     name="left")
+        g.add_kernel(Scale(IterationSpace(b), Accessor(mid), factor=4.0),
+                     name="right")
+        diags = [d for d in lint_graph(g) if d.code == "HIP302"]
+        assert len(diags) == 2     # scale->left and scale->right
+        assert all("2 consumers" in d.message for d in diags)
+
+    def test_fusable_pair_not_flagged(self):
+        # before fusion a clean point chain is fusable, so HIP302 stays
+        # quiet about it; after execute_graph the pair is actually fused
+        g, _ = _chain(mark=True)
+        assert "HIP302" not in codes(lint_graph(g))
+
+    def test_two_local_ops_not_flagged(self):
+        src = _img("src")
+        mid = _img("mid")
+        out = _img("out")
+        g = PipelineGraph("t")
+        g.add_kernel(Median3x3(IterationSpace(mid), Accessor(
+            BoundaryCondition(src, 3, 3, Boundary.CLAMP))), name="m1")
+        g.add_kernel(Median3x3(IterationSpace(out), Accessor(
+            BoundaryCondition(mid, 3, 3, Boundary.CLAMP))), name="m2")
+        assert "HIP302" not in codes(lint_graph(g))
+
+
+class TestSchedulerWiring:
+    def test_report_carries_diagnostics(self):
+        src = _img("src")
+        mid = _img("mid")
+        out = _img("out")
+        g = PipelineGraph("t")
+        g.add_kernel(Scale(IterationSpace(mid), Accessor(src), factor=2.0),
+                     name="scale")
+        g.add_kernel(Median3x3(IterationSpace(out), Accessor(
+            BoundaryCondition(mid, 3, 3, Boundary.CLAMP))), name="median")
+        report = execute_graph(g, workers=1)
+        assert codes(report.diagnostics) == ["HIP302"]
+        assert "lint:" in report.summary()
+
+    def test_clean_graph_reports_nothing(self):
+        g, _ = _chain(mark=True)
+        report = execute_graph(g, workers=1)
+        assert report.diagnostics == []
+        assert "lint:" not in report.summary()
+
+    def test_collector_receives_graph_findings(self):
+        src = _img("src")
+        mid = _img("mid")
+        out = _img("out")
+        g = PipelineGraph("t")
+        g.add_kernel(Scale(IterationSpace(mid), Accessor(src), factor=2.0),
+                     name="scale")
+        g.add_kernel(Median3x3(IterationSpace(out), Accessor(
+            BoundaryCondition(mid, 3, 3, Boundary.CLAMP))), name="median")
+        with collecting() as sink:
+            execute_graph(g, workers=1)
+        assert "HIP302" in codes(sink)
