@@ -116,14 +116,33 @@ def test_parallel_exploration_speedup():
 
 
 def main():
+    try:
+        from .common import run_traced, write_bench_json
+    except ImportError:        # run directly: benchmarks/ is sys.path[0]
+        from common import run_traced, write_bench_json
+
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--quick", action="store_true",
                         help="small geometry + few repeats (CI smoke)")
     parser.add_argument("--workers", type=int, default=0,
                         help="pool size for the parallel sweep "
                              "(default: min(4, cores))")
+    parser.add_argument("--json", action="store_true",
+                        help="write BENCH_cache_exploration.json with "
+                             "per-stage span breakdowns")
     args = parser.parse_args()
-    report(quick=args.quick, workers=args.workers)
+    if not args.json:
+        report(quick=args.quick, workers=args.workers)
+        return
+    (cache_speedup, explore_speedup, cores), stages = run_traced(
+        report, quick=args.quick, workers=args.workers)
+    path = write_bench_json(
+        "cache_exploration",
+        {"cache_speedup": cache_speedup,
+         "exploration_speedup": explore_speedup,
+         "cores": cores},
+        stages)
+    print(f"wrote {path}")
 
 
 if __name__ == "__main__":

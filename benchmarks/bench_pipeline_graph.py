@@ -148,13 +148,36 @@ def test_naive_pipeline_reports_full_footprint():
 
 
 def main():
+    try:
+        from .common import run_traced, write_bench_json
+    except ImportError:        # run directly: benchmarks/ is sys.path[0]
+        from common import run_traced, write_bench_json
+
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--quick", action="store_true",
                         help="small frame (CI smoke)")
     parser.add_argument("--workers", type=int, default=4,
                         help="thread count for the scheduled run")
+    parser.add_argument("--json", action="store_true",
+                        help="write BENCH_pipeline_graph.json with "
+                             "per-stage span breakdowns")
     args = parser.parse_args()
-    report(quick=args.quick, workers=args.workers)
+    if not args.json:
+        report(quick=args.quick, workers=args.workers)
+        return
+    (naive, sched), stages = run_traced(
+        report, quick=args.quick, workers=args.workers)
+    path = write_bench_json(
+        "pipeline_graph",
+        {"naive_launches": naive.launches,
+         "scheduled_launches": sched.launches,
+         "launches_saved": sched.fusion.launches_saved,
+         "naive_peak_bytes": naive.pool.peak_bytes,
+         "scheduled_peak_bytes": sched.pool.peak_bytes,
+         "naive_device_ms": naive.total_device_ms,
+         "scheduled_device_ms": sched.total_device_ms},
+        stages)
+    print(f"wrote {path}")
 
 
 if __name__ == "__main__":

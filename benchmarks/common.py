@@ -9,7 +9,9 @@ compile+model pipeline executing on this machine).
 
 from __future__ import annotations
 
-from typing import Dict, List
+import json
+import os
+from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 
@@ -24,6 +26,46 @@ from repro.reporting.tables import (
 )
 
 HANDLED = ["clamp", "repeat", "mirror", "constant"]
+
+
+def run_traced(fn: Callable, *args, **kwargs) -> Tuple[object, Dict]:
+    """Run *fn* under the :mod:`repro.obs` tracer.
+
+    Returns ``(result, stages)`` where *stages* maps each span name to
+    its ``{count, total_ms, mean_ms}`` aggregate — the per-stage
+    breakdown the ``BENCH_*.json`` artifacts carry.
+    """
+    from repro.obs import stage_totals, tracing
+
+    with tracing() as tracer:
+        result = fn(*args, **kwargs)
+        stages = stage_totals(tracer)
+    return result, stages
+
+
+def write_bench_json(name: str, headline: Dict[str, float],
+                     stages: Dict[str, Dict[str, float]],
+                     out_dir: str = None) -> str:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    *headline* holds the benchmark's own numbers (speedups, wall times);
+    *stages* is :func:`run_traced`'s per-span breakdown, so the artifact
+    answers "where did the time go" without rerunning under a profiler.
+    Directory precedence: *out_dir* arg, ``$BENCH_JSON_DIR``, then the
+    current working directory.
+    """
+    out_dir = out_dir or os.environ.get("BENCH_JSON_DIR") or os.getcwd()
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    doc = {
+        "benchmark": name,
+        "headline": headline,
+        "stages": stages,
+        "schema": "repro-bench-v1",
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def spread(row: Dict[str, object], modes=HANDLED) -> float:

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Validate exported Chrome-trace documents against the repro schema.
+
+CI runs ``repro trace`` over one builtin filter and one graph example,
+then feeds the exported JSON through this script::
+
+    PYTHONPATH=src python scripts/validate_trace.py trace1.json trace2.json
+
+Exit status is non-zero if any document fails
+:func:`repro.obs.validate_chrome_trace` (structure, span-id uniqueness,
+parent references and interval containment, per-thread stack
+discipline) or the extra minimum-coverage checks below.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs import validate_chrome_trace
+
+
+def check_file(path: str, require: list) -> list:
+    """Return the list of problems found in the trace at *path*."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return [f"unreadable: {exc}"]
+    problems = validate_chrome_trace(doc)
+    names = {ev.get("name") for ev in doc.get("traceEvents", ())
+             if isinstance(ev, dict) and ev.get("ph") == "X"}
+    for name in require:
+        if name not in names:
+            problems.append(f"required span {name!r} absent")
+    if "metrics" not in doc.get("otherData", {}):
+        problems.append("otherData.metrics missing")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("files", nargs="+",
+                        help="Chrome-trace JSON documents to validate")
+    parser.add_argument("--require", action="append", default=[],
+                        help="span name that must appear (repeatable)")
+    args = parser.parse_args(argv)
+
+    failed = False
+    for path in args.files:
+        problems = check_file(path, args.require)
+        if problems:
+            failed = True
+            print(f"{path}: INVALID")
+            for p in problems:
+                print(f"  - {p}")
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

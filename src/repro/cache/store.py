@@ -49,22 +49,66 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
+        """IR-level (artifact store) lookups only."""
         return self.hits + self.disk_hits + self.misses
 
     @property
-    def hit_rate(self) -> float:
+    def frontend_lookups(self) -> int:
+        return self.frontend_hits + self.frontend_misses
+
+    @property
+    def ir_hit_rate(self) -> float:
+        """Hit rate of the content-addressed artifact store alone."""
         total = self.lookups
         return (self.hits + self.disk_hits) / total if total else 0.0
 
-    def as_dict(self) -> Dict[str, int]:
-        return dataclasses.asdict(self)
+    @property
+    def frontend_hit_rate(self) -> float:
+        """Hit rate of the pre-parse fingerprint memo alone."""
+        total = self.frontend_lookups
+        return self.frontend_hits / total if total else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Deprecated alias for :attr:`ir_hit_rate`.
+
+        The old single number excluded the frontend memo entirely, so
+        it misrepresented effectiveness whenever the memo was doing the
+        work — report :attr:`ir_hit_rate` and :attr:`frontend_hit_rate`
+        separately instead.
+        """
+        return self.ir_hit_rate
+
+    def as_dict(self) -> Dict[str, float]:
+        out: Dict[str, float] = dataclasses.asdict(self)
+        out["ir_hit_rate"] = self.ir_hit_rate
+        out["frontend_hit_rate"] = self.frontend_hit_rate
+        return out
+
+    def metrics(self) -> Dict[str, float]:
+        """The canonical ``cache.*`` metrics namespace
+        (:mod:`repro.obs.metrics`)."""
+        return {
+            "cache.ir.hits": self.hits,
+            "cache.ir.disk_hits": self.disk_hits,
+            "cache.ir.misses": self.misses,
+            "cache.ir.stores": self.stores,
+            "cache.ir.evictions": self.evictions,
+            "cache.ir.disk_writes": self.disk_writes,
+            "cache.ir.hit_rate": self.ir_hit_rate,
+            "cache.frontend.hits": self.frontend_hits,
+            "cache.frontend.misses": self.frontend_misses,
+            "cache.frontend.hit_rate": self.frontend_hit_rate,
+        }
 
     def summary(self) -> str:
         return (f"hits={self.hits} disk_hits={self.disk_hits} "
                 f"misses={self.misses} stores={self.stores} "
                 f"evictions={self.evictions} "
+                f"ir_hit_rate={self.ir_hit_rate:.1%} "
                 f"frontend_hits={self.frontend_hits} "
-                f"hit_rate={self.hit_rate:.1%}")
+                f"frontend_misses={self.frontend_misses} "
+                f"frontend_hit_rate={self.frontend_hit_rate:.1%}")
 
 
 class CompilationCache:

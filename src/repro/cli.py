@@ -16,7 +16,11 @@ Commands:
 * ``lint``     — static-analyse kernels: run example files under the
   diagnostic collector and/or lint the built-in filters, reporting
   ``HIPxxx`` findings as text, JSON or SARIF (see docs/DIAGNOSTICS.md);
-* ``cache``    — inspect or clear the on-disk compilation cache.
+* ``cache``    — inspect or clear the on-disk compilation cache;
+* ``trace``    — run a builtin filter (or the graph pipeline with
+  ``--graph``) under the :mod:`repro.obs` tracer and export the spans
+  as Chrome-trace/Perfetto JSON, structured JSON or a text tree (see
+  docs/OBSERVABILITY.md).
 
 ``codegen`` and ``demo`` accept ``--cache`` (content-addressed compile
 cache, optionally persisted with ``--cache-dir``) and ``--cache-stats``
@@ -174,7 +178,13 @@ def cmd_demo(args) -> int:
     return 0
 
 
-def cmd_graph(args) -> int:
+def build_edge_pipeline(size: int, device: str, backend: str):
+    """The edge-detection demo pipeline (median → sobel ×2 → magnitude
+    → scale → gamma) over a synthetic angiography frame.
+
+    Shared by ``repro graph`` and ``repro trace --graph``; returns the
+    graph and its output image.
+    """
     from .data.synthetic import angiography_image
     from .dsl import (Accessor, Boundary, BoundaryCondition, Image,
                       IterationSpace, Mask)
@@ -182,9 +192,9 @@ def cmd_graph(args) -> int:
     from .filters.point_ops import GammaCorrection, Scale
     from .filters.sobel import (SOBEL_X, SOBEL_Y, GradientMagnitude,
                                 SobelX, SobelY)
-    from .graph import PipelineGraph, execute_graph
+    from .graph import PipelineGraph
 
-    n = args.size
+    n = size
     frame = angiography_image(n, n, seed=0)
     src = Image(n, n, name="src")
     src.set_data(frame)
@@ -195,7 +205,7 @@ def cmd_graph(args) -> int:
     scaled = Image(n, n, name="scaled")
     out = Image(n, n, name="edges")
 
-    opts = dict(device=args.device, backend=args.backend)
+    opts = dict(device=device, backend=backend)
     g = PipelineGraph("edge-detection")
     g.add_kernel(Median3x3(IterationSpace(den), Accessor(
         BoundaryCondition(src, 3, 3, Boundary.CLAMP))), name="median",
@@ -212,6 +222,13 @@ def cmd_graph(args) -> int:
     g.add_kernel(GammaCorrection(IterationSpace(out), Accessor(scaled),
                                  gamma=0.8), name="gamma", **opts)
     g.mark_output(out)
+    return g, out
+
+
+def cmd_graph(args) -> int:
+    from .graph import execute_graph
+
+    g, out = build_edge_pipeline(args.size, args.device, args.backend)
 
     if args.dot:
         print(g.to_dot())
@@ -225,6 +242,47 @@ def cmd_graph(args) -> int:
     print(f"  output:  mean {edges.mean():.4f}, max {edges.max():.4f}")
     if args.cache_stats:
         _print_cache_stats(cache)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .cache import CompilationCache
+    from .obs import get_tracer, render, tracing
+
+    cache = _cache_from_args(args) or CompilationCache()
+    with tracing() as tracer:
+        if args.graph:
+            from .graph import execute_graph
+
+            g, _ = build_edge_pipeline(args.size, args.device,
+                                       args.backend)
+            report = execute_graph(g, cache=cache, workers=args.workers)
+            print(report.summary(), file=sys.stderr)
+        else:
+            from .data.synthetic import angiography_image
+            from .runtime.compile import compile_kernel
+
+            frame = angiography_image(args.size, args.size, seed=0)
+            kernel, _, _ = _build_filter(args.filter, args.size, "clamp",
+                                         frame)
+            # compile twice so the trace shows both the fresh pipeline
+            # and the cache-hit path, then one simulated launch
+            compile_kernel(kernel, backend=args.backend,
+                           device=args.device, cache=cache)
+            compiled = compile_kernel(kernel, backend=args.backend,
+                                      device=args.device, cache=cache)
+            compiled.execute()
+        assert tracer is get_tracer()
+        text = render(tracer, args.format)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            if not text.endswith("\n"):
+                fh.write("\n")
+        print(f"trace ({args.format}, {len(tracer)} spans) written to "
+              f"{args.out}", file=sys.stderr)
+    else:
+        print(text)
     return 0
 
 
@@ -487,6 +545,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cache directory (default: $REPRO_CACHE_DIR)")
     p.add_argument("--clear", action="store_true",
                    help="delete every stored entry")
+
+    p = sub.add_parser(
+        "trace",
+        help="run a workload under the tracer and export the spans")
+    p.add_argument("--filter", choices=FILTERS, default="gaussian",
+                   help="builtin filter to compile (twice: fresh + "
+                        "cache hit) and simulate")
+    p.add_argument("--graph", action="store_true",
+                   help="trace the edge-detection pipeline graph "
+                        "instead of a single filter")
+    p.add_argument("--backend", choices=["cuda", "opencl"],
+                   default="cuda")
+    p.add_argument("--device", default="Tesla C2050")
+    p.add_argument("--size", type=int, default=256)
+    p.add_argument("--workers", type=int, default=None,
+                   help="graph compile/execute thread count "
+                        "(with --graph)")
+    p.add_argument("--format", choices=["chrome", "text", "json"],
+                   default="chrome",
+                   help="chrome = Chrome-trace/Perfetto JSON (default)")
+    p.add_argument("--out", default=None,
+                   help="write the rendering here instead of stdout")
+    add_cache_flags(p)
     return parser
 
 
@@ -500,6 +581,7 @@ COMMANDS = {
     "figure4": cmd_figure4,
     "explore": cmd_explore,
     "cache": cmd_cache,
+    "trace": cmd_trace,
 }
 
 

@@ -19,11 +19,13 @@ buffer for a fresh allocation).
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import Dict, List, Tuple
 
 import numpy as np
 
 from ..dsl.image import Image
+from ..obs import span
 
 
 @dataclasses.dataclass
@@ -45,6 +47,18 @@ class PoolStats:
     @property
     def saved_bytes(self) -> int:
         return max(0, self.naive_bytes - self.peak_bytes)
+
+    def metrics(self) -> Dict[str, int]:
+        """The canonical ``pool.*`` metrics namespace
+        (:mod:`repro.obs.metrics`)."""
+        return {
+            "pool.naive_bytes": self.naive_bytes,
+            "pool.peak_bytes": self.peak_bytes,
+            "pool.current_bytes": self.current_bytes,
+            "pool.allocs": self.allocs,
+            "pool.reuses": self.reuses,
+            "pool.releases": self.releases,
+        }
 
     def summary(self) -> str:
         return (f"naive {self.naive_bytes / 1024:.1f} KiB -> peak "
@@ -69,6 +83,9 @@ class BufferPool:
             raise ValueError("bucket quantum must be positive")
         self.quantum = bucket_quantum
         self.stats = PoolStats()
+        # one lock guards the free lists, the live map and the stats:
+        # the scheduler binds/releases from parallel branch workers
+        self._lock = threading.Lock()
         self._free: Dict[int, List[np.ndarray]] = {}
         # id(image) -> (raw byte buffer, bucket size)
         self._live: Dict[int, Tuple[np.ndarray, int]] = {}
@@ -82,39 +99,68 @@ class BufferPool:
 
     def bind(self, image: Image, alignment: int = 1) -> None:
         """Back *image* with a pooled buffer padded to *alignment*."""
-        if id(image) in self._live:
-            return
-        stride = self.padded_stride(image.width, alignment)
-        nbytes = image.height * stride * image.pixel_type.np_dtype.itemsize
-        bucket = self._bucket(nbytes)
-        free = self._free.get(bucket)
-        if free:
-            raw = free.pop()
-            self.stats.reuses += 1
-        else:
-            raw = np.empty(bucket, dtype=np.uint8)
-            self.stats.allocs += 1
-        view = raw[:nbytes].view(image.pixel_type.np_dtype)
-        view = view.reshape(image.height, stride)
-        view.fill(0)                      # fresh-Image semantics
-        image._data = view
-        image._stride = stride
-        self._live[id(image)] = (raw, bucket)
-        self.stats.current_bytes += bucket
-        self.stats.peak_bytes = max(self.stats.peak_bytes,
-                                    self.stats.current_bytes)
+        with span("pool.bind", image=image.name) as sp:
+            with self._lock:
+                if id(image) in self._live:
+                    return
+                stride = self.padded_stride(image.width, alignment)
+                nbytes = (image.height * stride
+                          * image.pixel_type.np_dtype.itemsize)
+                bucket = self._bucket(nbytes)
+                free = self._free.get(bucket)
+                if free:
+                    raw = free.pop()
+                    self.stats.reuses += 1
+                else:
+                    raw = np.empty(bucket, dtype=np.uint8)
+                    self.stats.allocs += 1
+                self._live[id(image)] = (raw, bucket)
+                self.stats.current_bytes += bucket
+                self.stats.peak_bytes = max(self.stats.peak_bytes,
+                                            self.stats.current_bytes)
+                sp.attrs["bytes"] = bucket
+            view = raw[:nbytes].view(image.pixel_type.np_dtype)
+            view = view.reshape(image.height, stride)
+            view.fill(0)                      # fresh-Image semantics
+            image._data = view
+            image._stride = stride
 
     def release(self, image: Image) -> None:
-        """Return *image*'s pooled backing to the free list (no-op for
-        images this pool never bound, e.g. graph inputs/outputs)."""
-        entry = self._live.pop(id(image), None)
-        if entry is None:
-            return
-        raw, bucket = entry
-        self._free.setdefault(bucket, []).append(raw)
-        self.stats.current_bytes -= bucket
-        self.stats.releases += 1
+        """Return *image*'s pooled backing to the free list.
+
+        Idempotent by construction: the second release of an image (and
+        a release of one this pool never bound — graph inputs/outputs)
+        is a no-op that touches neither the free lists nor the stats,
+        so ``current_bytes``/``releases`` cannot drift negative.
+        """
+        with span("pool.release", image=image.name) as sp:
+            with self._lock:
+                entry = self._live.pop(id(image), None)
+                if entry is None:
+                    return
+                raw, bucket = entry
+                self._free.setdefault(bucket, []).append(raw)
+                self.stats.current_bytes -= bucket
+                self.stats.releases += 1
+                sp.attrs["bytes"] = bucket
+
+    def release_all(self) -> int:
+        """Release every live binding; returns how many were released.
+
+        The scheduler's error path runs this so an execution that dies
+        mid-schedule still returns ``current_bytes`` to zero instead of
+        leaking the not-yet-consumed intermediates.
+        """
+        with self._lock:
+            live = list(self._live.values())
+            self._live.clear()
+            for raw, bucket in live:
+                self._free.setdefault(bucket, []).append(raw)
+                self.stats.current_bytes -= bucket
+                self.stats.releases += 1
+        return len(live)
 
     @property
     def live_count(self) -> int:
-        return len(self._live)
+        with self._lock:
+            return len(self._live)

@@ -33,6 +33,14 @@ class NodeReport:
     compile_ms: float
     from_cache: bool
     fused_from: Tuple[str, ...] = ()
+    #: wall-clock ms of the node's ``graph.node`` span (bind + simulate
+    #: + release) — host time, distinct from the modelled ``time_ms``
+    wall_ms: float = 0.0
+    #: the compile's per-stage wall-clock view
+    #: (:data:`repro.obs.schema.TIMING_KEYS` schema — identical key set
+    #: on fresh and cached compiles)
+    stage_timings: Dict[str, float] = dataclasses.field(
+        default_factory=dict)
 
     def row(self) -> str:
         origin = "cache" if self.from_cache else "fresh"
@@ -56,7 +64,7 @@ class GraphReport:
     compile_wall_ms: float
     #: wall-clock ms to execute the schedule
     execute_wall_ms: float
-    cache_stats: Optional[Dict[str, int]] = None
+    cache_stats: Optional[Dict[str, float]] = None
     #: HIP3xx graph-lint findings (:mod:`repro.lint`), recorded after
     #: fusion so missed-fusion explanations refer to the final schedule
     diagnostics: List = dataclasses.field(default_factory=list)
@@ -73,6 +81,34 @@ class GraphReport:
     @property
     def cache_hits(self) -> int:
         return sum(1 for n in self.nodes if n.from_cache)
+
+    def metrics(self) -> Dict[str, float]:
+        """The canonical ``graph.*`` metrics namespace, folded together
+        with the run's ``pool.*`` and ``cache.*`` counters — one flat
+        dict under the documented schema (docs/OBSERVABILITY.md)."""
+        out: Dict[str, float] = {
+            "graph.launches": self.launches,
+            "graph.fused_away": self.fusion.launches_saved,
+            "graph.cache_hits": self.cache_hits,
+            "graph.compile_wall_ms": self.compile_wall_ms,
+            "graph.execute_wall_ms": self.execute_wall_ms,
+            "graph.device_ms": self.total_device_ms,
+        }
+        out.update(self.pool.metrics())
+        if self.cache_stats is not None:
+            out.update({
+                "cache.ir.hits": self.cache_stats.get("hits", 0),
+                "cache.ir.disk_hits": self.cache_stats.get("disk_hits", 0),
+                "cache.ir.misses": self.cache_stats.get("misses", 0),
+                "cache.ir.stores": self.cache_stats.get("stores", 0),
+                "cache.ir.hit_rate":
+                    self.cache_stats.get("ir_hit_rate", 0.0),
+                "cache.frontend.hits":
+                    self.cache_stats.get("frontend_hits", 0),
+                "cache.frontend.hit_rate":
+                    self.cache_stats.get("frontend_hit_rate", 0.0),
+            })
+        return out
 
     def node(self, name: str) -> NodeReport:
         for n in self.nodes:
@@ -97,7 +133,10 @@ class GraphReport:
                 f"  cache:   hits={cs.get('hits', 0)} "
                 f"misses={cs.get('misses', 0)} "
                 f"stores={cs.get('stores', 0)} "
-                f"frontend_hits={cs.get('frontend_hits', 0)}")
+                f"ir_hit_rate={cs.get('ir_hit_rate', 0.0):.1%} "
+                f"frontend_hits={cs.get('frontend_hits', 0)} "
+                f"frontend_hit_rate="
+                f"{cs.get('frontend_hit_rate', 0.0):.1%}")
         if self.diagnostics:
             lines.append(f"  lint:    {len(self.diagnostics)} finding(s)")
             for d in self.diagnostics:

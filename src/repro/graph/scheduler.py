@@ -18,18 +18,24 @@ The scheduler turns the declarative graph into launches:
   after its last consumer finishes, so peak footprint follows the live
   set of the schedule instead of the edge count.
 
-The returned :class:`~repro.graph.report.GraphReport` aggregates the
-per-node timing breakdowns, cache hits, launch counts and pool/fusion
-stats that the ``repro graph`` CLI prints.
+Every phase runs under a :mod:`repro.obs` span (``graph.validate`` →
+``graph.fuse`` → ``graph.lint`` → ``graph.compile`` → ``graph.schedule``
+with one ``graph.node`` per launch); work submitted to the thread pools
+carries the submitting span's id so worker-thread spans stitch back
+under the scheduler in the exported trace.  The returned
+:class:`~repro.graph.report.GraphReport` aggregates the per-node timing
+breakdowns, cache hits, launch counts and pool/fusion stats that the
+``repro graph`` CLI prints.
 """
 
 from __future__ import annotations
 
-import time
+import threading
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from typing import Dict, Optional, Union
 
 from ..cache.store import CompilationCache, get_default_cache
+from ..obs import child_of, current_id, get_registry, span
 from ..runtime.compile import compile_ir, compile_kernel
 from ..sim.launch import padding_alignment
 from .builder import GraphNode, PipelineGraph
@@ -47,15 +53,27 @@ def _resolve_cache(cache: Union[None, bool, CompilationCache]
     return cache
 
 
+def _resolve_pool(pool: Union[bool, BufferPool]) -> Optional[BufferPool]:
+    """``True`` = fresh arena, ``False`` = unpooled, or bring your own
+    (tests inspect a passed-in pool's stats after error paths)."""
+    if pool is True:
+        return BufferPool()
+    if pool is False:
+        return None
+    return pool
+
+
 def _compile_node(node: GraphNode,
                   store: Optional[CompilationCache]) -> None:
     options = dict(node.options)
-    if node.is_fused:
-        node.compiled = compile_ir(
-            node.ir, node.accessor_objs, node.iteration_space,
-            cache=store, **options)
-    else:
-        node.compiled = compile_kernel(node.kernel, cache=store, **options)
+    with span("graph.node_compile", node=node.name):
+        if node.is_fused:
+            node.compiled = compile_ir(
+                node.ir, node.accessor_objs, node.iteration_space,
+                cache=store, **options)
+        else:
+            node.compiled = compile_kernel(node.kernel, cache=store,
+                                           **options)
 
 
 def compile_graph(graph: PipelineGraph,
@@ -64,55 +82,78 @@ def compile_graph(graph: PipelineGraph,
     """Compile every node (concurrently for ``workers != 1``) through one
     shared compilation cache; returns wall-clock milliseconds."""
     store = _resolve_cache(cache)
-    t0 = time.perf_counter()
-    pending = [n for n in graph.nodes if n.compiled is None]
-    if workers == 1 or len(pending) <= 1:
-        for node in pending:
-            _compile_node(node, store)
-    else:
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_compile_node, n, store)
-                       for n in pending]
-            for f in futures:
-                f.result()       # surface the first compile error
-    return (time.perf_counter() - t0) * 1e3
+    with span("graph.compile", graph=graph.name) as sp:
+        pending = [n for n in graph.nodes if n.compiled is None]
+        if workers == 1 or len(pending) <= 1:
+            for node in pending:
+                _compile_node(node, store)
+        else:
+            token = current_id()
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(_run_stitched, token,
+                                       _compile_node, n, store)
+                           for n in pending]
+                for f in futures:
+                    f.result()       # surface the first compile error
+    return sp.duration_ms
+
+
+def _run_stitched(token, fn, *args):
+    """Run *fn* in a worker thread with its spans parented to *token*."""
+    with child_of(token):
+        return fn(*args)
 
 
 def execute_graph(graph: PipelineGraph,
                   cache: Union[None, bool, CompilationCache] = None,
                   workers: Optional[int] = None,
                   fuse: bool = True,
-                  pool: bool = True) -> GraphReport:
+                  pool: Union[bool, BufferPool] = True) -> GraphReport:
     """Validate, fuse, compile and run *graph*; returns the
     :class:`GraphReport`.
 
     *workers* sizes both the compile pool and the execution pool
     (``1`` forces fully serial operation — useful as the determinism
-    baseline); *fuse* toggles point-operator fusion; *pool* toggles the
-    intermediate buffer arena.  *cache* is shared by every node compile
-    (``True`` = process default).
+    baseline; single-node graphs always run serially, no executor is
+    spun up for them); *fuse* toggles point-operator fusion; *pool*
+    toggles the intermediate buffer arena (or accepts a
+    :class:`~repro.graph.pool.BufferPool` to use).  *cache* is shared
+    by every node compile (``True`` = process default).
     """
-    graph.validate()
+    with span("graph.run", graph=graph.name) as run_span:
+        return _execute_graph(graph, cache, workers, fuse, pool, run_span)
+
+
+def _execute_graph(graph, cache, workers, fuse, pool,
+                   run_span) -> GraphReport:
+    with span("graph.validate", graph=graph.name):
+        graph.validate()
 
     fusion_stats = FusionStats(nodes_before=len(graph.nodes),
                                nodes_after=len(graph.nodes))
     if fuse:
-        fusion_stats = fuse_point_ops(graph)
-        graph.validate()         # a bad merge must fail loudly, not run
+        with span("graph.fuse"):
+            fusion_stats = fuse_point_ops(graph)
+            graph.validate()     # a bad merge must fail loudly, not run
 
     # graph lint runs after fusion so HIP302 explains exactly the pairs
     # the fuser declined, not ones it was about to merge anyway
     from ..lint import lint_graph
     from ..lint.collect import emit
-    graph_diags = lint_graph(graph)
-    emit(graph_diags)
+    with span("graph.lint"):
+        graph_diags = lint_graph(graph)
+        emit(graph_diags)
 
     store = _resolve_cache(cache)
     compile_wall_ms = compile_graph(graph, cache=store, workers=workers)
 
     # -- buffer lifetimes ---------------------------------------------------
-    arena = BufferPool() if pool else None
+    arena = _resolve_pool(pool)
     pool_stats = arena.stats if arena is not None else PoolStats()
+    registry = get_registry()
+    registry.register_source("pool", pool_stats.metrics)
+    if store is not None:
+        registry.register_source("cache", store.stats.metrics)
     intermediates = graph.intermediates()
     for img in intermediates:
         # naive baseline: every intermediate individually allocated at
@@ -128,30 +169,51 @@ def execute_graph(graph: PipelineGraph,
         pool_stats.peak_bytes = pool_stats.naive_bytes
     remaining_consumers: Dict[int, int] = {
         id(img): len(graph.consumers_of(img)) for img in intermediates}
+    # the decrement below is a read-modify-write racing across branch
+    # workers; without the lock two consumers finishing at once could
+    # both read the same count and either double-release a buffer or
+    # leak it (current_bytes drift)
+    consumers_lock = threading.Lock()
 
     order = graph.topological_order()
-    t0 = time.perf_counter()
+    node_wall_ms: Dict[str, float] = {}
 
     def run_node(node: GraphNode) -> None:
-        if arena is not None and any(node.output is img
-                                     for img in intermediates):
-            arena.bind(node.output,
-                       padding_alignment(node.compiled.device))
-        node.report = node.compiled.execute()
-        if arena is not None:
-            for img in node.inputs:
-                key = id(img)
-                if key in remaining_consumers:
-                    remaining_consumers[key] -= 1
-                    if remaining_consumers[key] == 0:
+        with span("graph.node", node=node.name) as sp:
+            if arena is not None and any(node.output is img
+                                         for img in intermediates):
+                arena.bind(node.output,
+                           padding_alignment(node.compiled.device))
+            node.report = node.compiled.execute()
+            if arena is not None:
+                for img in node.inputs:
+                    key = id(img)
+                    with consumers_lock:
+                        left = remaining_consumers.get(key)
+                        if left is None:
+                            continue
+                        left -= 1
+                        remaining_consumers[key] = left
+                    if left == 0:
                         arena.release(img)
+        node_wall_ms[node.name] = sp.duration_ms
 
-    if workers == 1:
-        for node in order:
-            run_node(node)
-    else:
-        _run_parallel(graph, order, run_node, workers)
-    exec_wall_ms = (time.perf_counter() - t0) * 1e3
+    with span("graph.schedule", workers=workers or 0) as sp:
+        try:
+            # match compile_graph's short-circuit: a single-node graph
+            # (or workers=1) runs serially — no executor for one launch
+            if workers == 1 or len(order) <= 1:
+                for node in order:
+                    run_node(node)
+            else:
+                _run_parallel(graph, order, run_node, workers)
+        finally:
+            if arena is not None:
+                # normal completion has already released everything via
+                # consumer counting; after a mid-schedule fault this is
+                # what returns current_bytes to zero
+                arena.release_all()
+    exec_wall_ms = sp.duration_ms
 
     node_reports = [
         NodeReport(
@@ -165,8 +227,10 @@ def execute_graph(graph: PipelineGraph,
             compile_ms=n.compiled.compile_ms,
             from_cache=n.compiled.from_cache,
             fused_from=n.fused_from,
+            wall_ms=node_wall_ms.get(n.name, 0.0),
+            stage_timings=dict(n.compiled.stage_timings),
         ) for n in order]
-    return GraphReport(
+    report = GraphReport(
         graph_name=graph.name,
         nodes=node_reports,
         fusion=fusion_stats,
@@ -176,6 +240,8 @@ def execute_graph(graph: PipelineGraph,
         cache_stats=(store.stats.as_dict() if store is not None else None),
         diagnostics=graph_diags,
     )
+    run_span.attrs["launches"] = report.launches
+    return report
 
 
 def _run_parallel(graph: PipelineGraph, order, run_node,
@@ -188,11 +254,17 @@ def _run_parallel(graph: PipelineGraph, order, run_node,
     for n in order:
         for d in deps[n.name]:
             dependents[d].append(n.name)
+    token = current_id()
     with ThreadPoolExecutor(max_workers=workers) as pool:
         running = {}
+
+        def submit(node):
+            fut = pool.submit(_run_stitched, token, run_node, node)
+            running[fut] = node.name
+
         for n in order:
             if not deps[n.name]:
-                running[pool.submit(run_node, n)] = n.name
+                submit(n)
         while running:
             done, _ = wait(running, return_when=FIRST_COMPLETED)
             for fut in done:
@@ -201,5 +273,4 @@ def _run_parallel(graph: PipelineGraph, order, run_node,
                 for dep_name in dependents[finished]:
                     deps[dep_name].discard(finished)
                     if not deps[dep_name]:
-                        running[pool.submit(run_node,
-                                            by_name[dep_name])] = dep_name
+                        submit(by_name[dep_name])

@@ -27,6 +27,7 @@ from ..dsl.boundary import Boundary
 from ..errors import LaunchError
 from ..hwmodel.device import DeviceSpec
 from ..ir.analysis import InstructionMix
+from ..obs import child_of, current_id, span
 from ..sim.timing import LaunchSpec, estimate_time
 from .heuristic import Candidate, candidate_configurations
 
@@ -102,6 +103,18 @@ def _evaluate_candidates(task: ExplorationTask,
     return points
 
 
+def _evaluate_chunk(task: ExplorationTask,
+                    candidates: Sequence[Candidate],
+                    parent_token: Optional[int] = None
+                    ) -> List[ExplorationPoint]:
+    """One worker's share, traced as ``explore.chunk`` and parented to
+    the submitting thread's ``explore`` span (thread pools only: a
+    process-pool worker has no tracer, so its spans are not recorded)."""
+    with child_of(parent_token):
+        with span("explore.chunk", candidates=len(candidates)):
+            return _evaluate_candidates(task, candidates)
+
+
 def _chunks(items: Sequence, n: int) -> List[List]:
     """Split *items* into at most *n* contiguous, near-equal chunks."""
     n = max(1, min(n, len(items)))
@@ -150,18 +163,22 @@ def explore_configurations(device: DeviceSpec,
         regs_per_thread=regs_per_thread, smem_per_block=smem_per_block)
     candidates = candidate_configurations(device, regs_per_thread,
                                           smem_per_block)
-    if not workers or workers <= 1 or len(candidates) < 2:
-        return _sorted_points(_evaluate_candidates(task, candidates))
+    with span("explore", device=device.name, backend=backend,
+              candidates=len(candidates)):
+        if not workers or workers <= 1 or len(candidates) < 2:
+            return _sorted_points(_evaluate_candidates(task, candidates))
 
-    pool_cls = (concurrent.futures.ProcessPoolExecutor if use_processes
-                else concurrent.futures.ThreadPoolExecutor)
-    chunks = _chunks(candidates, workers)
-    points: List[ExplorationPoint] = []
-    with pool_cls(max_workers=len(chunks)) as pool:
-        for chunk_points in pool.map(_evaluate_candidates,
-                                     [task] * len(chunks), chunks):
-            points.extend(chunk_points)
-    return _sorted_points(points)
+        token = current_id()
+        pool_cls = (concurrent.futures.ProcessPoolExecutor if use_processes
+                    else concurrent.futures.ThreadPoolExecutor)
+        chunks = _chunks(candidates, workers)
+        points: List[ExplorationPoint] = []
+        with pool_cls(max_workers=len(chunks)) as pool:
+            for chunk_points in pool.map(_evaluate_chunk,
+                                         [task] * len(chunks), chunks,
+                                         [token] * len(chunks)):
+                points.extend(chunk_points)
+        return _sorted_points(points)
 
 
 def run_exploration_task(task: ExplorationTask) -> List[ExplorationPoint]:

@@ -1,0 +1,46 @@
+"""Structured tracing and metrics for the whole runtime
+(docs/OBSERVABILITY.md).
+
+* :mod:`repro.obs.trace` — hierarchical spans with per-thread stacks
+  stitched across thread-pool boundaries by parent id;
+* :mod:`repro.obs.metrics` — the unified counter registry the cache,
+  buffer pool and scheduler export into;
+* :mod:`repro.obs.export` — Chrome-trace/Perfetto JSON, structured JSON
+  and text renderings;
+* :mod:`repro.obs.schema` — the stage-timings contract shared by the
+  fresh-compile and cache-hit paths, and the trace-document validator.
+"""
+
+from .export import (                              # noqa: F401
+    chrome_trace,
+    json_trace,
+    render,
+    stage_totals,
+    text_summary,
+    write_chrome_trace,
+)
+from .metrics import (                             # noqa: F401
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from .schema import (                              # noqa: F401
+    STAGE_KEYS,
+    STAGE_SPANS,
+    TIMING_KEYS,
+    normalize_stage_timings,
+    stage_sum_ms,
+    validate_chrome_trace,
+)
+from .trace import (                               # noqa: F401
+    Span,
+    Tracer,
+    child_of,
+    current_id,
+    disable,
+    enable,
+    enabled,
+    get_tracer,
+    span,
+    tracing,
+)

@@ -45,6 +45,7 @@ from ..hwmodel.resources import estimate_resources, smem_tile_bytes
 from ..ir.typecheck import typecheck_kernel
 from ..mapping.heuristic import select_configuration
 from ..mapping.optdb import default_database
+from ..obs import normalize_stage_timings, span
 from .program import CompiledKernel
 
 _DEFAULT_DEVICE = {"cuda": "Tesla C2050", "opencl": "Tesla C2050"}
@@ -62,18 +63,17 @@ def _verify(ir, options, *, strict: bool, timings) -> list:
     lint dirty (e.g. deliberate out-of-bounds reads under UNDEFINED
     boundary handling) must still compile exactly as before.
     """
-    import time as _time
     from ..errors import LintError
     from ..lint import Severity, lint_ir
     from ..lint.collect import emit
 
-    t0 = _time.perf_counter()
-    # the driver's IR is already typed: pass it as its own typed
-    # counterpart so the verify never re-runs the typechecker
-    diags = lint_ir(ir, typed=ir, block=options.block,
-                    use_smem=options.use_smem)
-    emit(diags)
-    timings["lint_ms"] = (_time.perf_counter() - t0) * 1e3
+    with span("compile.lint", kernel=ir.name) as sp:
+        # the driver's IR is already typed: pass it as its own typed
+        # counterpart so the verify never re-runs the typechecker
+        diags = lint_ir(ir, typed=ir, block=options.block,
+                        use_smem=options.use_smem)
+        emit(diags)
+    timings["lint_ms"] = sp.duration_ms
     if strict:
         worst = [d for d in diags if d.severity >= Severity.WARNING]
         if worst:
@@ -161,35 +161,39 @@ def compile_kernel(kernel: Kernel,
 
     timings: Dict[str, float] = {}
 
-    # ---- stage 1: frontend (memoised by kernel fingerprint) ---------------
-    t0 = time.perf_counter()
-    ir = None
-    ir_dig = None
-    fingerprint = None
-    if store is not None:
-        fingerprint = kernel_fingerprint(kernel, bake_params=bake_params)
-        if fingerprint is not None:
-            memo = store.frontend_get(fingerprint)
-            if memo is not None:
-                ir_dig, ir = memo
-    if ir is None:
-        ir = typecheck_kernel(parse_kernel(kernel, bake_params=bake_params))
-        if store is not None:
-            ir_dig = ir_digest(ir)
-            if fingerprint is not None:
-                store.frontend_put(fingerprint, ir_dig, ir)
-    timings["frontend_ms"] = (time.perf_counter() - t0) * 1e3
+    with span("compile", backend=backend, device=dev.name) as root:
+        # ---- stage 1: frontend (memoised by kernel fingerprint) -----------
+        with span("compile.frontend") as sp:
+            ir = None
+            ir_dig = None
+            fingerprint = None
+            if store is not None:
+                fingerprint = kernel_fingerprint(kernel,
+                                                 bake_params=bake_params)
+                if fingerprint is not None:
+                    memo = store.frontend_get(fingerprint)
+                    if memo is not None:
+                        ir_dig, ir = memo
+            if ir is None:
+                ir = typecheck_kernel(
+                    parse_kernel(kernel, bake_params=bake_params))
+                if store is not None:
+                    ir_dig = ir_digest(ir)
+                    if fingerprint is not None:
+                        store.frontend_put(fingerprint, ir_dig, ir)
+        timings["frontend_ms"] = sp.duration_ms
+        root.attrs["kernel"] = ir.name
 
-    return _compile_from_ir(
-        ir, accessor_objects(kernel), kernel.iteration_space,
-        dev=dev, backend=backend, block=block, border=border,
-        use_texture=use_texture, use_smem=use_smem,
-        mask_memory=mask_memory, unroll=unroll,
-        fold_constants=fold_constants, fast_math=fast_math,
-        emit_config_macros=emit_config_macros, vectorize=vectorize,
-        pixels_per_thread=pixels_per_thread, bake_params=bake_params,
-        store=store, ir_dig=ir_dig, timings=timings, t_start=t_start,
-        strict=strict)
+        return _compile_from_ir(
+            ir, accessor_objects(kernel), kernel.iteration_space,
+            dev=dev, backend=backend, block=block, border=border,
+            use_texture=use_texture, use_smem=use_smem,
+            mask_memory=mask_memory, unroll=unroll,
+            fold_constants=fold_constants, fast_math=fast_math,
+            emit_config_macros=emit_config_macros, vectorize=vectorize,
+            pixels_per_thread=pixels_per_thread, bake_params=bake_params,
+            store=store, ir_dig=ir_dig, timings=timings, t_start=t_start,
+            strict=strict, root_span=root)
 
 
 def compile_ir(ir,
@@ -228,27 +232,29 @@ def compile_ir(ir,
         raise DslError(
             f"{dev.name} does not support the {backend} backend")
     store = _resolve_cache(cache)
-    ir_dig = None
-    if store is not None:
-        # digest the pre-analysis form: codegen fills AccessorInfo
-        # is_read/is_written in place, and compile_kernel hashes before
-        # that happens — normalising keeps the two paths' keys identical
-        # and makes repeated compile_ir calls on one IR object stable
-        import dataclasses as _dc
-        pristine = _dc.replace(ir, accessors=[
-            _dc.replace(a, is_read=False, is_written=False)
-            for a in ir.accessors])
-        ir_dig = ir_digest(pristine)
-    return _compile_from_ir(
-        ir, dict(accessors), iteration_space,
-        dev=dev, backend=backend, block=block, border=border,
-        use_texture=use_texture, use_smem=use_smem,
-        mask_memory=mask_memory, unroll=unroll,
-        fold_constants=fold_constants, fast_math=fast_math,
-        emit_config_macros=emit_config_macros, vectorize=vectorize,
-        pixels_per_thread=pixels_per_thread, bake_params=True,
-        store=store, ir_dig=ir_dig, timings={}, t_start=t_start,
-        strict=strict)
+    with span("compile", kernel=ir.name, backend=backend,
+              device=dev.name) as root:
+        ir_dig = None
+        if store is not None:
+            # digest the pre-analysis form: codegen fills AccessorInfo
+            # is_read/is_written in place, and compile_kernel hashes before
+            # that happens — normalising keeps the two paths' keys identical
+            # and makes repeated compile_ir calls on one IR object stable
+            import dataclasses as _dc
+            pristine = _dc.replace(ir, accessors=[
+                _dc.replace(a, is_read=False, is_written=False)
+                for a in ir.accessors])
+            ir_dig = ir_digest(pristine)
+        return _compile_from_ir(
+            ir, dict(accessors), iteration_space,
+            dev=dev, backend=backend, block=block, border=border,
+            use_texture=use_texture, use_smem=use_smem,
+            mask_memory=mask_memory, unroll=unroll,
+            fold_constants=fold_constants, fast_math=fast_math,
+            emit_config_macros=emit_config_macros, vectorize=vectorize,
+            pixels_per_thread=pixels_per_thread, bake_params=True,
+            store=store, ir_dig=ir_dig, timings={}, t_start=t_start,
+            strict=strict, root_span=root)
 
 
 def _compile_from_ir(ir, accessor_objs, iteration_space, *,
@@ -257,9 +263,16 @@ def _compile_from_ir(ir, accessor_objs, iteration_space, *,
                      unroll, fold_constants, fast_math, emit_config_macros,
                      vectorize, pixels_per_thread, bake_params,
                      store, ir_dig, timings, t_start,
-                     strict=False) -> CompiledKernel:
+                     strict=False, root_span=None) -> CompiledKernel:
     """Stages 2-6 of the driver, shared by :func:`compile_kernel` (after
-    its frontend stage) and :func:`compile_ir` (no frontend at all)."""
+    its frontend stage) and :func:`compile_ir` (no frontend at all).
+
+    Stage wall-clocks are measured by :mod:`repro.obs` spans; *timings*
+    is the dict view over them, normalised to the full
+    :data:`~repro.obs.schema.STAGE_KEYS` schema before it reaches the
+    :class:`CompiledKernel` so the cache-hit and fresh paths can never
+    emit different key sets again.
+    """
     window = _max_window(ir)
     geometry = (iteration_space.width, iteration_space.height)
 
@@ -288,28 +301,28 @@ def _compile_from_ir(ir, accessor_objs, iteration_space, *,
     # ---- cache lookup -----------------------------------------------------
     key = None
     if store is not None:
-        t0 = time.perf_counter()
-        from .. import __version__
-        request = {
-            "geometry": list(geometry),
-            "block": list(block) if block is not None else "auto",
-            "border": border_mode.value,
-            "use_texture": use_texture,
-            "use_smem": use_smem,
-            "mask_memory": (mask_memory.value
-                            if isinstance(mask_memory, MaskMemory)
-                            else mask_memory),
-            "unroll": unroll,
-            "fold_constants": fold_constants,
-            "fast_math": fast_math,
-            "emit_config_macros": emit_config_macros,
-            "vectorize": vectorize,
-            "pixels_per_thread": pixels_per_thread,
-            "bake_params": bake_params,
-        }
-        key = compute_key(ir_dig, dev, backend, request, __version__)
-        payload = store.get(key)
-        timings["cache_lookup_ms"] = (time.perf_counter() - t0) * 1e3
+        with span("compile.cache_lookup") as sp:
+            from .. import __version__
+            request = {
+                "geometry": list(geometry),
+                "block": list(block) if block is not None else "auto",
+                "border": border_mode.value,
+                "use_texture": use_texture,
+                "use_smem": use_smem,
+                "mask_memory": (mask_memory.value
+                                if isinstance(mask_memory, MaskMemory)
+                                else mask_memory),
+                "unroll": unroll,
+                "fold_constants": fold_constants,
+                "fast_math": fast_math,
+                "emit_config_macros": emit_config_macros,
+                "vectorize": vectorize,
+                "pixels_per_thread": pixels_per_thread,
+                "bake_params": bake_params,
+            }
+            key = compute_key(ir_dig, dev, backend, request, __version__)
+            payload = store.get(key)
+        timings["cache_lookup_ms"] = sp.duration_ms
         if payload is not None:
             try:
                 final, options, resources, selected_occ = \
@@ -323,6 +336,9 @@ def _compile_from_ir(ir, accessor_objs, iteration_space, *,
         if payload is not None:
             diags = _verify(ir, options, strict=strict, timings=timings)
             timings["total_ms"] = (time.perf_counter() - t_start) * 1e3
+            timings = normalize_stage_timings(timings)
+            if root_span is not None:
+                root_span.attrs["from_cache"] = True
             return CompiledKernel(
                 ir=ir,
                 source=final,
@@ -355,54 +371,59 @@ def _compile_from_ir(ir, accessor_objs, iteration_space, *,
     )
 
     # first pass: default configuration, to learn resource usage
-    t0 = time.perf_counter()
-    provisional = generate(ir, options, launch_geometry=geometry)
-    timings["codegen_provisional_ms"] = (time.perf_counter() - t0) * 1e3
+    with span("compile.codegen_provisional") as sp:
+        provisional = generate(ir, options, launch_geometry=geometry)
+    timings["codegen_provisional_ms"] = sp.duration_ms
     smem_bytes = provisional.smem_bytes
-    t0 = time.perf_counter()
-    resources = estimate_resources(
-        ir, dev,
-        use_texture=use_texture,
-        use_smem=use_smem,
-        border_variants=provisional.num_variants,
-        smem_bytes=smem_bytes,
-        unrolled=unroll,
-    )
-    timings["resources_ms"] = (time.perf_counter() - t0) * 1e3
+    with span("compile.resources") as sp:
+        resources = estimate_resources(
+            ir, dev,
+            use_texture=use_texture,
+            use_smem=use_smem,
+            border_variants=provisional.num_variants,
+            smem_bytes=smem_bytes,
+            unrolled=unroll,
+        )
+    timings["resources_ms"] = sp.duration_ms
 
     selected_occ = 0.0
     if block is None:
         # Algorithm 2
-        t0 = time.perf_counter()
-        if use_smem:
-            # staging tile size depends on the block; pass the default
-            # block's demand as the constraint
-            smem_for_select = smem_tile_bytes(options.block, window, 4)
-        else:
-            smem_for_select = 0
-        selection = select_configuration(
-            dev, resources.registers_per_thread, smem_for_select,
-            border_handling=(border_mode == BorderMode.SPECIALIZED
-                             and window != (1, 1)),
-            image_size=geometry,
-            window=window,
-        )
-        options.block = selection.block
-        selected_occ = selection.occupancy
-        timings["select_ms"] = (time.perf_counter() - t0) * 1e3
+        with span("compile.select") as sp:
+            if use_smem:
+                # staging tile size depends on the block; pass the default
+                # block's demand as the constraint
+                smem_for_select = smem_tile_bytes(options.block, window, 4)
+            else:
+                smem_for_select = 0
+            selection = select_configuration(
+                dev, resources.registers_per_thread, smem_for_select,
+                border_handling=(border_mode == BorderMode.SPECIALIZED
+                                 and window != (1, 1)),
+                image_size=geometry,
+                window=window,
+            )
+            options.block = selection.block
+            selected_occ = selection.occupancy
+        timings["select_ms"] = sp.duration_ms
         # regenerate with the final configuration (the paper regenerates
         # because the dispatch constants depend on the tiling)
-        t0 = time.perf_counter()
-        final = generate(ir, options, launch_geometry=geometry)
-        timings["codegen_final_ms"] = (time.perf_counter() - t0) * 1e3
+        with span("compile.codegen_final") as sp:
+            final = generate(ir, options, launch_geometry=geometry)
+        timings["codegen_final_ms"] = sp.duration_ms
     else:
         final = provisional
 
     if store is not None and key is not None:
-        store.put(key, entry_to_dict(final, resources, selected_occ))
+        with span("compile.store") as sp:
+            store.put(key, entry_to_dict(final, resources, selected_occ))
+        timings["store_ms"] = sp.duration_ms
 
     diags = _verify(ir, options, strict=strict, timings=timings)
     timings["total_ms"] = (time.perf_counter() - t_start) * 1e3
+    timings = normalize_stage_timings(timings)
+    if root_span is not None:
+        root_span.attrs["from_cache"] = False
     return CompiledKernel(
         ir=ir,
         source=final,

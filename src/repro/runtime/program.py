@@ -16,6 +16,7 @@ from ..dsl.iteration_space import IterationSpace
 from ..hwmodel.device import DeviceSpec
 from ..hwmodel.resources import ResourceUsage
 from ..ir.nodes import KernelIR
+from ..obs import span
 from ..sim.launch import LaunchResult, simulate_launch
 from ..sim.timing import LaunchSpec, TimingBreakdown, estimate_time
 
@@ -52,14 +53,21 @@ class CompiledKernel:
     #: True when this artifact was served from the cache rather than
     #: produced by running the pipeline
     from_cache: bool = False
-    #: wall-clock milliseconds per pipeline stage for this compile
-    #: (frontend_ms, cache_lookup_ms, codegen_provisional_ms,
-    #: resources_ms, select_ms, codegen_final_ms, total_ms)
+    #: wall-clock milliseconds per pipeline stage for this compile.  A
+    #: view over the ``compile.*`` spans (:mod:`repro.obs`): always the
+    #: full :data:`~repro.obs.schema.TIMING_KEYS` schema, with stages
+    #: this path skipped present as ``0.0`` — the cache-hit and fresh
+    #: paths emit the identical key set (see docs/OBSERVABILITY.md)
     stage_timings: Dict[str, float] = dataclasses.field(
         default_factory=dict)
     #: lint findings from the always-on compile-time verify
     #: (:mod:`repro.lint`); populated on fresh and cached compiles alike
     diagnostics: list = dataclasses.field(default_factory=list)
+
+    @property
+    def timings(self) -> Dict[str, float]:
+        """Alias for :attr:`stage_timings` (the documented schema name)."""
+        return self.stage_timings
 
     @property
     def compile_ms(self) -> float:
@@ -123,13 +131,16 @@ class CompiledKernel:
         The output lands in the iteration space's image (as the C++
         framework's ``execute()`` would leave it on the device).
         """
-        launch = simulate_launch(
-            self.ir, self.accessors, self.iteration_space, self.options,
-            self.device,
-            regs_per_thread=self.resources.registers_per_thread,
-            smem_per_block=self.source.smem_bytes,
-        )
-        timing = self.estimate_time()
+        with span("exec.launch", kernel=self.ir.name,
+                  device=self.device.name):
+            launch = simulate_launch(
+                self.ir, self.accessors, self.iteration_space,
+                self.options, self.device,
+                regs_per_thread=self.resources.registers_per_thread,
+                smem_per_block=self.source.smem_bytes,
+            )
+        with span("exec.timing", kernel=self.ir.name):
+            timing = self.estimate_time()
         launch.estimated_ms = timing.total_ms
         return ExecutionReport(
             launch=launch,

@@ -385,11 +385,18 @@ def evaluate_body(kernel: KernelIR, accessors: Dict[str, Accessor],
                   side_x: Side = Side.BOTH, side_y: Side = Side.BOTH,
                   faults_on_oob: bool = False) -> np.ndarray:
     """Evaluate *kernel* for pixels (gx, gy); returns the output values
-    (same shape as gx) in the kernel's pixel type."""
-    ctx = ExecutionContext(kernel, accessors, gx, gy, side_x, side_y,
-                           faults_on_oob)
-    env: Dict[str, object] = {}
-    ctx.run_body(kernel.body, env)
+    (same shape as gx) in the kernel's pixel type.
+
+    Each evaluation (one border region of one launch) is recorded as a
+    ``sim.evaluate`` span, so a trace of ``execute()`` shows where the
+    simulated device time actually went region by region.
+    """
+    from ..obs import span
+    with span("sim.evaluate", kernel=kernel.name, pixels=int(gx.size)):
+        ctx = ExecutionContext(kernel, accessors, gx, gy, side_x, side_y,
+                               faults_on_oob)
+        env: Dict[str, object] = {}
+        ctx.run_body(kernel.body, env)
     if _OUTPUT_SLOT not in env:
         raise VerificationError(
             f"kernel {kernel.name!r} did not write output()")

@@ -245,7 +245,19 @@ def _traffic_bytes_per_pixel(spec: LaunchSpec) -> float:
 
 
 def estimate_time(spec: LaunchSpec) -> TimingBreakdown:
-    """Estimate one kernel launch (see module docstring)."""
+    """Estimate one kernel launch (see module docstring).
+
+    Recorded as a ``sim.estimate`` span when tracing is enabled; the
+    model itself keeps no timing state of its own (the old ad-hoc
+    perf-counter dicts are gone — :mod:`repro.obs` is the one clock).
+    """
+    from ..obs import span as _span
+    with _span("sim.estimate", device=spec.device.name,
+               backend=spec.backend):
+        return _estimate_time(spec)
+
+
+def _estimate_time(spec: LaunchSpec) -> TimingBreakdown:
     dev = spec.device
     if not dev.supports_backend(spec.backend):
         raise LaunchError(

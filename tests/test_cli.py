@@ -94,3 +94,64 @@ class TestCli:
             capture_output=True, text=True, timeout=120)
         assert result.returncode == 0
         assert "Tesla C2050" in result.stdout
+
+
+class TestTraceCommand:
+    def test_trace_chrome_to_stdout_validates(self):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        code, out = run_cli("trace", "--size", "64")
+        assert code == 0
+        doc = json.loads(out)
+        assert validate_chrome_trace(doc) == []
+        names = {e["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "X"}
+        # fresh compile + cache hit + one simulated launch
+        for expected in ("compile", "compile.frontend",
+                         "compile.cache_lookup", "compile.store",
+                         "exec.launch", "sim.evaluate"):
+            assert expected in names, expected
+        assert "metrics" in doc["otherData"]
+
+    def test_trace_text_format(self):
+        code, out = run_cli("trace", "--size", "64", "--format", "text")
+        assert code == 0
+        assert out.startswith("trace ")
+        assert "compile.codegen_final" in out
+
+    def test_trace_json_format(self):
+        import json
+
+        code, out = run_cli("trace", "--size", "64", "--format", "json")
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["spans"][0]["name"] == "compile"
+
+    def test_trace_graph_to_file(self, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        path = tmp_path / "graph-trace.json"
+        code, out = run_cli("trace", "--graph", "--workers", "2",
+                            "--size", "64", "--out", str(path))
+        assert code == 0
+        assert out == ""          # rendering went to the file
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        assert validate_chrome_trace(doc) == []
+        names = {e["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "X"}
+        for expected in ("graph.run", "graph.compile", "graph.schedule",
+                         "graph.node", "pool.bind"):
+            assert expected in names, expected
+
+    def test_cache_stats_prints_split_hit_rates(self, capsys):
+        code, _ = run_cli("demo", "--filter", "gaussian", "--size",
+                          "64", "--cache", "--cache-stats")
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "ir_hit_rate=" in err
+        assert "frontend_hit_rate=" in err

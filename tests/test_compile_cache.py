@@ -330,3 +330,66 @@ class TestEviction:
         assert cache.stats.stores == 2
         assert cache.stats.disk_writes == 2
         assert cache.get(key_a) == {"payload": "a"}
+
+
+class TestHitRates:
+    """`ir_hit_rate` vs `frontend_hit_rate` (previously one conflated
+    `hit_rate`/`total` that silently mixed both counter families)."""
+
+    def _compile(self, cache, backend="cuda"):
+        return compile_kernel(make_gaussian(32, 32, size=3)[0],
+                              backend=backend, device="Tesla C2050",
+                              cache=cache)
+
+    def test_rates_track_their_own_counter_families(self):
+        cache = CompilationCache()
+        assert not self._compile(cache).from_cache
+        assert self._compile(cache).from_cache
+        s = cache.stats
+        assert (s.hits + s.disk_hits, s.misses) == (1, 1)
+        assert s.ir_hit_rate == 0.5
+        assert (s.frontend_hits, s.frontend_misses) == (1, 1)
+        assert s.frontend_hit_rate == 0.5
+
+    def test_frontend_traffic_does_not_skew_ir_rate(self):
+        # same kernel for two backends: the frontend memo hits while
+        # the artifact store misses — exactly the shape the old single
+        # hit_rate misreported
+        cache = CompilationCache()
+        self._compile(cache, backend="cuda")
+        self._compile(cache, backend="opencl")
+        s = cache.stats
+        assert (s.hits, s.misses) == (0, 2)
+        assert s.ir_hit_rate == 0.0
+        assert (s.frontend_hits, s.frontend_misses) == (1, 1)
+        assert s.frontend_hit_rate == 0.5
+
+    def test_alias_dict_and_summary_expose_both_rates(self):
+        from repro.cache.store import CacheStats
+
+        s = CacheStats(hits=3, misses=1, frontend_hits=5)
+        assert s.hit_rate == s.ir_hit_rate == 0.75     # legacy alias
+        assert s.frontend_hit_rate == 1.0
+        d = s.as_dict()
+        assert d["ir_hit_rate"] == 0.75
+        assert d["frontend_hit_rate"] == 1.0
+        assert "ir_hit_rate=75.0%" in s.summary()
+        assert "frontend_hit_rate=100.0%" in s.summary()
+
+    def test_zero_lookup_rates_are_zero(self):
+        from repro.cache.store import CacheStats
+
+        s = CacheStats()
+        assert s.ir_hit_rate == 0.0
+        assert s.frontend_hit_rate == 0.0
+        assert s.lookups == 0 and s.frontend_lookups == 0
+
+    def test_metrics_namespace(self):
+        from repro.cache.store import CacheStats
+
+        s = CacheStats(hits=2, misses=2, frontend_hits=1,
+                       frontend_misses=1)
+        m = s.metrics()
+        assert m["cache.ir.hit_rate"] == 0.5
+        assert m["cache.frontend.hit_rate"] == 0.5
+        assert all(k.startswith("cache.") for k in m)

@@ -156,3 +156,82 @@ def test_rerun_same_graph_hits_cache(frame):
     result, second = _graph_run(frame, workers=1, cache=cache)
     assert second.cache_hits == second.launches
     assert np.array_equal(result, _graph_run(frame, workers=1)[0])
+
+
+def test_single_node_graph_runs_serially(frame, monkeypatch):
+    """compile_graph and the schedule short-circuit identically: no
+    executor may be spun up for a single-node graph, whatever the
+    worker count (the execute side used to check only workers == 1)."""
+    import repro.graph.scheduler as sched
+
+    def forbidden(*args, **kwargs):
+        raise AssertionError(
+            "ThreadPoolExecutor constructed for a single-node graph")
+
+    monkeypatch.setattr(sched, "ThreadPoolExecutor", forbidden)
+    src = Image(W, H, float).set_data(frame)
+    out = Image(W, H, float)
+    g = PipelineGraph("single")
+    g.add_kernel(Scale(IterationSpace(out), Accessor(src), 2.0),
+                 name="only")
+    g.mark_output(out)
+    report = execute_graph(g, workers=8)
+    assert report.launches == 1
+    assert np.array_equal(out.get_data(), frame * np.float32(2.0))
+
+
+def test_pool_release_is_idempotent():
+    from repro.graph.pool import BufferPool
+
+    pool = BufferPool()
+    img = Image(64, 64, float, name="tmp")
+    pool.bind(img, 64)
+    assert pool.stats.current_bytes > 0
+    pool.release(img)
+    assert pool.stats.current_bytes == 0
+    pool.release(img)                   # second release: a no-op
+    assert pool.stats.current_bytes == 0
+    assert pool.stats.releases == 1
+    pool.release(Image(8, 8, float))    # never bound: also a no-op
+    assert pool.stats.releases == 1
+    assert pool.live_count == 0
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_pool_drains_after_every_execution(frame, workers):
+    from repro.graph.pool import BufferPool
+
+    arena = BufferPool()
+    _, report = _graph_run(frame, workers=workers, pool=arena)
+    assert report.pool is arena.stats
+    assert arena.stats.current_bytes == 0
+    assert arena.live_count == 0
+    assert arena.stats.releases == arena.stats.allocs \
+        + arena.stats.reuses
+
+
+def test_pool_drains_after_mid_schedule_error(frame):
+    """A node's kernel raising mid-schedule must not leak pooled
+    intermediates: current_bytes returns to 0 via the scheduler's
+    error-path drain."""
+    from repro.graph.pool import BufferPool
+    from repro.graph.scheduler import compile_graph
+
+    kernels, out = _edge_kernels(frame)
+    g = PipelineGraph("edge")
+    for k in kernels:
+        g.add_kernel(k, device="Tesla C2050")
+    g.mark_output(out)
+    compile_graph(g)
+    # magnitude fails after both sobel branches bound their buffers
+    victim = next(n for n in g.nodes if "Magnitude" in n.label())
+
+    def boom():
+        raise RuntimeError("injected launch fault")
+
+    victim.compiled.execute = boom
+    arena = BufferPool()
+    with pytest.raises(RuntimeError, match="injected launch fault"):
+        execute_graph(g, workers=1, fuse=False, pool=arena)
+    assert arena.stats.current_bytes == 0
+    assert arena.live_count == 0

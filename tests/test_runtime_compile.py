@@ -203,3 +203,49 @@ class TestExecute:
         k2, _, _ = _kernel(mode=Boundary.UNDEFINED)
         assert compile_kernel(k2, device="quadro") \
             .dominant_boundary_mode() == Boundary.UNDEFINED
+
+
+class TestStageTimingsSchema:
+    """Fresh and cache-hit compiles emit the identical timings schema.
+
+    Historically the cache-hit early return carried only
+    ``lint_ms``/``cache_lookup_ms``/``total_ms`` while the fresh path
+    carried the codegen stages and neither carried the other's keys, so
+    consumers summing stages against ``total_ms`` silently disagreed
+    between the two paths.  Every compile now normalizes onto
+    :data:`repro.obs.TIMING_KEYS` with skipped stages present as 0.0.
+    """
+
+    def test_fresh_and_cached_share_one_schema(self):
+        from repro import CompilationCache
+        from repro.obs import TIMING_KEYS, stage_sum_ms
+
+        cache = CompilationCache()
+        fresh = compile_kernel(_kernel()[0], cache=cache)
+        cached = compile_kernel(_kernel()[0], cache=cache)
+        assert not fresh.from_cache and cached.from_cache
+        assert set(fresh.stage_timings) == set(TIMING_KEYS)
+        assert set(cached.stage_timings) == set(TIMING_KEYS)
+        for compiled in (fresh, cached):
+            timings = compiled.stage_timings
+            assert all(v >= 0.0 for v in timings.values())
+            assert stage_sum_ms(timings) <= timings["total_ms"] + 0.05
+        # codegen never ran on the hit — present, but zero
+        assert cached.stage_timings["codegen_final_ms"] == 0.0
+        assert cached.stage_timings["select_ms"] == 0.0
+        assert fresh.stage_timings["codegen_final_ms"] > 0.0
+        assert cached.stage_timings["cache_lookup_ms"] >= 0.0
+
+    def test_uncached_compile_is_normalized_too(self):
+        from repro.obs import TIMING_KEYS
+
+        timings = compile_kernel(_kernel()[0]).stage_timings
+        assert set(timings) == set(TIMING_KEYS)
+        # no cache attached: lookup/store are schema-present zeros
+        assert timings["cache_lookup_ms"] == 0.0
+        assert timings["store_ms"] == 0.0
+        assert timings["frontend_ms"] > 0.0
+
+    def test_timings_property_aliases_stage_timings(self):
+        compiled = compile_kernel(_kernel()[0])
+        assert compiled.timings == compiled.stage_timings
