@@ -22,6 +22,10 @@ def pytest_addoption(parser):
 
 
 def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "requires_cc: test needs a C compiler on PATH (skipped when "
+        "repro.runtime.native.find_c_compiler() finds none)")
     try:
         from hypothesis import settings
     except ImportError:
@@ -29,6 +33,20 @@ def pytest_configure(config):
     settings.register_profile("repro", derandomize=True, deadline=None,
                               print_blob=True)
     settings.load_profile("repro")
+
+
+def pytest_collection_modifyitems(config, items):
+    import pytest
+
+    marked = [it for it in items if it.get_closest_marker("requires_cc")]
+    if not marked:
+        return
+    from repro.runtime.native import find_c_compiler
+    if find_c_compiler() is not None:
+        return
+    skip = pytest.mark.skip(reason="no C compiler on PATH")
+    for it in marked:
+        it.add_marker(skip)
 
 
 from tests.helpers import repro_seed  # noqa: E402,F401

@@ -13,6 +13,7 @@ constant memory is its L1), and the same ``bh_*`` helpers are emitted as
 
 from __future__ import annotations
 
+import dataclasses
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -32,6 +33,45 @@ from .base import (
 )
 from .border import BorderRegion, Side, classify_regions
 from .emitter import BH_HELPERS
+
+
+def cpu_common_preamble() -> List[str]:
+    """Lines shared by every CPU translation unit: includes, the
+    min/max macros and the ``bh_*`` boundary helpers.  Emitted once per
+    TU whether it holds one kernel (:meth:`CpuBackend.generate`) or a
+    whole graph (``runtime/native_graph.py``)."""
+    lines = [
+        "#include <math.h>",
+        "#include <stdlib.h>",
+        "#include <omp.h>",
+        "",
+        "// CUDA/OpenCL's polymorphic min/max as C99 macros; kernel",
+        "// expressions are pure, so double evaluation is safe",
+        "#ifndef min",
+        "#define min(a, b) ((a) < (b) ? (a) : (b))",
+        "#endif",
+        "#ifndef max",
+        "#define max(a, b) ((a) > (b) ? (a) : (b))",
+        "#endif",
+        "",
+        "// boundary index adjustment helpers",
+    ]
+    for name, args, body in BH_HELPERS:
+        lines.append(f"static inline int {name}({args}) {{ {body} }}")
+    return lines
+
+
+@dataclasses.dataclass
+class CpuKernelUnit:
+    """The per-kernel portion of a CPU translation unit, split from the
+    shared preamble so several kernels can share one TU."""
+
+    name: str
+    entry: str
+    interp_lines: List[str]
+    mask_lines: List[str]
+    func_lines: List[str]
+    num_variants: int
 
 
 class CpuBackend:
@@ -230,9 +270,10 @@ class CpuBackend:
         lines += ["        }", "    }"]
         return lines
 
-    def generate(self, kernel: KernelIR,
-                 launch_geometry: Optional[Tuple[int, int]] = None
-                 ) -> KernelSource:
+    def kernel_unit(self, kernel: KernelIR,
+                    launch_geometry: Optional[Tuple[int, int]] = None
+                    ) -> CpuKernelUnit:
+        """Lower one kernel to its TU fragment (no shared preamble)."""
         if launch_geometry is None:
             raise CodegenError(
                 "the CPU backend splits loops at compile time and needs "
@@ -246,48 +287,47 @@ class CpuBackend:
         # block (1,1): regions in exact pixel strips
         layout = classify_regions(width, height, (1, 1), window)
 
-        lines: List[str] = [
-            f"// {kernel.name}: generated by hipacc-py (CPU/OpenMP "
-            "backend)",
-            "#include <math.h>",
-            "#include <stdlib.h>",
-            "#include <omp.h>",
-            "",
-            "// CUDA/OpenCL's polymorphic min/max as C99 macros; kernel",
-            "// expressions are pure, so double evaluation is safe",
-            "#ifndef min",
-            "#define min(a, b) ((a) < (b) ? (a) : (b))",
-            "#endif",
-            "#ifndef max",
-            "#define max(a, b) ((a) > (b) ? (a) : (b))",
-            "#endif",
-            "",
-            "// boundary index adjustment helpers",
-        ]
-        for name, args, body in BH_HELPERS:
-            lines.append(f"static inline int {name}({args}) {{ {body} }}")
-        lines += self._interp_lines(kernel)
-        lines += self._mask_lines(kernel)
-        lines.append("")
-        lines.append(self._signature(kernel) + " {")
+        func_lines = [self._signature(kernel) + " {"]
         # interior first (the hot loop), then border strips
         ordered = sorted(layout.regions,
                          key=lambda r: 0 if r.is_interior else 1)
         for region in ordered:
-            lines += self._region_loops(kernel, region,
-                                        (width, height))
-        lines.append("}")
+            func_lines += self._region_loops(kernel, region,
+                                             (width, height))
+        func_lines.append("}")
+        return CpuKernelUnit(
+            name=kernel.name,
+            entry=f"{kernel.name}_cpu",
+            interp_lines=self._interp_lines(kernel),
+            mask_lines=self._mask_lines(kernel),
+            func_lines=func_lines,
+            num_variants=sum(1 for r in layout.regions
+                             if r.num_blocks > 0 or r.is_interior),
+        )
+
+    def generate(self, kernel: KernelIR,
+                 launch_geometry: Optional[Tuple[int, int]] = None
+                 ) -> KernelSource:
+        unit = self.kernel_unit(kernel, launch_geometry)
+        lines: List[str] = [
+            f"// {unit.name}: generated by hipacc-py (CPU/OpenMP "
+            "backend)",
+        ]
+        lines += cpu_common_preamble()
+        lines += unit.interp_lines
+        lines += unit.mask_lines
+        lines.append("")
+        lines += unit.func_lines
         device_code = "\n".join(lines) + "\n"
         host_code = "\n".join([
-            f"// host side for {kernel.name}_cpu: plain function call —",
+            f"// host side for {unit.entry}: plain function call —",
             "// no transfers, no launch; compile with -fopenmp",
         ]) + "\n"
         return KernelSource(
-            entry=f"{kernel.name}_cpu",
+            entry=unit.entry,
             device_code=device_code,
             host_code=host_code,
             backend="cpu",
             options=self.options,
-            num_variants=sum(1 for r in layout.regions
-                             if r.num_blocks > 0 or r.is_interior),
+            num_variants=unit.num_variants,
         )

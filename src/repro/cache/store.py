@@ -25,6 +25,8 @@ rebuild nodes), so sharing them across compiles is safe.
 
 from __future__ import annotations
 
+import base64
+import binascii
 import collections
 import dataclasses
 import json
@@ -214,6 +216,38 @@ class CompilationCache:
                             os.unlink(os.path.join(shard_dir, name))
                         except OSError:
                             pass
+
+    # -- binary artifacts ---------------------------------------------------
+
+    def put_artifact(self, key: str, payload: Dict[str, Any],
+                     blob: bytes) -> None:
+        """Store *payload* plus a binary *blob* (base64-embedded) under
+        *key*.  Used for native shared objects, whose bytes cannot ride
+        in a JSON document directly."""
+        entry = dict(payload)
+        entry["blob_b64"] = base64.b64encode(blob).decode("ascii")
+        self.put(key, entry)
+
+    def get_artifact(self, key: str
+                     ) -> Optional[Tuple[Dict[str, Any], bytes]]:
+        """(payload, blob) for *key*, or None on a miss **or** an entry
+        whose embedded blob fails to decode — undecodable entries are
+        invalidated so the next store heals them."""
+        entry = self.get(key)
+        if entry is None:
+            return None
+        encoded = entry.get("blob_b64")
+        if not isinstance(encoded, str):
+            self.invalidate(key)
+            return None
+        try:
+            blob = base64.b64decode(encoded.encode("ascii"),
+                                    validate=True)
+        except (binascii.Error, ValueError):
+            self.invalidate(key)
+            return None
+        payload = {k: v for k, v in entry.items() if k != "blob_b64"}
+        return payload, blob
 
     # -- frontend memo ------------------------------------------------------
 

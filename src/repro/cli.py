@@ -236,7 +236,8 @@ def cmd_graph(args) -> int:
 
     cache = _cache_from_args(args)
     report = execute_graph(g, cache=cache, workers=args.workers,
-                           fuse=not args.no_fuse, pool=not args.no_pool)
+                           fuse=not args.no_fuse, pool=not args.no_pool,
+                           engine=args.engine)
     print(report.summary())
     edges = out.get_data()
     print(f"  output:  mean {edges.mean():.4f}, max {edges.max():.4f}")
@@ -504,6 +505,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable point-operator fusion")
     p.add_argument("--no-pool", action="store_true",
                    help="disable the intermediate buffer pool")
+    p.add_argument("--engine", choices=["sim", "native", "auto"],
+                   default="sim",
+                   help="execution tier: Python simulator (oracle), "
+                        "compiled native graph segments, or native-"
+                        "when-possible (see docs/NATIVE.md)")
     p.add_argument("--dot", action="store_true",
                    help="print the pipeline DAG as Graphviz and exit")
     add_cache_flags(p)

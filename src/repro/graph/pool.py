@@ -67,6 +67,39 @@ class PoolStats:
                 f"{self.allocs} allocs, {self.reuses} reuses")
 
 
+def first_fit_layout(requests: List[Tuple[int, int, int]]
+                     ) -> Tuple[List[int], int, int, int]:
+    """Static first-fit offset assignment over lifetime intervals.
+
+    *requests* is a list of ``(start, end, nbytes)`` tuples (inclusive
+    interval of schedule indices during which the buffer is live).
+    Returns ``(offsets, high_water, allocs, reuses)`` where *offsets*
+    parallels *requests* — the compile-time analogue of
+    :class:`BufferPool`'s runtime recycling, used by the native graph
+    tier to lower the whole arena into one slab.
+    """
+    offsets: List[int] = []
+    high_water = 0
+    allocs = reuses = 0
+    placed: List[Tuple[int, int, int, int]] = []  # (off, size, start, end)
+    for start, end, nbytes in requests:
+        active = sorted((off, size) for off, size, s, e in placed
+                        if s <= end and start <= e)
+        pos = 0
+        for off, size in active:
+            if off - pos >= nbytes:
+                break
+            pos = max(pos, off + size)
+        if pos + nbytes <= high_water:
+            reuses += 1
+        else:
+            allocs += 1
+        placed.append((pos, nbytes, start, end))
+        offsets.append(pos)
+        high_water = max(high_water, pos + nbytes)
+    return offsets, high_water, allocs, reuses
+
+
 class BufferPool:
     """Arena of byte buffers bucketed by rounded size.
 

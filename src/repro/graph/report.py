@@ -41,6 +41,10 @@ class NodeReport:
     #: on fresh and cached compiles)
     stage_timings: Dict[str, float] = dataclasses.field(
         default_factory=dict)
+    #: which tier ran this node: "sim" (Python simulator) or "native"
+    #: (compiled graph segment) — per node because a hybrid native run
+    #: keeps ineligible nodes on the simulator
+    engine: str = "sim"
 
     def row(self) -> str:
         origin = "cache" if self.from_cache else "fresh"
@@ -49,7 +53,7 @@ class NodeReport:
         return (f"{self.name:<34} {label:<28} {self.backend:<7}"
                 f"{self.block[0]}x{self.block[1]:<4} "
                 f"{self.time_ms:>9.4f} ms   compile {self.compile_ms:>8.2f}"
-                f" ms ({origin})")
+                f" ms ({origin}, {self.engine})")
 
 
 @dataclasses.dataclass
@@ -68,10 +72,24 @@ class GraphReport:
     #: HIP3xx graph-lint findings (:mod:`repro.lint`), recorded after
     #: fusion so missed-fusion explanations refer to the final schedule
     diagnostics: List = dataclasses.field(default_factory=list)
+    #: engine the caller requested: "sim" | "native" | "auto"
+    engine: str = "sim"
+    #: engine that actually executed — "native" only when the native
+    #: tier compiled and ran at least one segment; otherwise "sim"
+    #: (transparent fallback)
+    engine_used: str = "sim"
+    #: why a native/auto request fell back to the simulator (None when
+    #: it didn't)
+    fallback_reason: Optional[str] = None
 
     @property
     def launches(self) -> int:
         return len(self.nodes)
+
+    @property
+    def native_nodes(self) -> int:
+        """How many nodes executed through compiled segments."""
+        return sum(1 for n in self.nodes if n.engine == "native")
 
     @property
     def total_device_ms(self) -> float:
@@ -93,6 +111,7 @@ class GraphReport:
             "graph.compile_wall_ms": self.compile_wall_ms,
             "graph.execute_wall_ms": self.execute_wall_ms,
             "graph.device_ms": self.total_device_ms,
+            "graph.native_nodes": self.native_nodes,
         }
         out.update(self.pool.metrics())
         if self.cache_stats is not None:
@@ -117,10 +136,20 @@ class GraphReport:
         raise KeyError(name)
 
     def summary(self) -> str:
+        engine_line = f"  engine:  {self.engine_used}"
+        if self.engine_used == "native":
+            engine_line += (f" ({self.native_nodes}/{self.launches} "
+                            "nodes in compiled segments)")
+        elif self.engine != "sim":
+            engine_line += f" (requested {self.engine}"
+            if self.fallback_reason:
+                engine_line += f"; fallback: {self.fallback_reason}"
+            engine_line += ")"
         lines = [
             f"pipeline {self.graph_name!r}: {self.launches} launches "
             f"({self.fusion.launches_saved} saved by fusion), "
             f"modelled device time {self.total_device_ms:.4f} ms",
+            engine_line,
             f"  compile: {self.compile_wall_ms:.1f} ms wall, "
             f"{self.cache_hits}/{self.launches} nodes from cache",
             f"  execute: {self.execute_wall_ms:.1f} ms wall",

@@ -35,6 +35,7 @@ from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from typing import Dict, Optional, Union
 
 from ..cache.store import CompilationCache, get_default_cache
+from ..errors import CodegenError, GraphError
 from ..obs import child_of, current_id, get_registry, span
 from ..runtime.compile import compile_ir, compile_kernel
 from ..sim.launch import padding_alignment
@@ -42,6 +43,8 @@ from .builder import GraphNode, PipelineGraph
 from .fusion import FusionStats, fuse_point_ops
 from .pool import BufferPool, PoolStats
 from .report import GraphReport, NodeReport
+
+ENGINES = ("sim", "native", "auto")
 
 
 def _resolve_cache(cache: Union[None, bool, CompilationCache]
@@ -108,7 +111,8 @@ def execute_graph(graph: PipelineGraph,
                   cache: Union[None, bool, CompilationCache] = None,
                   workers: Optional[int] = None,
                   fuse: bool = True,
-                  pool: Union[bool, BufferPool] = True) -> GraphReport:
+                  pool: Union[bool, BufferPool] = True,
+                  engine: str = "sim") -> GraphReport:
     """Validate, fuse, compile and run *graph*; returns the
     :class:`GraphReport`.
 
@@ -119,12 +123,24 @@ def execute_graph(graph: PipelineGraph,
     toggles the intermediate buffer arena (or accepts a
     :class:`~repro.graph.pool.BufferPool` to use).  *cache* is shared
     by every node compile (``True`` = process default).
+
+    *engine* selects the execution tier: ``"sim"`` (Python simulator,
+    the default and the oracle), ``"native"`` (compiled graph segments
+    via :mod:`repro.runtime.native_graph`, simulator fallback per
+    ineligible node), or ``"auto"`` (native when a C compiler is on
+    PATH, simulator otherwise).  Native/auto fall back transparently to
+    the simulator when native compilation is impossible; the report's
+    ``engine_used``/``fallback_reason`` say what actually ran.
     """
-    with span("graph.run", graph=graph.name) as run_span:
-        return _execute_graph(graph, cache, workers, fuse, pool, run_span)
+    if engine not in ENGINES:
+        raise GraphError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}")
+    with span("graph.run", graph=graph.name, engine=engine) as run_span:
+        return _execute_graph(graph, cache, workers, fuse, pool,
+                              engine, run_span)
 
 
-def _execute_graph(graph, cache, workers, fuse, pool,
+def _execute_graph(graph, cache, workers, fuse, pool, engine,
                    run_span) -> GraphReport:
     with span("graph.validate", graph=graph.name):
         graph.validate()
@@ -147,8 +163,24 @@ def _execute_graph(graph, cache, workers, fuse, pool,
     store = _resolve_cache(cache)
     compile_wall_ms = compile_graph(graph, cache=store, workers=workers)
 
+    order = graph.topological_order()
+
+    # -- engine selection ---------------------------------------------------
+    native_module = None
+    fallback_reason = None
+    if engine in ("native", "auto"):
+        from ..runtime.native_graph import compile_native_graph
+        try:
+            native_module = compile_native_graph(graph, order,
+                                                 cache=store)
+        except CodegenError as exc:
+            # transparent fallback: no C compiler, or nothing eligible
+            fallback_reason = str(exc)
+
     # -- buffer lifetimes ---------------------------------------------------
-    arena = _resolve_pool(pool)
+    # the native tier replaces the runtime arena with its compile-time
+    # slab; only the simulator engine pools buffers at runtime
+    arena = _resolve_pool(pool) if native_module is None else None
     pool_stats = arena.stats if arena is not None else PoolStats()
     registry = get_registry()
     registry.register_source("pool", pool_stats.metrics)
@@ -163,7 +195,24 @@ def _execute_graph(graph, cache, workers, fuse, pool,
         stride = BufferPool.padded_stride(img.width, align)
         pool_stats.naive_bytes += (img.height * stride
                                    * img.pixel_type.np_dtype.itemsize)
-    if arena is None:
+    if native_module is not None:
+        # slab high-water plus any intermediates left external (touched
+        # by simulator-fallback nodes — individually materialised)
+        plan = native_module.plan
+        ext_inter = [img for img in intermediates
+                     if plan.bindings.get(id(img)) is None
+                     or plan.bindings[id(img)].kind == "ext"]
+        ext_bytes = 0
+        for img in ext_inter:
+            producer = graph.producer_of(img)
+            align = padding_alignment(producer.compiled.device)
+            stride = BufferPool.padded_stride(img.width, align)
+            ext_bytes += (img.height * stride
+                          * img.pixel_type.np_dtype.itemsize)
+        pool_stats.peak_bytes = plan.slab_bytes + ext_bytes
+        pool_stats.allocs = plan.slab_allocs + len(ext_inter)
+        pool_stats.reuses = plan.slab_reuses
+    elif arena is None:
         # unpooled execution allocates every intermediate for the whole
         # run — peak IS the naive footprint
         pool_stats.peak_bytes = pool_stats.naive_bytes
@@ -175,8 +224,9 @@ def _execute_graph(graph, cache, workers, fuse, pool,
     # leak it (current_bytes drift)
     consumers_lock = threading.Lock()
 
-    order = graph.topological_order()
     node_wall_ms: Dict[str, float] = {}
+    node_engine: Dict[str, str] = {}
+    native_timing: Dict[str, object] = {}
 
     def run_node(node: GraphNode) -> None:
         with span("graph.node", node=node.name) as sp:
@@ -198,11 +248,41 @@ def _execute_graph(graph, cache, workers, fuse, pool,
                         arena.release(img)
         node_wall_ms[node.name] = sp.duration_ms
 
+    def run_native_schedule() -> None:
+        """Walk the interleaved plan serially: compiled segments via
+        ctypes, ineligible nodes through the simulator."""
+        plan = native_module.plan
+        executor = native_module.executor()
+        for kind, idx in plan.schedule:
+            if kind == "native":
+                seg = plan.segments[idx]
+                with span("native.exec", segment=idx,
+                          nodes=len(seg)) as seg_sp:
+                    executor.run_segment(idx)
+                # the segment is one call; attribute its wall clock
+                # evenly and keep the *modelled* device time per node
+                per_node = seg_sp.duration_ms / len(seg)
+                for node_idx in seg:
+                    node = order[node_idx]
+                    node_wall_ms[node.name] = per_node
+                    node_engine[node.name] = "native"
+                    native_timing[node.name] = \
+                        node.compiled.estimate_time()
+            else:
+                node = order[idx]
+                with span("graph.node", node=node.name) as nsp:
+                    node.report = node.compiled.execute()
+                node_wall_ms[node.name] = nsp.duration_ms
+                node_engine[node.name] = "sim"
+
     with span("graph.schedule", workers=workers or 0) as sp:
         try:
+            if native_module is not None:
+                sp.attrs["engine"] = "native"
+                run_native_schedule()
             # match compile_graph's short-circuit: a single-node graph
             # (or workers=1) runs serially — no executor for one launch
-            if workers == 1 or len(order) <= 1:
+            elif workers == 1 or len(order) <= 1:
                 for node in order:
                     run_node(node)
             else:
@@ -215,21 +295,32 @@ def _execute_graph(graph, cache, workers, fuse, pool,
                 arena.release_all()
     exec_wall_ms = sp.duration_ms
 
-    node_reports = [
-        NodeReport(
+    node_reports = []
+    for n in order:
+        eng = node_engine.get(n.name, "sim")
+        if eng == "native":
+            # native segments run for real; device time stays the
+            # *modelled* estimate so reports are engine-comparable
+            timing = native_timing[n.name]
+            time_ms = timing.total_ms
+        else:
+            timing = n.report.timing
+            time_ms = n.report.time_ms
+        node_reports.append(NodeReport(
             name=n.name,
             kernel=n.label(),
             device=n.compiled.device.name,
             backend=n.compiled.options.backend,
             block=tuple(n.compiled.options.block),
-            time_ms=n.report.time_ms,
-            timing=n.report.timing,
+            time_ms=time_ms,
+            timing=timing,
             compile_ms=n.compiled.compile_ms,
             from_cache=n.compiled.from_cache,
             fused_from=n.fused_from,
             wall_ms=node_wall_ms.get(n.name, 0.0),
             stage_timings=dict(n.compiled.stage_timings),
-        ) for n in order]
+            engine=eng,
+        ))
     report = GraphReport(
         graph_name=graph.name,
         nodes=node_reports,
@@ -239,8 +330,12 @@ def _execute_graph(graph, cache, workers, fuse, pool,
         execute_wall_ms=exec_wall_ms,
         cache_stats=(store.stats.as_dict() if store is not None else None),
         diagnostics=graph_diags,
+        engine=engine,
+        engine_used="native" if native_module is not None else "sim",
+        fallback_reason=fallback_reason,
     )
     run_span.attrs["launches"] = report.launches
+    run_span.attrs["engine_used"] = report.engine_used
     return report
 
 

@@ -41,6 +41,13 @@ STAGE_KEYS = tuple(STAGE_SPANS)
 #: The complete key set of ``CompiledKernel.timings``.
 TIMING_KEYS = STAGE_KEYS + ("total_ms",)
 
+#: Span names the native graph tier emits
+#: (:mod:`repro.runtime.native_graph`): ``native.compile`` wraps artifact
+#: resolution (workdir probe, artifact-store fetch or a fresh C compile
+#: — its ``origin`` attr says which) and ``native.exec`` wraps one
+#: compiled segment's execution (attrs: ``segment``, ``nodes``).
+NATIVE_SPANS = ("native.compile", "native.exec")
+
 
 def normalize_stage_timings(timings: Mapping[str, float]
                             ) -> Dict[str, float]:

@@ -235,6 +235,38 @@ def repro_seed(request):
     return seed
 
 
+def assert_native_matches_sim(build, engine="native", **run_kwargs):
+    """Differential oracle: run the graph built by *build* through both
+    the Python simulator and the native engine and assert every output
+    byte-identical.
+
+    *build* is a zero-argument callable returning ``(graph, outputs)``
+    where *outputs* is an output :class:`Image` or a sequence of them.
+    It must produce deterministic input data on every call — the graph
+    is rebuilt fresh per engine so one run cannot leak buffer state into
+    the other.  Returns the native run's
+    :class:`~repro.graph.report.GraphReport` so callers can assert on
+    engine-specific facts (per-node engines, fallback reason, metrics).
+    """
+    from repro.graph.scheduler import execute_graph
+
+    def run(engine_name):
+        graph, outputs = build()
+        if isinstance(outputs, Image):
+            outputs = [outputs]
+        report = execute_graph(graph, engine=engine_name, **run_kwargs)
+        return [np.array(o.pixels, copy=True) for o in outputs], report
+
+    sim_outs, _ = run("sim")
+    nat_outs, nat_report = run(engine)
+    assert len(sim_outs) == len(nat_outs)
+    for i, (ref, got) in enumerate(zip(sim_outs, nat_outs)):
+        np.testing.assert_array_equal(
+            ref, got,
+            err_msg=f"output {i} differs between sim and {engine}")
+    return nat_report
+
+
 def build_convolution(size=16, mask_size=3, boundary=Boundary.CLAMP,
                       coefficient_scale=1.0):
     """Deterministic MaskConvolution instance — same bytes in every

@@ -21,7 +21,7 @@ from repro import (
 from repro.filters.bilateral import make_bilateral
 from repro.filters.gaussian import make_gaussian
 from repro.filters.median import make_median
-from repro.runtime.native import compile_native, find_c_compiler
+from repro.runtime.native import compile_native
 
 from .helpers import (
     AddUniform,
@@ -35,8 +35,7 @@ from .helpers import (
     random_image,
 )
 
-pytestmark = pytest.mark.skipif(find_c_compiler() is None,
-                                reason="no C compiler on PATH")
+pytestmark = pytest.mark.requires_cc
 
 MODES = [Boundary.CLAMP, Boundary.MIRROR, Boundary.REPEAT,
          Boundary.CONSTANT]
