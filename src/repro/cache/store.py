@@ -28,12 +28,13 @@ from __future__ import annotations
 import base64
 import binascii
 import collections
+import contextlib
 import dataclasses
 import json
 import os
 import tempfile
 import threading
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 
 @dataclasses.dataclass
@@ -135,6 +136,10 @@ class CompilationCache:
         # fingerprint -> (ir_digest, typechecked KernelIR); memory only
         self._frontend: "collections.OrderedDict[str, Tuple[str, Any]]" = \
             collections.OrderedDict()
+        # key -> [lock, refcount]: the single-flight table behind
+        # locked(); entries exist only while some thread holds or waits
+        # on the key, so the table cannot grow with the key space
+        self._key_locks: Dict[str, List[Any]] = {}
 
     # -- main entry store ---------------------------------------------------
 
@@ -169,6 +174,36 @@ class CompilationCache:
                 self.stats.stores += 1
         if path is not None and not on_disk:
             self._disk_write(key, payload)
+
+    @contextlib.contextmanager
+    def locked(self, key: str) -> Iterator[None]:
+        """Serialise the miss-compile-store window for one *key*.
+
+        A shared cache instance makes reads and writes individually
+        safe, but the *compose* of a miss followed by a fresh compile is
+        not: N server threads asking for the same kernel at once all
+        miss, then all pay the full compile (a cache stampede) and race
+        to store.  The compile driver wraps its lookup+compile+store in
+        ``with store.locked(key)``, so the first thread compiles and
+        every racer re-reads the stored entry as a hit.  Per-key, so
+        distinct kernels still compile concurrently; re-entrant-free
+        (one thread must not nest two ``locked`` calls on one key).
+        """
+        with self._lock:
+            entry = self._key_locks.get(key)
+            if entry is None:
+                entry = [threading.Lock(), 0]
+                self._key_locks[key] = entry
+            entry[1] += 1
+        entry[0].acquire()
+        try:
+            yield
+        finally:
+            entry[0].release()
+            with self._lock:
+                entry[1] -= 1
+                if entry[1] == 0:
+                    self._key_locks.pop(key, None)
 
     def invalidate(self, key: str) -> None:
         """Drop *key* everywhere — memory and disk.  For callers that find

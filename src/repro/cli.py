@@ -433,6 +433,24 @@ def cmd_figure4(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .serve.server import run_server
+    from .serve.service import ServeConfig
+
+    config = ServeConfig(
+        workers=args.workers,
+        batch_window_ms=args.batch_window_ms,
+        queue_limit=args.queue_limit,
+        default_timeout_ms=args.timeout_ms,
+        engine=args.engine,
+    )
+    cache = _cache_from_args(args)
+    code = run_server(host=args.host, port=args.port, config=config,
+                      cache=cache, drain_timeout=args.drain_timeout,
+                      trace_out=args.trace_out)
+    return code
+
+
 def cmd_explore(args) -> int:
     from .evaluation.figure4 import figure4_exploration
     from .hwmodel import get_device
@@ -545,6 +563,40 @@ def build_parser() -> argparse.ArgumentParser:
                    help="parallelise the configuration walk over N "
                         "workers")
 
+    p = sub.add_parser(
+        "serve",
+        help="run the persistent compile-and-execute HTTP service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8077,
+                   help="TCP port (0 = ephemeral; the bound port is "
+                        "printed on the first stdout line)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="request-executing worker threads")
+    p.add_argument("--batch-window-ms", type=float, default=4.0,
+                   dest="batch_window_ms",
+                   help="how long to keep collecting requests after "
+                        "the first one arrives so identical concurrent "
+                        "requests share one execution")
+    p.add_argument("--queue-limit", type=int, default=64,
+                   dest="queue_limit",
+                   help="shed requests (HTTP 429) beyond this many "
+                        "queued")
+    p.add_argument("--timeout-ms", type=float, default=30000.0,
+                   dest="timeout_ms",
+                   help="default per-request deadline")
+    p.add_argument("--engine", choices=["sim", "native", "auto"],
+                   default="auto",
+                   help="execution tier for requests that do not name "
+                        "one")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   dest="drain_timeout",
+                   help="seconds to wait for in-flight requests on "
+                        "SIGTERM before giving up (non-zero exit)")
+    p.add_argument("--trace-out", default=None, dest="trace_out",
+                   help="run under the tracer and write the Chrome-"
+                        "trace export here after the drain")
+    add_cache_flags(p)
+
     p = sub.add_parser("cache",
                        help="inspect or clear the on-disk compile cache")
     p.add_argument("--cache-dir", default=None,
@@ -587,6 +639,7 @@ COMMANDS = {
     "figure4": cmd_figure4,
     "explore": cmd_explore,
     "cache": cmd_cache,
+    "serve": cmd_serve,
     "trace": cmd_trace,
 }
 

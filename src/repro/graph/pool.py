@@ -193,6 +193,27 @@ class BufferPool:
                 self.stats.releases += 1
         return len(live)
 
+    def reset(self) -> int:
+        """Prepare the arena for the next independent run (``repro
+        serve`` resets each worker's pool between requests).
+
+        Every live binding returns to the free lists and the *per-run*
+        accounting (``naive_bytes``/``peak_bytes``/``current_bytes``)
+        zeroes, but the allocated arenas themselves are kept: a warm
+        request whose intermediates fit the existing buckets binds
+        entirely through ``reuses`` and allocates nothing.  The
+        cumulative counters (``allocs``/``reuses``/``releases``) are
+        left running so callers can assert "no new allocations since
+        the last reset" by diffing ``allocs``.  Idempotent: a second
+        reset is a no-op.  Returns how many live bindings were dropped.
+        """
+        released = self.release_all()
+        with self._lock:
+            self.stats.naive_bytes = 0
+            self.stats.peak_bytes = 0
+            self.stats.current_bytes = 0
+        return released
+
     @property
     def live_count(self) -> int:
         with self._lock:

@@ -112,7 +112,9 @@ def execute_graph(graph: PipelineGraph,
                   workers: Optional[int] = None,
                   fuse: bool = True,
                   pool: Union[bool, BufferPool] = True,
-                  engine: str = "sim") -> GraphReport:
+                  engine: str = "sim",
+                  register_metrics: bool = True,
+                  lint: bool = True) -> GraphReport:
     """Validate, fuse, compile and run *graph*; returns the
     :class:`GraphReport`.
 
@@ -131,17 +133,31 @@ def execute_graph(graph: PipelineGraph,
     PATH, simulator otherwise).  Native/auto fall back transparently to
     the simulator when native compilation is impossible; the report's
     ``engine_used``/``fallback_reason`` say what actually ran.
+
+    *register_metrics* controls whether this run's pool/cache stats are
+    installed as the process-wide registry's ``pool``/``cache`` sources.
+    Long-running hosts that execute many graphs concurrently over
+    per-worker arenas (``repro serve``) pass ``False`` and register one
+    aggregate source of their own instead, so parallel requests do not
+    race to overwrite the global slots.
+
+    *lint* toggles the HIP3xx graph-lint pass.  It is advisory (it
+    never changes what executes), so hosts that run the *same* graph
+    structure over and over (``repro serve`` replaying a fingerprinted
+    pipeline) can skip re-deriving identical diagnostics on the hot
+    path; interactive and CI runs keep it on.
     """
     if engine not in ENGINES:
         raise GraphError(
             f"unknown engine {engine!r}; expected one of {ENGINES}")
     with span("graph.run", graph=graph.name, engine=engine) as run_span:
         return _execute_graph(graph, cache, workers, fuse, pool,
-                              engine, run_span)
+                              engine, run_span, register_metrics, lint)
 
 
 def _execute_graph(graph, cache, workers, fuse, pool, engine,
-                   run_span) -> GraphReport:
+                   run_span, register_metrics=True,
+                   lint=True) -> GraphReport:
     with span("graph.validate", graph=graph.name):
         graph.validate()
 
@@ -154,11 +170,13 @@ def _execute_graph(graph, cache, workers, fuse, pool, engine,
 
     # graph lint runs after fusion so HIP302 explains exactly the pairs
     # the fuser declined, not ones it was about to merge anyway
-    from ..lint import lint_graph
-    from ..lint.collect import emit
-    with span("graph.lint"):
-        graph_diags = lint_graph(graph)
-        emit(graph_diags)
+    graph_diags = []
+    if lint:
+        from ..lint import lint_graph
+        from ..lint.collect import emit
+        with span("graph.lint"):
+            graph_diags = lint_graph(graph)
+            emit(graph_diags)
 
     store = _resolve_cache(cache)
     compile_wall_ms = compile_graph(graph, cache=store, workers=workers)
@@ -182,10 +200,11 @@ def _execute_graph(graph, cache, workers, fuse, pool, engine,
     # slab; only the simulator engine pools buffers at runtime
     arena = _resolve_pool(pool) if native_module is None else None
     pool_stats = arena.stats if arena is not None else PoolStats()
-    registry = get_registry()
-    registry.register_source("pool", pool_stats.metrics)
-    if store is not None:
-        registry.register_source("cache", store.stats.metrics)
+    if register_metrics:
+        registry = get_registry()
+        registry.register_source("pool", pool_stats.metrics)
+        if store is not None:
+            registry.register_source("cache", store.stats.metrics)
     intermediates = graph.intermediates()
     for img in intermediates:
         # naive baseline: every intermediate individually allocated at

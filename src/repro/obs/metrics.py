@@ -23,6 +23,9 @@ prefix                 meaning
                        current_bytes, allocs, reuses, releases)
 ``graph.*``            scheduler (launches, fused_away, cache_hits,
                        compile_wall_ms, execute_wall_ms, device_ms)
+``serve.*``            request service (requests, batched, dedup_hits,
+                       queue_depth, shed, completed, errors, timeouts,
+                       cancelled, executions, drained)
 =====================  ====================================================
 
 Counter *values* are plain ints/floats; rates are in ``[0, 1]``.

@@ -48,6 +48,19 @@ TIMING_KEYS = STAGE_KEYS + ("total_ms",)
 #: compiled segment's execution (attrs: ``segment``, ``nodes``).
 NATIVE_SPANS = ("native.compile", "native.exec")
 
+#: Span names the serve tier emits (:mod:`repro.serve`):
+#: ``serve.request`` wraps one HTTP request in its handler thread
+#: (attrs: ``path``, ``http_status``, ``fingerprint``); ``serve.plan``
+#: and ``serve.exec`` wrap planning and execution of one deduplicated
+#: request group in a worker thread (attrs: ``fingerprint``,
+#: ``group``).  The worker spans are deliberately top-level rather than
+#: children of ``serve.request`` — a waiter may time out (closing its
+#: request span) while the shared execution continues, and a child
+#: outliving its parent would violate the containment rule
+#: :func:`validate_chrome_trace` enforces.  Correlate by the
+#: ``fingerprint`` attr instead.
+SERVE_SPANS = ("serve.request", "serve.plan", "serve.exec")
+
 
 def normalize_stage_timings(timings: Mapping[str, float]
                             ) -> Dict[str, float]:

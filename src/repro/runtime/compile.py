@@ -23,6 +23,7 @@ compile costs a hash and a dictionary lookup.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from typing import Dict, Optional, Tuple, Union
 
@@ -298,144 +299,155 @@ def _compile_from_ir(ir, accessor_objs, iteration_space, *,
     if isinstance(mask_memory, str):
         mask_memory = MaskMemory(mask_memory)
 
-    # ---- cache lookup -----------------------------------------------------
+    # ---- cache lookup (single-flight per key) -----------------------------
+    # the key lock held through *flight* serialises the miss -> compile
+    # -> store window: when N threads race on one key, the first in
+    # compiles while the rest block inside their cache_lookup span and
+    # then read its stored entry as a hit — exactly one fresh compile
     key = None
-    if store is not None:
-        with span("compile.cache_lookup") as sp:
-            from .. import __version__
-            request = {
-                "geometry": list(geometry),
-                "block": list(block) if block is not None else "auto",
-                "border": border_mode.value,
-                "use_texture": use_texture,
-                "use_smem": use_smem,
-                "mask_memory": (mask_memory.value
-                                if isinstance(mask_memory, MaskMemory)
-                                else mask_memory),
-                "unroll": unroll,
-                "fold_constants": fold_constants,
-                "fast_math": fast_math,
-                "emit_config_macros": emit_config_macros,
-                "vectorize": vectorize,
-                "pixels_per_thread": pixels_per_thread,
-                "bake_params": bake_params,
-            }
-            key = compute_key(ir_dig, dev, backend, request, __version__)
-            payload = store.get(key)
-        timings["cache_lookup_ms"] = sp.duration_ms
-        if payload is not None:
-            try:
-                final, options, resources, selected_occ = \
-                    entry_from_dict(payload)
-            except (KeyError, TypeError, ValueError):
-                # an entry this build cannot decode (hand-edited file,
-                # foreign layout) is a miss: evict it so the recompile
-                # below re-stores a good one
-                store.invalidate(key)
-                payload = None
-        if payload is not None:
-            diags = _verify(ir, options, strict=strict, timings=timings)
-            timings["total_ms"] = (time.perf_counter() - t_start) * 1e3
-            timings = normalize_stage_timings(timings)
-            if root_span is not None:
-                root_span.attrs["from_cache"] = True
-            return CompiledKernel(
-                ir=ir,
-                source=final,
-                options=options,
-                device=dev,
-                resources=resources,
-                accessors=accessor_objs,
-                iteration_space=iteration_space,
-                window=window,
-                selected_occupancy=selected_occ,
-                cache_key=key,
-                from_cache=True,
-                stage_timings=timings,
-                diagnostics=diags,
-            )
+    with contextlib.ExitStack() as flight:
+        if store is not None:
+            with span("compile.cache_lookup") as sp:
+                from .. import __version__
+                request = {
+                    "geometry": list(geometry),
+                    "block": list(block) if block is not None else "auto",
+                    "border": border_mode.value,
+                    "use_texture": use_texture,
+                    "use_smem": use_smem,
+                    "mask_memory": (mask_memory.value
+                                    if isinstance(mask_memory, MaskMemory)
+                                    else mask_memory),
+                    "unroll": unroll,
+                    "fold_constants": fold_constants,
+                    "fast_math": fast_math,
+                    "emit_config_macros": emit_config_macros,
+                    "vectorize": vectorize,
+                    "pixels_per_thread": pixels_per_thread,
+                    "bake_params": bake_params,
+                }
+                key = compute_key(ir_dig, dev, backend, request,
+                                  __version__)
+                flight.enter_context(store.locked(key))
+                payload = store.get(key)
+            timings["cache_lookup_ms"] = sp.duration_ms
+            if payload is not None:
+                try:
+                    final, options, resources, selected_occ = \
+                        entry_from_dict(payload)
+                except (KeyError, TypeError, ValueError):
+                    # an entry this build cannot decode (hand-edited
+                    # file, foreign layout) is a miss: evict it so the
+                    # recompile below re-stores a good one
+                    store.invalidate(key)
+                    payload = None
+            if payload is not None:
+                diags = _verify(ir, options, strict=strict,
+                                timings=timings)
+                timings["total_ms"] = (time.perf_counter() - t_start) * 1e3
+                timings = normalize_stage_timings(timings)
+                if root_span is not None:
+                    root_span.attrs["from_cache"] = True
+                return CompiledKernel(
+                    ir=ir,
+                    source=final,
+                    options=options,
+                    device=dev,
+                    resources=resources,
+                    accessors=accessor_objs,
+                    iteration_space=iteration_space,
+                    window=window,
+                    selected_occupancy=selected_occ,
+                    cache_key=key,
+                    from_cache=True,
+                    stage_timings=timings,
+                    diagnostics=diags,
+                )
 
-    options = CodegenOptions(
-        backend=backend,
-        use_texture=use_texture,
-        border=border_mode,
-        use_smem=use_smem,
-        mask_memory=mask_memory,
-        block=block or (128, 1),
-        unroll=unroll,
-        fold_constants=fold_constants,
-        fast_math=fast_math,
-        emit_config_macros=emit_config_macros,
-        vectorize=vectorize,
-        pixels_per_thread=pixels_per_thread,
-    )
-
-    # first pass: default configuration, to learn resource usage
-    with span("compile.codegen_provisional") as sp:
-        provisional = generate(ir, options, launch_geometry=geometry)
-    timings["codegen_provisional_ms"] = sp.duration_ms
-    smem_bytes = provisional.smem_bytes
-    with span("compile.resources") as sp:
-        resources = estimate_resources(
-            ir, dev,
+        options = CodegenOptions(
+            backend=backend,
             use_texture=use_texture,
+            border=border_mode,
             use_smem=use_smem,
-            border_variants=provisional.num_variants,
-            smem_bytes=smem_bytes,
-            unrolled=unroll,
+            mask_memory=mask_memory,
+            block=block or (128, 1),
+            unroll=unroll,
+            fold_constants=fold_constants,
+            fast_math=fast_math,
+            emit_config_macros=emit_config_macros,
+            vectorize=vectorize,
+            pixels_per_thread=pixels_per_thread,
         )
-    timings["resources_ms"] = sp.duration_ms
 
-    selected_occ = 0.0
-    if block is None:
-        # Algorithm 2
-        with span("compile.select") as sp:
-            if use_smem:
-                # staging tile size depends on the block; pass the default
-                # block's demand as the constraint
-                smem_for_select = smem_tile_bytes(options.block, window, 4)
-            else:
-                smem_for_select = 0
-            selection = select_configuration(
-                dev, resources.registers_per_thread, smem_for_select,
-                border_handling=(border_mode == BorderMode.SPECIALIZED
-                                 and window != (1, 1)),
-                image_size=geometry,
-                window=window,
+        # first pass: default configuration, to learn resource usage
+        with span("compile.codegen_provisional") as sp:
+            provisional = generate(ir, options, launch_geometry=geometry)
+        timings["codegen_provisional_ms"] = sp.duration_ms
+        smem_bytes = provisional.smem_bytes
+        with span("compile.resources") as sp:
+            resources = estimate_resources(
+                ir, dev,
+                use_texture=use_texture,
+                use_smem=use_smem,
+                border_variants=provisional.num_variants,
+                smem_bytes=smem_bytes,
+                unrolled=unroll,
             )
-            options.block = selection.block
-            selected_occ = selection.occupancy
-        timings["select_ms"] = sp.duration_ms
-        # regenerate with the final configuration (the paper regenerates
-        # because the dispatch constants depend on the tiling)
-        with span("compile.codegen_final") as sp:
-            final = generate(ir, options, launch_geometry=geometry)
-        timings["codegen_final_ms"] = sp.duration_ms
-    else:
-        final = provisional
+        timings["resources_ms"] = sp.duration_ms
 
-    if store is not None and key is not None:
-        with span("compile.store") as sp:
-            store.put(key, entry_to_dict(final, resources, selected_occ))
-        timings["store_ms"] = sp.duration_ms
+        selected_occ = 0.0
+        if block is None:
+            # Algorithm 2
+            with span("compile.select") as sp:
+                if use_smem:
+                    # staging tile size depends on the block; pass the
+                    # default block's demand as the constraint
+                    smem_for_select = smem_tile_bytes(options.block,
+                                                      window, 4)
+                else:
+                    smem_for_select = 0
+                selection = select_configuration(
+                    dev, resources.registers_per_thread, smem_for_select,
+                    border_handling=(border_mode == BorderMode.SPECIALIZED
+                                     and window != (1, 1)),
+                    image_size=geometry,
+                    window=window,
+                )
+                options.block = selection.block
+                selected_occ = selection.occupancy
+            timings["select_ms"] = sp.duration_ms
+            # regenerate with the final configuration (the paper
+            # regenerates because the dispatch constants depend on the
+            # tiling)
+            with span("compile.codegen_final") as sp:
+                final = generate(ir, options, launch_geometry=geometry)
+            timings["codegen_final_ms"] = sp.duration_ms
+        else:
+            final = provisional
 
-    diags = _verify(ir, options, strict=strict, timings=timings)
-    timings["total_ms"] = (time.perf_counter() - t_start) * 1e3
-    timings = normalize_stage_timings(timings)
-    if root_span is not None:
-        root_span.attrs["from_cache"] = False
-    return CompiledKernel(
-        ir=ir,
-        source=final,
-        options=options,
-        device=dev,
-        resources=resources,
-        accessors=accessor_objs,
-        iteration_space=iteration_space,
-        window=window,
-        selected_occupancy=selected_occ,
-        cache_key=key,
-        from_cache=False,
-        stage_timings=timings,
-        diagnostics=diags,
-    )
+        if store is not None and key is not None:
+            with span("compile.store") as sp:
+                store.put(key,
+                          entry_to_dict(final, resources, selected_occ))
+            timings["store_ms"] = sp.duration_ms
+
+        diags = _verify(ir, options, strict=strict, timings=timings)
+        timings["total_ms"] = (time.perf_counter() - t_start) * 1e3
+        timings = normalize_stage_timings(timings)
+        if root_span is not None:
+            root_span.attrs["from_cache"] = False
+        return CompiledKernel(
+            ir=ir,
+            source=final,
+            options=options,
+            device=dev,
+            resources=resources,
+            accessors=accessor_objs,
+            iteration_space=iteration_space,
+            window=window,
+            selected_occupancy=selected_occ,
+            cache_key=key,
+            from_cache=False,
+            stage_timings=timings,
+            diagnostics=diags,
+        )

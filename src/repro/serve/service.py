@@ -1,0 +1,451 @@
+"""The serve request engine: queue, batching window, dedup, workers.
+
+Lifecycle of one request::
+
+    handle() -> submit() -> [bounded queue] -> dispatcher thread
+        -> batching window -> group by fingerprint -> worker pool
+        -> plan + execute (once per group) -> wake every waiter
+
+The **dispatcher** is a single thread that sleeps until work arrives,
+keeps collecting for ``batch_window_ms`` so concurrent identical
+requests land in the same batch, then groups the drained batch by
+:func:`~repro.serve.protocol.request_fingerprint`.  Each group is
+handed to the worker pool as *one* unit: it plans once, executes once,
+and every member request receives the same response document
+(``serve.dedup_hits`` counts the members that got an answer without an
+execution of their own).
+
+Every worker thread owns a :class:`~repro.graph.pool.BufferPool` arena
+(thread-local) that is :meth:`~repro.graph.pool.BufferPool.reset`
+between requests — buffers go back to the free lists but the arenas
+stay allocated, so a warm worker executes without touching the
+allocator.  All workers share one process-wide
+:class:`~repro.cache.CompilationCache`; the cache's per-key
+single-flight locking guarantees N concurrent misses of the same kernel
+compile exactly once.
+
+Robustness is explicit state, not best effort:
+
+* the queue is bounded — :meth:`ServeService.submit` raises
+  :class:`QueueFull` (HTTP 429 + Retry-After) instead of buffering
+  without limit;
+* every request carries a deadline — waiters that hit it get
+  :class:`RequestTimedOut` (HTTP 504); a group whose waiters have *all*
+  given up before execution starts is cancelled without executing;
+* :meth:`ServeService.drain` (SIGTERM) stops intake, rejects whatever
+  is still queued as retriable (HTTP 503), waits for in-flight groups
+  to finish, and leaves the cache/arenas intact for inspection.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import threading
+import time
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from ..cache import CompilationCache
+from ..graph.pool import BufferPool
+from ..graph.scheduler import execute_graph
+from ..obs import get_registry, span
+from .planner import plan_request
+from .protocol import (PROTOCOL_VERSION, ProtocolError, decode_image,
+                       encode_image, error_response, request_fingerprint)
+
+
+class ServeRejected(RuntimeError):
+    """Base for submissions the service refused; carries the HTTP
+    status and response document the front door should send."""
+
+    http_status = 500
+    code = "rejected"
+
+    def __init__(self, message: str, **extra: Any):
+        super().__init__(message)
+        self.doc = error_response(self.code, message, **extra)
+
+
+class QueueFull(ServeRejected):
+    """Load shed: the bounded queue is at capacity (HTTP 429)."""
+
+    http_status = 429
+    code = "queue_full"
+
+
+class Draining(ServeRejected):
+    """The service is shutting down; retry against a healthy instance
+    (HTTP 503, retriable)."""
+
+    http_status = 503
+    code = "draining"
+
+
+class RequestTimedOut(ServeRejected):
+    """The per-request deadline expired before a result was ready
+    (HTTP 504).  The shared execution may still complete for other
+    waiters; this waiter just stopped caring."""
+
+    http_status = 504
+    code = "timeout"
+
+
+@dataclasses.dataclass
+class ServeConfig:
+    """Tunables for one :class:`ServeService` instance."""
+
+    #: worker threads executing request groups
+    workers: int = 2
+    #: how long the dispatcher keeps collecting after the first request
+    #: of a batch arrives; 0 disables coalescing (every request is its
+    #: own group unless already queued together)
+    batch_window_ms: float = 4.0
+    #: submissions beyond this many pending requests — awaiting
+    #: dispatch or awaiting a worker — are shed (429)
+    queue_limit: int = 64
+    #: deadline for requests that do not carry ``timeout_ms``
+    default_timeout_ms: float = 30000.0
+    #: engine for requests that do not name one
+    engine: str = "auto"
+    #: intra-graph scheduler workers; 1 keeps each request serial and
+    #: leaves concurrency to the request-level worker pool
+    graph_workers: int = 1
+    #: Retry-After seconds advertised on 429/503
+    retry_after_s: float = 1.0
+    #: largest fingerprint-group batch one dispatch drains (backstop so
+    #: one window cannot monopolise the pool)
+    max_batch: int = 256
+
+
+class ServeStats:
+    """Thread-safe counters for the ``serve.*`` metrics namespace."""
+
+    _FIELDS = ("requests", "batched", "dedup_hits", "shed", "completed",
+               "errors", "timeouts", "cancelled", "executions",
+               "drained")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        for field in self._FIELDS:
+            setattr(self, field, 0)
+
+    def bump(self, field: str, by: int = 1) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + by)
+
+    def as_dict(self) -> Dict[str, int]:
+        with self._lock:
+            return {field: getattr(self, field)
+                    for field in self._FIELDS}
+
+
+@dataclasses.dataclass
+class _Pending:
+    """One submitted request waiting for its group's result."""
+
+    body: Dict[str, Any]
+    fingerprint: str
+    deadline: float
+    done: threading.Event = dataclasses.field(
+        default_factory=threading.Event)
+    #: (http_status, response_doc) once done is set
+    result: Optional[Tuple[int, Dict[str, Any]]] = None
+    #: flipped by a waiter that stopped waiting; cancellation checks it
+    abandoned: bool = False
+
+    def finish(self, status: int, doc: Dict[str, Any]) -> None:
+        self.result = (status, doc)
+        self.done.set()
+
+
+class ServeService:
+    """The long-running request engine behind the HTTP front door."""
+
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 cache: Optional[CompilationCache] = None):
+        self.config = config or ServeConfig()
+        if cache is None:
+            from ..cache import get_default_cache
+            cache = get_default_cache()
+        self.cache = cache
+        self.stats = ServeStats()
+        self._queue: Deque[_Pending] = collections.deque()
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._draining = False
+        self._stopped = False
+        self._inflight = 0
+        self._idle = threading.Condition(self._lock)
+        self._worker_local = threading.local()
+        self._pools: List[BufferPool] = []
+        self._workers: List[threading.Thread] = []
+        self._work: Deque[List[_Pending]] = collections.deque()
+        self._dispatcher: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ServeService":
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serve-dispatch",
+            daemon=True)
+        self._dispatcher.start()
+        for i in range(max(1, self.config.workers)):
+            t = threading.Thread(target=self._worker_loop,
+                                 name=f"serve-worker-{i}", daemon=True)
+            t.start()
+            self._workers.append(t)
+        # the scheduler runs with register_metrics=False under serve
+        # (parallel requests would race to overwrite the global slots),
+        # so the service installs the aggregate sources itself: the one
+        # shared cache, and the per-worker arenas summed
+        registry = get_registry()
+        registry.register_source("serve", self.metrics)
+        registry.register_source("cache", self.cache.stats.metrics)
+        registry.register_source("pool", self._pool_metrics)
+        return self
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown: reject queued work as retriable, let
+        in-flight groups finish.  Returns True when fully drained."""
+        with self._lock:
+            if not self._draining:
+                self._draining = True
+                flushed = list(self._queue)
+                self._queue.clear()
+                self._wake.notify_all()
+            else:
+                flushed = []
+        for pending in flushed:
+            self.stats.bump("drained")
+            pending.finish(503, error_response(
+                "draining", "server is draining; retry elsewhere",
+                retriable=True,
+                retry_after=self.config.retry_after_s))
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        with self._idle:
+            while self._inflight or self._work or self._queue:
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(timeout=remaining)
+        with self._lock:
+            self._stopped = True
+            self._wake.notify_all()
+        return True
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- metrics -------------------------------------------------------------
+
+    def metrics(self) -> Dict[str, float]:
+        """The canonical ``serve.*`` metrics namespace."""
+        counters = self.stats.as_dict()
+        with self._lock:
+            depth = len(self._queue) + len(self._work)
+        out = {f"serve.{k}": v for k, v in counters.items()}
+        out["serve.queue_depth"] = depth
+        return out
+
+    def _pool_metrics(self) -> Dict[str, float]:
+        """All worker arenas summed into one ``pool.*`` view."""
+        with self._lock:
+            pools = list(self._pools)
+        total: Dict[str, float] = {}
+        for pool in pools:
+            for key, value in pool.stats.metrics().items():
+                total[key] = total.get(key, 0) + value
+        return total
+
+    # -- intake --------------------------------------------------------------
+
+    def submit(self, body: Dict[str, Any]) -> _Pending:
+        """Fingerprint + enqueue *body*; raises :class:`ServeRejected`
+        subclasses (shed/drain) or :class:`ProtocolError` (400)."""
+        fingerprint, _ = request_fingerprint(body)
+        timeout_ms = body.get("timeout_ms",
+                              self.config.default_timeout_ms)
+        if (not isinstance(timeout_ms, (int, float))
+                or isinstance(timeout_ms, bool) or timeout_ms <= 0):
+            raise ProtocolError(
+                f"timeout_ms must be a positive number, got "
+                f"{timeout_ms!r}")
+        pending = _Pending(body=body, fingerprint=fingerprint,
+                           deadline=time.monotonic() + timeout_ms / 1e3)
+        with self._lock:
+            if self._draining:
+                raise Draining(
+                    "server is draining; retry elsewhere",
+                    retriable=True,
+                    retry_after=self.config.retry_after_s)
+            # backpressure counts everything awaiting a worker, not just
+            # the pre-dispatch queue: with a zero batching window the
+            # dispatcher drains _queue into _work almost instantly, and
+            # sheds must engage on the same depth /metrics reports
+            if (len(self._queue) + len(self._work)
+                    >= self.config.queue_limit):
+                self.stats.bump("shed")
+                raise QueueFull(
+                    f"queue is at its {self.config.queue_limit}"
+                    f"-request limit",
+                    retry_after=self.config.retry_after_s)
+            self._queue.append(pending)
+            self._wake.notify()
+        self.stats.bump("requests")
+        return pending
+
+    def handle(self, body: Any) -> Tuple[int, Dict[str, Any]]:
+        """Synchronous request-to-response: submit, wait, classify.
+
+        This is the whole behaviour of ``POST /v1/execute`` minus HTTP
+        framing, so tests can drive the service without sockets.
+        """
+        if not isinstance(body, dict):
+            return 400, error_response("bad_request",
+                                       "request body must be an object")
+        try:
+            pending = self.submit(body)
+        except ServeRejected as exc:
+            return exc.http_status, exc.doc
+        except ProtocolError as exc:
+            return 400, error_response("bad_request", str(exc))
+        remaining = pending.deadline - time.monotonic()
+        if not pending.done.wait(timeout=max(0.0, remaining)):
+            pending.abandoned = True
+            self.stats.bump("timeouts")
+            timeout_ms = body.get("timeout_ms",
+                                  self.config.default_timeout_ms)
+            return 504, error_response(
+                "timeout",
+                f"no result within {timeout_ms:.0f} ms", retriable=True)
+        assert pending.result is not None
+        return pending.result
+
+    # -- dispatcher ----------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._stopped:
+                    self._wake.wait()
+                if self._stopped and not self._queue:
+                    return
+            # first request seen: hold the batching window open so
+            # concurrent identical requests coalesce into one group
+            window_s = self.config.batch_window_ms / 1e3
+            if window_s > 0:
+                time.sleep(window_s)
+            with self._lock:
+                batch: List[_Pending] = []
+                while self._queue and len(batch) < self.config.max_batch:
+                    batch.append(self._queue.popleft())
+            if not batch:
+                continue
+            groups: Dict[str, List[_Pending]] = {}
+            for pending in batch:
+                groups.setdefault(pending.fingerprint, []).append(pending)
+            with self._lock:
+                for group in groups.values():
+                    if len(group) > 1:
+                        self.stats.bump("batched", len(group))
+                        self.stats.bump("dedup_hits", len(group) - 1)
+                    self._inflight += 1
+                    self._work.append(group)
+                self._wake.notify_all()
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._work and not self._stopped:
+                    self._wake.wait()
+                if self._stopped and not self._work:
+                    return
+                group = self._work.popleft()
+            try:
+                self._run_group(group)
+            finally:
+                with self._idle:
+                    self._inflight -= 1
+                    self._idle.notify_all()
+
+    # -- execution -----------------------------------------------------------
+
+    def _arena(self) -> BufferPool:
+        pool = getattr(self._worker_local, "pool", None)
+        if pool is None:
+            pool = BufferPool()
+            self._worker_local.pool = pool
+            with self._lock:
+                self._pools.append(pool)
+        return pool
+
+    def _run_group(self, group: List[_Pending]) -> None:
+        if all(p.abandoned for p in group):
+            # every waiter gave up during the queue wait: executing
+            # would burn a worker on an answer nobody reads
+            self.stats.bump("cancelled", len(group))
+            return
+        lead = group[0]
+        try:
+            status, doc = self._execute(lead.body, len(group))
+        except ProtocolError as exc:
+            status, doc = 400, error_response("bad_request", str(exc))
+            self.stats.bump("errors", len(group))
+        except Exception as exc:    # noqa: BLE001 - one bad request
+            # must never take down the worker thread
+            status, doc = 500, error_response(
+                "internal", f"{type(exc).__name__}: {exc}")
+            self.stats.bump("errors", len(group))
+        else:
+            if status == 200:
+                self.stats.bump("completed", len(group))
+            else:
+                self.stats.bump("errors", len(group))
+        for pending in group:
+            pending.finish(status, doc)
+
+    def _execute(self, body: Dict[str, Any], group_size: int
+                 ) -> Tuple[int, Dict[str, Any]]:
+        """Plan and run one request group on this worker's warm arena.
+
+        ``serve.plan``/``serve.exec`` are deliberately *top-level*
+        spans in the worker thread, correlated to ``serve.request`` by
+        the ``fingerprint`` attr rather than stitched as children: a
+        waiter may time out (closing its request span) while the shared
+        execution continues, and a child outliving its parent would
+        violate the trace validator's containment rule.
+        """
+        fingerprint, _ = request_fingerprint(body)
+        with span("serve.plan", fingerprint=fingerprint[:16],
+                  group=group_size):
+            data = decode_image(body.get("image"))
+            plan = plan_request(body, data)
+        engine = plan.engine if body.get("engine") else self.config.engine
+        arena = self._arena()
+        with span("serve.exec", fingerprint=fingerprint[:16],
+                  engine=engine, group=group_size):
+            self.stats.bump("executions")
+            # lint=False: the HIP3xx pass is advisory and this graph
+            # structure replays for every request of the fingerprint —
+            # re-deriving identical diagnostics is pure warm-path cost
+            report = execute_graph(plan.graph, cache=self.cache,
+                                   workers=self.config.graph_workers,
+                                   pool=arena, engine=engine,
+                                   register_metrics=False, lint=False)
+            result = plan.output.get_data()
+        arena.reset()
+        meta = {
+            "fingerprint": fingerprint,
+            "engine": report.engine_used,
+            "launches": report.launches,
+            "cache_hits": report.cache_hits,
+            "compile_wall_ms": round(report.compile_wall_ms, 3),
+            "execute_wall_ms": round(report.execute_wall_ms, 3),
+            "group_size": group_size,
+            "protocol": PROTOCOL_VERSION,
+        }
+        return 200, {"status": "ok", "image": encode_image(result),
+                     "meta": meta}

@@ -393,3 +393,82 @@ class TestHitRates:
         assert m["cache.ir.hit_rate"] == 0.5
         assert m["cache.frontend.hit_rate"] == 0.5
         assert all(k.startswith("cache.") for k in m)
+
+
+class TestSingleFlight:
+    """Shared-instance concurrency: the serve workers hammer one cache."""
+
+    def test_concurrent_same_key_compiles_exactly_once(self):
+        """N threads racing on one key must produce ONE fresh compile:
+        the winner pays codegen, every racer blocks in locked() and then
+        reads the stored entry as a hit (no cache stampede)."""
+        import threading
+
+        from repro.backends import base as backends_base
+        from repro.runtime import compile as compile_mod
+
+        cache = CompilationCache()
+        n_threads = 12
+        generate_calls = []
+        gen_lock = threading.Lock()
+        real_generate = backends_base.generate
+
+        def counting_generate(*args, **kwargs):
+            with gen_lock:
+                generate_calls.append(threading.get_ident())
+            return real_generate(*args, **kwargs)
+
+        results = [None] * n_threads
+        barrier = threading.Barrier(n_threads)
+
+        def worker(i):
+            barrier.wait()     # maximise the race window
+            kernel = GRID_FILTERS["gaussian"]()
+            results[i] = compile_kernel(kernel, backend="cuda",
+                                        device="Tesla C2050",
+                                        cache=cache)
+
+        # compile_mod resolved `generate` at import time
+        saved = compile_mod.generate
+        compile_mod.generate = counting_generate
+        try:
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(n_threads)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            compile_mod.generate = saved
+
+        # one fresh compile = provisional + final codegen, nothing more
+        assert len(generate_calls) == 2
+        assert cache.stats.stores == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == n_threads - 1
+        fresh = [r for r in results if not r.from_cache]
+        assert len(fresh) == 1
+        baseline = _artifact(fresh[0])
+        for r in results:
+            assert _artifact(r) == baseline
+
+    def test_distinct_keys_do_not_serialise(self):
+        """locked() is per key: two different kernels can hold their
+        flights simultaneously (a coarse global lock would deadlock this
+        ordering)."""
+        cache = CompilationCache()
+        with cache.locked("a" * 64):
+            with cache.locked("b" * 64):
+                pass
+        # both entries were refcounted away
+        assert cache._key_locks == {}
+
+    def test_locked_releases_on_error(self):
+        cache = CompilationCache()
+        with pytest.raises(RuntimeError):
+            with cache.locked("c" * 64):
+                raise RuntimeError("boom")
+        assert cache._key_locks == {}
+        # the key is free again
+        with cache.locked("c" * 64):
+            pass

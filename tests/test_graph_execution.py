@@ -235,3 +235,48 @@ def test_pool_drains_after_mid_schedule_error(frame):
         execute_graph(g, workers=1, fuse=False, pool=arena)
     assert arena.stats.current_bytes == 0
     assert arena.live_count == 0
+
+
+def test_pool_reset_keeps_arenas_warm(frame):
+    """reset() between runs (the serve worker loop) must make the next
+    run bind entirely from the free lists: zero new arena allocations,
+    fresh per-run accounting, cumulative alloc/reuse counters intact."""
+    from repro.graph.pool import BufferPool
+
+    arena = BufferPool()
+    _, first = _graph_run(frame, workers=1, fuse=False, pool=arena)
+    cold_allocs = arena.stats.allocs
+    assert cold_allocs > 0
+    assert first.pool.naive_bytes > 0
+
+    dropped = arena.reset()
+    assert dropped == 0                       # scheduler already drained
+    assert arena.stats.naive_bytes == 0
+    assert arena.stats.peak_bytes == 0
+    assert arena.stats.current_bytes == 0
+    assert arena.stats.allocs == cold_allocs  # cumulative counters kept
+    assert arena.reset() == 0                 # idempotent
+
+    _, second = _graph_run(frame, workers=1, fuse=False, pool=arena)
+    # the warm run reallocated nothing: every bind recycled a bucket
+    assert arena.stats.allocs == cold_allocs
+    assert arena.stats.reuses > cold_allocs
+    assert second.pool.peak_bytes > 0         # accounting restarted
+
+
+def test_pool_reset_drops_live_bindings():
+    """A reset with live bindings (a request that died mid-flight)
+    returns them to the free lists so the next bind reuses, not leaks."""
+    from repro.graph.pool import BufferPool
+
+    pool = BufferPool()
+    img = Image(64, 64, float, name="tmp")
+    pool.bind(img, 64)
+    assert pool.live_count == 1
+    assert pool.reset() == 1
+    assert pool.live_count == 0
+    assert pool.stats.current_bytes == 0
+    again = Image(64, 64, float, name="tmp2")
+    pool.bind(again, 64)
+    assert pool.stats.allocs == 1             # recycled, not reallocated
+    assert pool.stats.reuses == 1
