@@ -104,7 +104,8 @@ def decode_image(payload: Any) -> np.ndarray:
     return np.frombuffer(raw, dtype=dtype).reshape(h, w).copy()
 
 
-def _canonical_work(body: Dict[str, Any]) -> Dict[str, Any]:
+def _canonical_work(body: Dict[str, Any],
+                    default_engine: str = "auto") -> Dict[str, Any]:
     """The request fields that determine the *answer* (not the
     scheduling), in canonical form."""
     work: Dict[str, Any] = {}
@@ -128,18 +129,24 @@ def _canonical_work(body: Dict[str, Any]) -> Dict[str, Any]:
         if engine not in ("sim", "native", "auto"):
             raise ProtocolError(
                 f"engine {engine!r} must be sim, native or auto")
-        work["engine"] = engine
+    # always fingerprint a *resolved* engine, like device/backend: a
+    # request that omits the field and one that names the server
+    # default are interchangeable and must coalesce
+    work["engine"] = engine if engine is not None else default_engine
     return work
 
 
-def request_fingerprint(body: Dict[str, Any]) -> Tuple[str, str]:
+def request_fingerprint(body: Dict[str, Any],
+                        default_engine: str = "auto") -> Tuple[str, str]:
     """``(fingerprint, image_digest)`` for *body*.
 
     The fingerprint hashes the canonical work description plus the
     image digest; requests with equal fingerprints are interchangeable
-    — one execution answers all of them.
+    — one execution answers all of them.  *default_engine* is the
+    engine an omitting request resolves to (the server's configured
+    default), so omitted-vs-explicit-default requests share a key.
     """
-    work = _canonical_work(body)
+    work = _canonical_work(body, default_engine)
     image = body.get("image")
     if not isinstance(image, dict):
         raise ProtocolError("request missing 'image' payload")

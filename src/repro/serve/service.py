@@ -171,7 +171,12 @@ class ServeService:
         self.stats = ServeStats()
         self._queue: Deque[_Pending] = collections.deque()
         self._lock = threading.Lock()
-        self._wake = threading.Condition(self._lock)
+        # two conditions on the one lock, so a notify can never be
+        # consumed by the wrong kind of waiter: only the dispatcher
+        # waits on _queue_wake (intake), only workers wait on
+        # _work_wake (grouped work)
+        self._queue_wake = threading.Condition(self._lock)
+        self._work_wake = threading.Condition(self._lock)
         self._draining = False
         self._stopped = False
         self._inflight = 0
@@ -212,7 +217,6 @@ class ServeService:
                 self._draining = True
                 flushed = list(self._queue)
                 self._queue.clear()
-                self._wake.notify_all()
             else:
                 flushed = []
         for pending in flushed:
@@ -232,7 +236,8 @@ class ServeService:
                 self._idle.wait(timeout=remaining)
         with self._lock:
             self._stopped = True
-            self._wake.notify_all()
+            self._queue_wake.notify_all()
+            self._work_wake.notify_all()
         return True
 
     @property
@@ -265,7 +270,8 @@ class ServeService:
     def submit(self, body: Dict[str, Any]) -> _Pending:
         """Fingerprint + enqueue *body*; raises :class:`ServeRejected`
         subclasses (shed/drain) or :class:`ProtocolError` (400)."""
-        fingerprint, _ = request_fingerprint(body)
+        fingerprint, _ = request_fingerprint(
+            body, default_engine=self.config.engine)
         timeout_ms = body.get("timeout_ms",
                               self.config.default_timeout_ms)
         if (not isinstance(timeout_ms, (int, float))
@@ -293,7 +299,7 @@ class ServeService:
                     f"-request limit",
                     retry_after=self.config.retry_after_s)
             self._queue.append(pending)
-            self._wake.notify()
+            self._queue_wake.notify()
         self.stats.bump("requests")
         return pending
 
@@ -330,7 +336,7 @@ class ServeService:
         while True:
             with self._lock:
                 while not self._queue and not self._stopped:
-                    self._wake.wait()
+                    self._queue_wake.wait()
                 if self._stopped and not self._queue:
                     return
             # first request seen: hold the batching window open so
@@ -338,29 +344,33 @@ class ServeService:
             window_s = self.config.batch_window_ms / 1e3
             if window_s > 0:
                 time.sleep(window_s)
+            # pop, group and publish under ONE lock hold: every pending
+            # request is visible in _queue, _work or _inflight at all
+            # times, so drain()'s idle predicate can never observe a
+            # clean state while requests sit in a dispatcher local
             with self._lock:
                 batch: List[_Pending] = []
                 while self._queue and len(batch) < self.config.max_batch:
                     batch.append(self._queue.popleft())
-            if not batch:
-                continue
-            groups: Dict[str, List[_Pending]] = {}
-            for pending in batch:
-                groups.setdefault(pending.fingerprint, []).append(pending)
-            with self._lock:
+                if not batch:
+                    continue
+                groups: Dict[str, List[_Pending]] = {}
+                for pending in batch:
+                    groups.setdefault(pending.fingerprint,
+                                      []).append(pending)
                 for group in groups.values():
                     if len(group) > 1:
                         self.stats.bump("batched", len(group))
                         self.stats.bump("dedup_hits", len(group) - 1)
                     self._inflight += 1
                     self._work.append(group)
-                self._wake.notify_all()
+                self._work_wake.notify_all()
 
     def _worker_loop(self) -> None:
         while True:
             with self._lock:
                 while not self._work and not self._stopped:
-                    self._wake.wait()
+                    self._work_wake.wait()
                 if self._stopped and not self._work:
                     return
                 group = self._work.popleft()
@@ -418,7 +428,8 @@ class ServeService:
         execution continues, and a child outliving its parent would
         violate the trace validator's containment rule.
         """
-        fingerprint, _ = request_fingerprint(body)
+        fingerprint, _ = request_fingerprint(
+            body, default_engine=self.config.engine)
         with span("serve.plan", fingerprint=fingerprint[:16],
                   group=group_size):
             data = decode_image(body.get("image"))
@@ -428,15 +439,23 @@ class ServeService:
         with span("serve.exec", fingerprint=fingerprint[:16],
                   engine=engine, group=group_size):
             self.stats.bump("executions")
-            # lint=False: the HIP3xx pass is advisory and this graph
-            # structure replays for every request of the fingerprint —
-            # re-deriving identical diagnostics is pure warm-path cost
-            report = execute_graph(plan.graph, cache=self.cache,
-                                   workers=self.config.graph_workers,
-                                   pool=arena, engine=engine,
-                                   register_metrics=False, lint=False)
-            result = plan.output.get_data()
-        arena.reset()
+            # reset in finally: a failed execute/encode must still zero
+            # the per-run pool accounting, or the pool.* metrics drift
+            # after every request error
+            try:
+                # lint=False: the HIP3xx pass is advisory and this
+                # graph structure replays for every request of the
+                # fingerprint — re-deriving identical diagnostics is
+                # pure warm-path cost
+                report = execute_graph(plan.graph, cache=self.cache,
+                                       workers=self.config.graph_workers,
+                                       pool=arena, engine=engine,
+                                       register_metrics=False,
+                                       lint=False)
+                result = plan.output.get_data()
+                encoded = encode_image(result)
+            finally:
+                arena.reset()
         meta = {
             "fingerprint": fingerprint,
             "engine": report.engine_used,
@@ -447,5 +466,4 @@ class ServeService:
             "group_size": group_size,
             "protocol": PROTOCOL_VERSION,
         }
-        return 200, {"status": "ok", "image": encode_image(result),
-                     "meta": meta}
+        return 200, {"status": "ok", "image": encoded, "meta": meta}

@@ -110,6 +110,18 @@ class TestProtocol:
         assert (request_fingerprint(body)[0]
                 == request_fingerprint(with_timeout)[0])
 
+    def test_fingerprint_resolves_omitted_engine(self, frame):
+        # omitted engine and explicit server-default engine are
+        # interchangeable work and must coalesce
+        body = {"pipeline": "edge", "image": encode_image(frame)}
+        explicit = dict(body, engine="auto")
+        assert (request_fingerprint(body)[0]
+                == request_fingerprint(explicit)[0])
+        assert (request_fingerprint(body, default_engine="sim")[0]
+                == request_fingerprint(dict(body, engine="sim"))[0])
+        assert (request_fingerprint(body, default_engine="sim")[0]
+                != request_fingerprint(explicit)[0])
+
 
 # --------------------------------------------------------------------------
 # End-to-end over HTTP
