@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Native-tier eligibility diff: prove-based gate vs syntactic whitelist.
+
+The native graph tier admits a node when ``prove_ineligibility`` (the
+abstract interpreter, :mod:`repro.lint.absint`) can show its C lowering
+is byte-identical to the simulator.  The older purely syntactic
+``whitelist_ineligibility`` survives as the fallback and as the CI
+baseline: the prover may only ever *widen* eligibility, never shrink
+it.  CI runs::
+
+    PYTHONPATH=src python scripts/native_eligibility_diff.py
+
+which compiles every builtin pipeline (the CLI edge chain plus the
+serve planner's named pipelines), counts eligible nodes under both
+gates, prints the per-node diff, and exits non-zero if
+
+* any node is whitelist-eligible but prove-ineligible (a regression:
+  the prover must subsume the whitelist), or
+* no node is prove-eligible beyond the whitelist (the gap the abstract
+  interpreter exists to close must stay demonstrated).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.cli import build_edge_pipeline
+from repro.graph.scheduler import compile_graph
+from repro.runtime.native_graph import (
+    native_ineligibility,
+    whitelist_ineligibility,
+)
+from repro.serve.planner import PIPELINES, plan_request
+
+
+def builtin_graphs():
+    """(label, compiled PipelineGraph) for every builtin pipeline."""
+    out = []
+    g, _ = build_edge_pipeline(48, "Tesla C2050", "cuda")
+    out.append(("cli:edge", g))
+    frame = np.linspace(0.0, 1.0, 48 * 48, dtype=np.float32).reshape(48, 48)
+    for name in sorted(PIPELINES):
+        plan = plan_request({"pipeline": name}, frame)
+        out.append((f"serve:{name}", plan.graph))
+    for _, g in out:
+        compile_graph(g, cache=False, workers=1)
+    return out
+
+
+def main() -> int:
+    rows = []
+    for label, graph in builtin_graphs():
+        for node in graph.nodes:
+            wl = whitelist_ineligibility(node)
+            pr = native_ineligibility(node)
+            rows.append((label, node.name, wl, pr))
+
+    wl_count = sum(1 for *_x, wl, _pr in rows if wl is None)
+    pr_count = sum(1 for *_x, _wl, pr in rows if pr is None)
+    regressions = [r for r in rows if r[2] is None and r[3] is not None]
+    widened = [r for r in rows if r[2] is not None and r[3] is None]
+
+    print(f"{'pipeline':<14} {'node':<28} whitelist  prove")
+    for label, name, wl, pr in rows:
+        print(f"{label:<14} {name:<28} "
+              f"{'ok' if wl is None else 'NO':<9}  "
+              f"{'ok' if pr is None else 'NO'}")
+        if wl is not None:
+            print(f"{'':<14}   whitelist: {wl}")
+        if pr is not None:
+            print(f"{'':<14}   prove:     {pr}")
+    print(f"\neligible nodes: whitelist {wl_count}/{len(rows)}, "
+          f"prove {pr_count}/{len(rows)} "
+          f"(+{len(widened)} widened, -{len(regressions)} regressed)")
+
+    status = 0
+    if regressions:
+        for label, name, _wl, pr in regressions:
+            print(f"REGRESSION: {label}/{name} whitelist-eligible but "
+                  f"prove-rejected: {pr}", file=sys.stderr)
+        status = 1
+    if not widened:
+        print("REGRESSION: no node is prove-eligible beyond the whitelist "
+              "(expected e.g. serve:enhance gamma=2.0)", file=sys.stderr)
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,8 @@ class CacheStats:
     disk_writes: int = 0
     frontend_hits: int = 0       # pre-parse fingerprint memo hits
     frontend_misses: int = 0
+    lint_hits: int = 0           # lint-result memo hits (per canonical IR)
+    lint_misses: int = 0
 
     @property
     def lookups(self) -> int:
@@ -58,6 +60,16 @@ class CacheStats:
     @property
     def frontend_lookups(self) -> int:
         return self.frontend_hits + self.frontend_misses
+
+    @property
+    def lint_lookups(self) -> int:
+        return self.lint_hits + self.lint_misses
+
+    @property
+    def lint_hit_rate(self) -> float:
+        """Hit rate of the lint-result memo alone."""
+        total = self.lint_lookups
+        return self.lint_hits / total if total else 0.0
 
     @property
     def ir_hit_rate(self) -> float:
@@ -86,6 +98,7 @@ class CacheStats:
         out: Dict[str, float] = dataclasses.asdict(self)
         out["ir_hit_rate"] = self.ir_hit_rate
         out["frontend_hit_rate"] = self.frontend_hit_rate
+        out["lint_hit_rate"] = self.lint_hit_rate
         return out
 
     def metrics(self) -> Dict[str, float]:
@@ -102,6 +115,9 @@ class CacheStats:
             "cache.frontend.hits": self.frontend_hits,
             "cache.frontend.misses": self.frontend_misses,
             "cache.frontend.hit_rate": self.frontend_hit_rate,
+            "cache.lint.hits": self.lint_hits,
+            "cache.lint.misses": self.lint_misses,
+            "cache.lint.hit_rate": self.lint_hit_rate,
         }
 
     def summary(self) -> str:
@@ -111,7 +127,9 @@ class CacheStats:
                 f"ir_hit_rate={self.ir_hit_rate:.1%} "
                 f"frontend_hits={self.frontend_hits} "
                 f"frontend_misses={self.frontend_misses} "
-                f"frontend_hit_rate={self.frontend_hit_rate:.1%}")
+                f"frontend_hit_rate={self.frontend_hit_rate:.1%} "
+                f"lint_hits={self.lint_hits} "
+                f"lint_misses={self.lint_misses}")
 
 
 class CompilationCache:
@@ -135,6 +153,10 @@ class CompilationCache:
             collections.OrderedDict()
         # fingerprint -> (ir_digest, typechecked KernelIR); memory only
         self._frontend: "collections.OrderedDict[str, Tuple[str, Any]]" = \
+            collections.OrderedDict()
+        # lint key (canonical-IR digest + lint config) -> diagnostics;
+        # memory only, so cached compiles skip re-running the pipeline
+        self._lint: "collections.OrderedDict[str, List[Any]]" = \
             collections.OrderedDict()
         # key -> [lock, refcount]: the single-flight table behind
         # locked(); entries exist only while some thread holds or waits
@@ -240,6 +262,7 @@ class CompilationCache:
         with self._lock:
             self._entries.clear()
             self._frontend.clear()
+            self._lint.clear()
         if disk and self.directory and os.path.isdir(self.directory):
             for shard in os.listdir(self.directory):
                 shard_dir = os.path.join(self.directory, shard)
@@ -303,6 +326,29 @@ class CompilationCache:
             self._frontend.move_to_end(fingerprint)
             while len(self._frontend) > self.capacity:
                 self._frontend.popitem(last=False)
+
+    # -- lint memo ----------------------------------------------------------
+
+    def lint_get(self, key: str) -> Optional[List[Any]]:
+        """The memoised diagnostics for one lint *key* (canonical-IR
+        digest plus lint configuration), or None.  Returns a copy: the
+        compile driver re-emits the list to active collectors and
+        callers must not mutate the memo."""
+        with self._lock:
+            hit = self._lint.get(key)
+            if hit is not None:
+                self._lint.move_to_end(key)
+                self.stats.lint_hits += 1
+                return list(hit)
+            self.stats.lint_misses += 1
+            return None
+
+    def lint_put(self, key: str, diagnostics: List[Any]) -> None:
+        with self._lock:
+            self._lint[key] = list(diagnostics)
+            self._lint.move_to_end(key)
+            while len(self._lint) > self.capacity:
+                self._lint.popitem(last=False)
 
     # -- disk layer ---------------------------------------------------------
 

@@ -334,7 +334,7 @@ def cmd_lint(args) -> int:
     import os
     import runpy
 
-    from .lint import LintReport, collecting, lint_kernel
+    from .lint import LintReport, collecting, lint_graph, lint_kernel
 
     if not args.targets and not args.builtin:
         print("nothing to lint: pass file targets and/or --builtin",
@@ -347,6 +347,11 @@ def cmd_lint(args) -> int:
 
         for kernel in builtin_kernels():
             report.extend(lint_kernel(kernel))
+        # Graph-level passes over the builtin demo pipeline: HIP3xx
+        # findings count toward --fail-on, HIP5xx footprint facts are
+        # notes and never trip the threshold.
+        g, _ = build_edge_pipeline(64, "Tesla C2050", "cuda")
+        report.extend(lint_graph(g, notes=True))
 
     for target in args.targets:
         # Kernels are built dynamically, so "lint this file" means "run

@@ -10,9 +10,10 @@ its allocation outright.
 
 The pass works on typechecked :class:`~repro.ir.nodes.KernelIR`:
 
-1. eligibility — a node is a *point op* when it has no masks, every
-   accessor is an un-interpolated 1x1 window, every ``AccessorRead``
-   offset is the constant ``(0, 0)``, and the body ends in its single
+1. eligibility — a node is a *point op* when it has no masks, the
+   abstract interpreter proves a pointwise footprint (every
+   ``AccessorRead`` offset hull is exactly ``[0..0]x[0..0]`` — see
+   :mod:`repro.lint.footprint`), and the body ends in its single
    top-level ``OutputWrite``;
 2. a producer fuses into its consumer when both are point ops with the
    same full-image iteration space and compile options, and the
@@ -49,10 +50,9 @@ from ..ir.nodes import (
     Stmt,
     VarDecl,
     VarRef,
-    const_int_value,
 )
 from ..ir.typecheck import typecheck_kernel
-from ..ir.visitors import iter_all_exprs, map_exprs, walk_stmts
+from ..ir.visitors import map_exprs, walk_stmts
 from .builder import GraphNode, PipelineGraph
 
 
@@ -83,21 +83,24 @@ class FusionStats:
 
 
 def is_point_op(ir: KernelIR) -> bool:
-    """True when *ir* only touches the centre pixel of 1x1 accessors and
-    ends in its single top-level OutputWrite."""
+    """True when the abstract interpreter proves *ir* reads only the
+    centre pixel of every accessor and the kernel ends in its single
+    top-level OutputWrite.
+
+    The footprint proof subsumes the old syntactic check (1x1 windows
+    with literal ``(0, 0)`` offsets) and additionally admits kernels
+    whose offsets are provably zero through arithmetic — any widening
+    here is sound because fusion substitutes the producer expression at
+    the centre pixel, which is exactly what a pointwise footprint
+    licenses."""
     if ir.masks:
         return False
-    for acc in ir.accessors:
-        if acc.window != (1, 1) or acc.interpolation is not None:
-            return False
-    for e in iter_all_exprs(ir.body):
-        if isinstance(e, AccessorRead):
-            if const_int_value(e.dx) != 0 or const_int_value(e.dy) != 0:
-                return False
     writes = [s for s in walk_stmts(ir.body) if isinstance(s, OutputWrite)]
     if len(writes) != 1:
         return False
-    return bool(ir.body) and ir.body[-1] is writes[0]
+    if not (bool(ir.body) and ir.body[-1] is writes[0]):
+        return False
+    return ir.footprint().is_pointwise()
 
 
 def node_ir(node: GraphNode) -> KernelIR:

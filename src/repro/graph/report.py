@@ -45,6 +45,11 @@ class NodeReport:
     #: (compiled graph segment) — per node because a hybrid native run
     #: keeps ineligible nodes on the simulator
     engine: str = "sim"
+    #: the node's access footprint as derived by the abstract
+    #: interpreter (``KernelIR.footprint().to_dict()`` — per-accessor
+    #: read-offset hulls plus the union halo); ``None`` when the node's
+    #: kernel could not be analyzed
+    footprint: Optional[Dict] = None
 
     def row(self) -> str:
         origin = "cache" if self.from_cache else "fresh"

@@ -101,6 +101,17 @@ def compile_graph(graph: PipelineGraph,
     return sp.duration_ms
 
 
+def _node_footprint(node: GraphNode) -> Optional[Dict]:
+    """The node's analyzed access footprint for its
+    :class:`~repro.graph.report.NodeReport` (``None`` when the kernel
+    cannot be parsed/typechecked — the compile already reported why)."""
+    try:
+        from .fusion import node_ir
+        return node_ir(node).footprint().to_dict()
+    except Exception:
+        return None
+
+
 def _run_stitched(token, fn, *args):
     """Run *fn* in a worker thread with its spans parented to *token*."""
     with child_of(token):
@@ -339,6 +350,7 @@ def _execute_graph(graph, cache, workers, fuse, pool, engine,
             wall_ms=node_wall_ms.get(n.name, 0.0),
             stage_timings=dict(n.compiled.stage_timings),
             engine=eng,
+            footprint=_node_footprint(n),
         ))
     report = GraphReport(
         graph_name=graph.name,

@@ -352,6 +352,20 @@ class KernelIR:
                 return p
         raise KeyError(name)
 
+    def footprint(self):
+        """The per-accessor access footprint (read-offset hulls and halo
+        extents) derived by the abstract interpreter — see
+        :mod:`repro.lint.footprint`.  Computed once per IR instance and
+        cached; mutating ``body`` afterwards does not invalidate it, so
+        transforms must recompute on their rewritten copies.
+        """
+        cached = getattr(self, "_footprint_cache", None)
+        if cached is None:
+            from ..lint.footprint import compute_footprint
+            cached = compute_footprint(self)
+            self._footprint_cache = cached
+        return cached
+
 
 # --------------------------------------------------------------------------
 # Small helpers shared by analyses and transforms

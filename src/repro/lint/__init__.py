@@ -10,7 +10,12 @@ stable ``HIPxxx`` codes:
   boundary window, implicit narrowing;
 * ``HIP2xx`` performance — gid-dependent divergence, staging hazards,
   bank conflicts, statically-unbounded offsets;
-* ``HIP3xx`` pipeline graphs — unconsumed outputs, missed fusion.
+* ``HIP3xx`` pipeline graphs — unconsumed outputs, missed fusion;
+* ``HIP4xx`` value-range hazards — interval abstract interpretation
+  over the CFG (derived out-of-window reads, possibly-zero divisors,
+  overflowing narrowing casts, negative ``sqrt``/``log`` arguments);
+* ``HIP5xx`` footprint facts — per-node halo extents and
+  footprint-incompatibility notes on fusion refusals.
 
 Entry points: :func:`lint_kernel` (a DSL kernel), :func:`lint_ir`
 (already-parsed IR), :func:`lint_graph` (a pipeline graph), and the
@@ -25,22 +30,30 @@ from typing import List, Optional, Tuple
 
 from ..errors import FrontendError, TypeError_, VerificationError
 from ..ir.nodes import KernelIR
+from .absint import AbsintResult, interpret, range_passes
 from .collect import collecting, emit
 from .correctness import check_narrowing, correctness_passes
 from .diagnostics import CODES, Diagnostic, LintReport, Severity
+from .footprint import AccessorFootprint, KernelFootprint, compute_footprint
 from .graphlint import graph_passes
 from .performance import performance_passes
 
 __all__ = [
     "CODES",
+    "AbsintResult",
+    "AccessorFootprint",
     "Diagnostic",
+    "KernelFootprint",
     "LintReport",
     "Severity",
     "collecting",
+    "compute_footprint",
     "emit",
+    "interpret",
     "lint_graph",
     "lint_ir",
     "lint_kernel",
+    "range_passes",
 ]
 
 
@@ -76,6 +89,7 @@ def lint_ir(ir: KernelIR, typed: Optional[KernelIR] = None,
     if typed is not None:
         diags += check_narrowing(ir, typed)
         diags += performance_passes(typed, block=block, use_smem=use_smem)
+        diags += range_passes(typed)
     return diags
 
 
@@ -91,7 +105,7 @@ def lint_kernel(kernel) -> List[Diagnostic]:
     return lint_ir(ir)
 
 
-def lint_graph(graph) -> List[Diagnostic]:
-    """Run the HIP3xx passes over a
+def lint_graph(graph, notes: bool = False) -> List[Diagnostic]:
+    """Run the HIP3xx (and, with ``notes=True``, HIP5xx) passes over a
     :class:`~repro.graph.builder.PipelineGraph`."""
-    return graph_passes(graph)
+    return graph_passes(graph, notes=notes)

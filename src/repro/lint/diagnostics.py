@@ -2,7 +2,9 @@
 
 Every finding the analysis passes produce is a :class:`Diagnostic` with a
 stable ``HIPxxx`` code (``HIP1xx`` correctness, ``HIP2xx`` performance,
-``HIP3xx`` pipeline graph), a :class:`Severity`, a human message, an
+``HIP3xx`` pipeline graph, ``HIP4xx`` value-range hazards from the
+abstract interpreter, ``HIP5xx`` footprint facts), a :class:`Severity`,
+a human message, an
 optional fix-it hint, and — when the frontend recorded one — the line of
 the user's ``kernel()`` method that produced the offending IR.
 
@@ -23,11 +25,18 @@ from typing import Dict, List, Optional, Sequence
 
 
 class Severity(enum.IntEnum):
-    """Ordered so ``max()`` over a report gives the worst finding."""
+    """Ordered so ``max()`` over a report gives the worst finding.
+
+    ``NOTE`` sits between ``INFO`` and ``WARNING``: it marks analysis
+    *facts* (footprints, halos) rather than findings, and — like
+    ``INFO`` — never trips a ``--fail-on`` threshold.  The numeric
+    values are internal ordering only; persist the names, not the ints.
+    """
 
     INFO = 0
-    WARNING = 1
-    ERROR = 2
+    NOTE = 1
+    WARNING = 2
+    ERROR = 3
 
     def __str__(self) -> str:
         return self.name.lower()
@@ -61,7 +70,23 @@ CODES: Dict[str, tuple] = {
     "HIP301": ("node output is neither consumed nor marked as a graph "
                "output", Severity.WARNING),
     "HIP302": ("adjacent nodes were not fused", Severity.INFO),
+    # -- value-range hazards, abstract interpretation (HIP4xx) ---------------
+    "HIP401": ("derived accessor offsets escape the declared window",
+               Severity.WARNING),
+    "HIP402": ("division by a possibly-zero interval", Severity.WARNING),
+    "HIP403": ("narrowing cast can overflow the target range",
+               Severity.WARNING),
+    "HIP404": ("sqrt/log argument range includes negative values",
+               Severity.WARNING),
+    # -- footprint facts, abstract interpretation (HIP5xx) -------------------
+    "HIP501": ("kernel access footprint and halo extent", Severity.NOTE),
+    "HIP502": ("footprints are incompatible with fusion", Severity.NOTE),
 }
+
+#: where SARIF ``helpUri`` anchors point; each code has a matching
+#: ``<a id="hipxxx">`` anchor in the catalogue
+DIAGNOSTICS_DOC_URL = ("https://github.com/hipacc/hipacc/blob/main/"
+                       "docs/DIAGNOSTICS.md")
 
 
 @dataclass
@@ -130,6 +155,11 @@ class LintReport:
     def warnings(self) -> int:
         return self.count(Severity.WARNING)
 
+    @property
+    def notes(self) -> int:
+        """Sub-warning findings (``INFO`` + ``NOTE``)."""
+        return self.count(Severity.INFO) + self.count(Severity.NOTE)
+
     def worst(self) -> Optional[Severity]:
         if not self.diagnostics:
             return None
@@ -150,7 +180,7 @@ class LintReport:
             return "no findings"
         lines = [d.format() for d in self.diagnostics]
         lines.append(f"{self.errors} error(s), {self.warnings} warning(s), "
-                     f"{self.count(Severity.INFO)} note(s)")
+                     f"{self.notes} note(s)")
         return "\n".join(lines)
 
     def to_json(self) -> str:
@@ -159,26 +189,36 @@ class LintReport:
             "summary": {
                 "errors": self.errors,
                 "warnings": self.warnings,
-                "notes": self.count(Severity.INFO),
+                "notes": self.notes,
             },
         }, indent=2)
 
     def to_sarif(self) -> str:
-        """Minimal SARIF 2.1.0 document (one run, one rule per code)."""
-        levels = {Severity.INFO: "note", Severity.WARNING: "warning",
-                  Severity.ERROR: "error"}
+        """SARIF 2.1.0 document (one run, one rule per code).
+
+        Rules carry ``helpUri`` anchors into ``docs/DIAGNOSTICS.md`` and
+        results carry full column regions, so code-scanning UIs can
+        link findings back to the catalogue and underline the exact
+        source span.
+        """
+        levels = {Severity.INFO: "note", Severity.NOTE: "note",
+                  Severity.WARNING: "warning", Severity.ERROR: "error"}
         used = sorted({d.code for d in self.diagnostics})
         rules = [{
             "id": code,
+            "name": code,
             "shortDescription": {"text": CODES[code][0]},
+            "helpUri": f"{DIAGNOSTICS_DOC_URL}#{code.lower()}",
             "defaultConfiguration": {
                 "level": levels[CODES[code][1]],
             },
         } for code in used]
+        rule_index = {code: i for i, code in enumerate(used)}
         results = []
         for d in self.diagnostics:
             result = {
                 "ruleId": d.code,
+                "ruleIndex": rule_index[d.code],
                 "level": levels[d.severity],
                 "message": {"text": d.message},
             }
@@ -187,9 +227,13 @@ class LintReport:
                 location["logicalLocations"] = [
                     {"name": d.kernel, "kind": "function"}]
             if d.lineno is not None:
+                region = {"startLine": d.lineno, "startColumn": 1,
+                          "endLine": d.lineno}
+                if d.source_line:
+                    region["endColumn"] = len(d.source_line) + 1
                 location["physicalLocation"] = {
                     "artifactLocation": {"uri": f"{d.kernel or 'kernel'}"},
-                    "region": {"startLine": d.lineno},
+                    "region": region,
                 }
             if location:
                 result["locations"] = [location]

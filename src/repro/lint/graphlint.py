@@ -1,10 +1,13 @@
-"""Pipeline-graph passes (HIP3xx) over a :class:`PipelineGraph`.
+"""Pipeline-graph passes (HIP3xx/HIP5xx) over a :class:`PipelineGraph`.
 
 These explain graph-level behaviour that is invisible from any single
-kernel: outputs nobody reads (HIP301) and — the question every user of
+kernel: outputs nobody reads (HIP301), — the question every user of
 the fusion pass eventually asks — *why* two adjacent nodes were not
-merged (HIP302).  The scheduler runs them after fusion, so the remaining
-producer/consumer pairs are exactly the ones fusion declined.
+merged (HIP302), and the abstract interpreter's per-node footprint
+facts (HIP501 halo extents, HIP502 footprint-incompatibility notes
+riding along with HIP302 refusals).  The scheduler runs them after
+fusion, so the remaining producer/consumer pairs are exactly the ones
+fusion declined.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from ..graph.fusion import (
     node_ir,
 )
 from .diagnostics import Diagnostic
+from .footprint import KernelFootprint
 
 
 def _node_diag(code: str, message: str, node: GraphNode,
@@ -59,10 +63,41 @@ def _point_op_safe(node: GraphNode) -> Optional[bool]:
         return None
 
 
-def explain_missed_fusion(graph: PipelineGraph) -> List[Diagnostic]:
+def _footprint_safe(node: GraphNode) -> Optional[KernelFootprint]:
+    try:
+        return node_ir(node).footprint()
+    except Exception:
+        return None
+
+
+def describe_footprints(graph: PipelineGraph) -> List[Diagnostic]:
+    """HIP501: one note per analyzable node stating its access footprint
+    and halo extent — the facts halo-aware fusion and tiled execution
+    consume, surfaced so ``repro lint`` output documents them."""
+    out: List[Diagnostic] = []
+    for node in graph.nodes:
+        fp = _footprint_safe(node)
+        if fp is None:
+            continue
+        halo = fp.halo()
+        if halo is None:
+            message = (f"node {node.name!r} has an unbounded access "
+                       f"footprint ({fp.describe()})")
+        elif fp.is_pointwise():
+            message = f"node {node.name!r} is pointwise (halo 0x0)"
+        else:
+            message = (f"node {node.name!r} needs a halo of "
+                       f"{halo[0]}x{halo[1]} ({fp.describe()})")
+        out.append(_node_diag("HIP501", message, node))
+    return out
+
+
+def explain_missed_fusion(graph: PipelineGraph,
+                          notes: bool = False) -> List[Diagnostic]:
     """HIP302: for every remaining producer -> consumer edge where fusion
     was plausible (at least one side is a point operator), say exactly
-    which precondition failed."""
+    which precondition failed.  With ``notes=True`` each
+    footprint-caused refusal also carries its HIP502 companion note."""
     out: List[Diagnostic] = []
     outputs = graph.outputs()
     for producer in graph.nodes:
@@ -110,9 +145,56 @@ def explain_missed_fusion(graph: PipelineGraph) -> List[Diagnostic]:
                 hint="point-operator fusion needs a single-consumer "
                      "intermediate, matching options and full-cover "
                      "iteration spaces"))
+            if notes:
+                note = _footprint_incompatibility(producer, consumer,
+                                                  p_point, c_point)
+                if note is not None:
+                    out.append(note)
     return out
 
 
-def graph_passes(graph: PipelineGraph) -> List[Diagnostic]:
-    """All HIP3xx passes over one pipeline graph."""
-    return check_unconsumed_outputs(graph) + explain_missed_fusion(graph)
+def _footprint_incompatibility(producer: GraphNode, consumer: GraphNode,
+                               p_point: Optional[bool],
+                               c_point: Optional[bool]
+                               ) -> Optional[Diagnostic]:
+    """HIP502: when an HIP302 refusal is footprint-caused, attach the
+    analysis-backed explanation (which side reads beyond the centre
+    pixel, and by how much)."""
+    culprits = []
+    for node, point in ((producer, p_point), (consumer, c_point)):
+        if point is not False:
+            continue
+        fp = _footprint_safe(node)
+        if fp is None:
+            continue
+        halo = fp.halo()
+        if halo is None:
+            culprits.append(f"{node.name!r} has an unbounded footprint "
+                            f"({fp.describe()})")
+        elif not fp.is_pointwise():
+            culprits.append(f"{node.name!r} reads a "
+                            f"{2 * halo[0] + 1}x{2 * halo[1] + 1} "
+                            f"footprint ({fp.describe()})")
+    if not culprits:
+        return None
+    return _node_diag(
+        "HIP502",
+        f"footprints block fusing {producer.name!r} -> "
+        f"{consumer.name!r}: " + "; ".join(culprits),
+        producer,
+        hint="only nodes with a proven 1x1 (pointwise) footprint can "
+             "be substituted into their consumer")
+
+
+def graph_passes(graph: PipelineGraph,
+                 notes: bool = False) -> List[Diagnostic]:
+    """All graph-level passes.  ``notes=False`` (the scheduler's mode)
+    emits findings only (HIP3xx); ``notes=True`` (``repro lint``) adds
+    the HIP5xx footprint facts."""
+    out = check_unconsumed_outputs(graph)
+    out += explain_missed_fusion(graph, notes=notes)
+    if notes:
+        out += describe_footprints(graph)
+    return out
+
+

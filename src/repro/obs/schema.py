@@ -61,6 +61,12 @@ NATIVE_SPANS = ("native.compile", "native.exec")
 #: ``fingerprint`` attr instead.
 SERVE_SPANS = ("serve.request", "serve.plan", "serve.exec")
 
+#: Span names the abstract interpreter emits (:mod:`repro.lint.absint`
+#: and :mod:`repro.lint.footprint`): ``absint.fixpoint`` wraps one
+#: fixpoint run over a kernel CFG (attrs: ``kernel``) and
+#: ``absint.footprint`` wraps the derived access-footprint computation.
+ABSINT_SPANS = ("absint.fixpoint", "absint.footprint")
+
 
 def normalize_stage_timings(timings: Mapping[str, float]
                             ) -> Dict[str, float]:

@@ -52,7 +52,15 @@ from .program import CompiledKernel
 _DEFAULT_DEVICE = {"cuda": "Tesla C2050", "opencl": "Tesla C2050"}
 
 
-def _verify(ir, options, *, strict: bool, timings) -> list:
+def _lint_key(ir_dig: str, options) -> str:
+    """Memo key for one lint run: the canonical-IR digest plus every
+    input the passes are sensitive to (block shape, smem staging)."""
+    block = options.block
+    return f"{ir_dig}:b{block[0]}x{block[1]}:s{int(options.use_smem)}"
+
+
+def _verify(ir, options, *, strict: bool, timings,
+            store=None, ir_dig=None) -> list:
     """The always-on compile-time verify (:mod:`repro.lint`).
 
     Runs the cheap kernel-level passes against the resolved
@@ -63,16 +71,28 @@ def _verify(ir, options, *, strict: bool, timings) -> list:
     :class:`CompiledKernel` without affecting compilation: kernels that
     lint dirty (e.g. deliberate out-of-bounds reads under UNDEFINED
     boundary handling) must still compile exactly as before.
+
+    With a *store* and *ir_dig*, results memoise per
+    :func:`_lint_key` in the :class:`CompilationCache`, so repeat
+    compiles of a known kernel (above all, cache hits) skip the whole
+    pipeline; the memoised findings are still emitted and still gate a
+    ``strict`` compile.
     """
     from ..errors import LintError
     from ..lint import Severity, lint_ir
     from ..lint.collect import emit
 
     with span("compile.lint", kernel=ir.name) as sp:
-        # the driver's IR is already typed: pass it as its own typed
-        # counterpart so the verify never re-runs the typechecker
-        diags = lint_ir(ir, typed=ir, block=options.block,
-                        use_smem=options.use_smem)
+        key = _lint_key(ir_dig, options) \
+            if store is not None and ir_dig is not None else None
+        diags = store.lint_get(key) if key is not None else None
+        if diags is None:
+            # the driver's IR is already typed: pass it as its own typed
+            # counterpart so the verify never re-runs the typechecker
+            diags = lint_ir(ir, typed=ir, block=options.block,
+                            use_smem=options.use_smem)
+            if key is not None:
+                store.lint_put(key, diags)
         emit(diags)
     timings["lint_ms"] = sp.duration_ms
     if strict:
@@ -343,7 +363,8 @@ def _compile_from_ir(ir, accessor_objs, iteration_space, *,
                     payload = None
             if payload is not None:
                 diags = _verify(ir, options, strict=strict,
-                                timings=timings)
+                                timings=timings, store=store,
+                                ir_dig=ir_dig)
                 timings["total_ms"] = (time.perf_counter() - t_start) * 1e3
                 timings = normalize_stage_timings(timings)
                 if root_span is not None:
@@ -431,7 +452,8 @@ def _compile_from_ir(ir, accessor_objs, iteration_space, *,
                           entry_to_dict(final, resources, selected_occ))
             timings["store_ms"] = sp.duration_ms
 
-        diags = _verify(ir, options, strict=strict, timings=timings)
+        diags = _verify(ir, options, strict=strict, timings=timings,
+                        store=store, ir_dig=ir_dig)
         timings["total_ms"] = (time.perf_counter() - t_start) * 1e3
         timings = normalize_stage_timings(timings)
         if root_span is not None:

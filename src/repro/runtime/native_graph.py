@@ -10,15 +10,25 @@ the interior loop nest of each kernel exactly as the single-kernel
 :mod:`repro.runtime.native` path does.
 
 **The simulator stays the oracle.**  A node joins the native tier only
-when its C lowering is provably byte-identical to the simulator:
+when its C lowering is provably byte-identical to the simulator.  The
+gate is *prove-based*: the abstract interpreter
+(:mod:`repro.lint.absint`) must prove
 
-* no interpolated accessors (``floorf`` resampling drifts by ULPs),
-* no dynamic masks (coefficients unknown at compile time),
-* only intrinsics whose libm implementation is IEEE-exact and therefore
-  bit-equal to NumPy's (:data:`EXACT_INTRINSICS` — transcendentals like
-  ``exp``/``pow`` differ from NumPy's SIMD polynomials by 1-2 ULP and
-  are excluded),
-* no casting accessors and no explicit border-mode overrides.
+* every accessor read stays inside its declared boundary window (and
+  an ``undefined``-boundary accessor reads only the centre pixel — the
+  C lowering does raw reads there, the simulator clamps);
+* every intrinsic call is in its bit-exact range:
+  :data:`EXACT_INTRINSICS` always are, and ``pow`` qualifies when its
+  exponent is a proven singleton in :data:`EXACT_POW_EXPONENTS`, in
+  which case the lowering strength-reduces it (``x*x``, ``sqrtf(x)``,
+  ``1/x``, ...) — NumPy special-cases exactly those exponents, so
+  ``powf`` (1-2 ULP off NumPy's SIMD polynomials) is never emitted;
+
+plus the structural conditions: no interpolated accessors (``floorf``
+resampling drifts by ULPs), no dynamic masks, no casting accessors and
+no explicit border-mode overrides.  When the interpreter itself cannot
+analyze a kernel, the old syntactic intrinsic whitelist
+(:func:`whitelist_ineligibility`) remains as the fallback gate.
 
 Ineligible nodes keep running through the simulator *inside* the native
 engine (the scheduler interleaves segment calls with simulator
@@ -58,14 +68,27 @@ from ..errors import CodegenError
 from ..graph.fusion import _renamed_ir
 from ..graph.pool import BufferPool, first_fit_layout
 from ..intrinsics import resolve
-from ..ir.nodes import Call, KernelIR, MaskRead
+from ..ir.nodes import (
+    Assign,
+    BinOp,
+    Call,
+    Expr,
+    FloatConst,
+    ForRange,
+    If,
+    KernelIR,
+    MaskRead,
+    OutputWrite,
+    Stmt,
+    VarDecl,
+)
 from ..ir.visitors import iter_all_exprs, map_exprs
 from ..obs import span
 from .native import compiler_signature, find_c_compiler, native_workdir
 
 #: bump when the emitted TU shape or the ABI of segment entry points
 #: changes — stored entries with another format are ignored
-NATIVE_GRAPH_FORMAT = 1
+NATIVE_GRAPH_FORMAT = 2
 
 #: slab row alignment in *elements* (64 bytes for float32 rows — the
 #: same padding the simulator's launch path would apply)
@@ -87,19 +110,21 @@ EXACT_INTRINSICS = frozenset({
     "fmin", "fmax", "min", "max", "fmod",
 })
 
+#: ``pow`` exponents NumPy special-cases with exact arithmetic, each
+#: with a bit-identical C strength reduction (``pow`` with any other
+#: exponent goes through SIMD polynomials that differ from ``powf`` by
+#: ULPs — verified empirically, including that even ``powf(x, 2.0f)``
+#: does NOT match ``np.power(x, 2.0)`` while ``x*x`` does)
+EXACT_POW_EXPONENTS = frozenset({0.0, 0.5, 1.0, 2.0, -1.0})
+
 
 # --------------------------------------------------------------------------
 # Eligibility
 # --------------------------------------------------------------------------
 
 
-def native_ineligibility(node) -> Optional[str]:
-    """Why *node* cannot join the native tier, or None when it can.
-
-    The rules are exactly the bit-exactness argument in the module
-    docstring; anything rejected here runs through the simulator
-    instead, keeping hybrid output byte-identical by construction.
-    """
+def _structural_ineligibility(node) -> Optional[str]:
+    """The analysis-independent rejects shared by both gates."""
     if node.compiled is None:
         raise CodegenError(
             f"node {node.name!r} is not compiled; run compile_graph "
@@ -119,12 +144,90 @@ def native_ineligibility(node) -> Optional[str]:
     for mask in ir.masks:
         if mask.coefficients is None:
             return f"dynamic mask {mask.name!r}"
-    for e in iter_all_exprs(ir.body):
+    return None
+
+
+def whitelist_ineligibility(node) -> Optional[str]:
+    """The pre-absint gate: structural rejects plus a syntactic scan
+    for non-whitelisted intrinsics.  Kept as (a) the fallback when the
+    abstract interpreter cannot analyze a kernel and (b) the baseline
+    for CI's eligibility diff (the prove-based gate must never admit
+    fewer nodes than this one)."""
+    reason = _structural_ineligibility(node)
+    if reason is not None:
+        return reason
+    for e in iter_all_exprs(node.compiled.ir.body):
         if isinstance(e, Call):
             name = resolve(e.func).name
             if name not in EXACT_INTRINSICS:
                 return f"inexact intrinsic {name!r}"
     return None
+
+
+def _fmt_bound(v: float) -> str:
+    if v == float("-inf"):
+        return "-inf"
+    if v == float("inf"):
+        return "inf"
+    return f"{int(v)}" if float(v).is_integer() else f"{v:g}"
+
+
+def prove_ineligibility(node) -> Optional[str]:
+    """The prove-based gate: run the abstract interpreter over the
+    node's typed IR and demand a proof for every access and intrinsic.
+    Returns the first unproven fact as the reason, or ``None`` when the
+    whole kernel is proven bit-exact-lowerable."""
+    from ..lint.absint import interpret
+
+    reason = _structural_ineligibility(node)
+    if reason is not None:
+        return reason
+    result = interpret(node.compiled.ir)
+    for r in result.reads:
+        if r.in_window is not True:
+            dx, dy = r.dx, r.dy
+            return (f"unproven access: accessor {r.accessor!r} offsets "
+                    f"[{_fmt_bound(dx.lo)}..{_fmt_bound(dx.hi)}]x"
+                    f"[{_fmt_bound(dy.lo)}..{_fmt_bound(dy.hi)}] not "
+                    f"proven inside its {r.window[0]}x{r.window[1]} "
+                    f"window")
+        if r.boundary_mode == "undefined" and not (
+                r.dx.lo >= 0 >= r.dx.hi and r.dy.lo >= 0 >= r.dy.hi):
+            # the C lowering reads raw memory where the simulator
+            # clamps: only centre-pixel reads are provably identical
+            return (f"unproven access: accessor {r.accessor!r} reads a "
+                    f"halo under undefined boundary handling")
+    for c in result.calls:
+        if c.func in EXACT_INTRINSICS:
+            continue
+        if c.func == "pow":
+            exponent = c.singleton_arg(1)
+            if exponent in EXACT_POW_EXPONENTS:
+                continue
+            shown = "unproven" if exponent is None else _fmt_bound(exponent)
+            return (f"inexact intrinsic 'pow' (exponent {shown}; only "
+                    f"proven-constant exponents "
+                    f"{sorted(EXACT_POW_EXPONENTS)} strength-reduce to "
+                    f"bit-exact forms)")
+        return f"inexact intrinsic {c.func!r}"
+    return None
+
+
+def native_ineligibility(node) -> Optional[str]:
+    """Why *node* cannot join the native tier, or None when it can.
+
+    The rules are exactly the bit-exactness argument in the module
+    docstring; anything rejected here runs through the simulator
+    instead, keeping hybrid output byte-identical by construction.
+    The prove-based gate decides; the syntactic whitelist only answers
+    when the interpreter itself fails on the kernel.
+    """
+    try:
+        return prove_ineligibility(node)
+    except CodegenError:
+        raise
+    except Exception:
+        return whitelist_ineligibility(node)
 
 
 # --------------------------------------------------------------------------
@@ -204,11 +307,78 @@ def _rename_masks(ir: KernelIR, prefix: str) -> KernelIR:
                for m in ir.masks])
 
 
+def _strength_reduce_pow(ir: KernelIR) -> KernelIR:
+    """Replace ``pow`` calls whose exponent the abstract interpreter
+    proves to be a singleton in :data:`EXACT_POW_EXPONENTS` with their
+    bit-exact forms (``1.0``, ``sqrtf(x)``, ``x``, ``x*x``, ``1/x``).
+
+    This is what makes the prove-based gate's ``pow`` admission sound:
+    the emitted C never contains ``powf`` (which is ULPs away from
+    NumPy), only operations that are IEEE-exact on both sides.  The
+    rewrite is top-down so the interpreter's fact-to-expression
+    identity map stays valid for nested calls."""
+    from ..lint.absint import interpret
+
+    exponents: Dict[int, float] = {}
+    for c in interpret(ir).calls:
+        if c.func == "pow" and c.expr is not None:
+            exponent = c.singleton_arg(1)
+            if exponent in EXACT_POW_EXPONENTS:
+                exponents[id(c.expr)] = exponent
+    if not exponents:
+        return ir
+
+    def rewrite(e: Expr) -> Expr:
+        exponent = exponents.get(id(e))
+        if exponent is not None:
+            base = rewrite(e.args[0])
+            if exponent == 0.0:
+                return FloatConst(1.0, type=e.type)
+            if exponent == 0.5:
+                return Call("sqrt", (base,), type=e.type)
+            if exponent == 1.0:
+                return base
+            if exponent == 2.0:
+                return BinOp("*", base, base, type=e.type)
+            return BinOp("/", FloatConst(1.0, type=e.type), base,
+                         type=e.type)
+        kids = e.children()
+        if not kids:
+            return e
+        new = [rewrite(k) for k in kids]
+        if all(n is k for n, k in zip(new, kids)):
+            return e
+        return e.with_children(*new)
+
+    def rewrite_stmt(s: Stmt) -> Stmt:
+        if isinstance(s, VarDecl):
+            return dataclasses.replace(s, init=rewrite(s.init))
+        if isinstance(s, Assign):
+            return dataclasses.replace(s, value=rewrite(s.value))
+        if isinstance(s, OutputWrite):
+            return dataclasses.replace(s, value=rewrite(s.value))
+        if isinstance(s, If):
+            return dataclasses.replace(
+                s, cond=rewrite(s.cond),
+                then_body=[rewrite_stmt(t) for t in s.then_body],
+                else_body=[rewrite_stmt(t) for t in s.else_body])
+        if isinstance(s, ForRange):
+            return dataclasses.replace(
+                s, start=rewrite(s.start), stop=rewrite(s.stop),
+                step=rewrite(s.step),
+                body=[rewrite_stmt(t) for t in s.body])
+        return s
+
+    return dataclasses.replace(
+        ir, body=[rewrite_stmt(s) for s in ir.body])
+
+
 def _lower_node(node, index: int) -> NodeLowering:
     """Namespace one node's IR into the shared TU and lower it."""
     prefix = f"g{index}_"
     renamed, acc_map = _renamed_ir(node.compiled.ir, prefix)
     renamed = _rename_masks(renamed, prefix)
+    renamed = _strength_reduce_pow(renamed)
     renamed = dataclasses.replace(
         renamed, name=_sanitize(f"n{index}_{node.compiled.ir.name}"))
     acc_objs = {new: node.accessor_objs[old]

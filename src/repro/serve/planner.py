@@ -226,10 +226,20 @@ def _plan_denoise(src: Image, opts: Dict[str, Any]) -> PipelineGraph:
                         {"op": "gaussian", "size": 5}], src, opts)
 
 
+def _plan_enhance(src: Image, opts: Dict[str, Any]) -> PipelineGraph:
+    """Contrast enhancement: scale into range, then a square-law gamma.
+    Every stage is a point op with an exactly-reducible intrinsic
+    (``pow(x, 2.0)`` lowers to ``x*x``), so the whole chain is provable
+    for the native tier."""
+    return _plan_chain([{"op": "scale", "factor": 0.5},
+                        {"op": "gamma", "gamma": 2.0}], src, opts)
+
+
 #: named application pipelines: name -> builder(src_image, node_opts)
 PIPELINES: Dict[str, Callable[[Image, Dict[str, Any]], PipelineGraph]] = {
     "edge": _plan_edge,
     "denoise": _plan_denoise,
+    "enhance": _plan_enhance,
 }
 
 

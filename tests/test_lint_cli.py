@@ -58,11 +58,60 @@ CLEAN_TARGET = textwrap.dedent("""\
 """)
 
 
+GRAPH_WARNING_TARGET = textwrap.dedent("""\
+    import numpy as np
+
+    from repro.dsl import Accessor, Image, IterationSpace
+    from repro.filters.point_ops import Scale
+    from repro.graph import PipelineGraph, execute_graph
+
+    if __name__ == "__main__":
+        src = Image(16, 16, name="src")
+        src.set_data(np.full((16, 16), 0.5, dtype=np.float32))
+        out = Image(16, 16, name="out")
+        dangling = Image(16, 16, name="dangling")
+        g = PipelineGraph("t")
+        g.add_kernel(Scale(IterationSpace(out), Accessor(src), factor=2.0),
+                     name="scale")
+        g.add_kernel(Scale(IterationSpace(dangling), Accessor(src),
+                           factor=3.0), name="dead")
+        g.mark_output(out)
+        execute_graph(g)
+""")
+
+
 class TestLintCli:
     def test_builtin_filters_are_clean(self):
         code, out = run_cli("lint", "--builtin")
         assert code == 0
-        assert "no findings" in out
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_builtin_graph_lint_included(self):
+        # --builtin also graph-lints the demo pipeline: fusion
+        # explanations (HIP302) and footprint facts (HIP501/HIP502)
+        # appear in the output ...
+        code, out = run_cli("lint", "--builtin")
+        assert code == 0
+        assert "HIP302" in out
+        assert "HIP501" in out
+        assert "HIP502" in out
+
+    def test_builtin_notes_do_not_trip_fail_on_warning(self):
+        # ... but notes and infos never trip --fail-on warning.
+        code, out = run_cli("lint", "--builtin", "--fail-on", "warning")
+        assert code == 0
+        assert "HIP501" in out
+
+    def test_graph_warning_trips_fail_on_warning(self, tmp_path):
+        # A graph-level warning (HIP301 unconsumed output) collected
+        # from a file target must reach the --fail-on threshold.
+        target = tmp_path / "graphy.py"
+        target.write_text(GRAPH_WARNING_TARGET)
+        code, out = run_cli("lint", str(target), "--fail-on", "warning")
+        assert code == 1
+        assert "HIP301" in out
+        code, _ = run_cli("lint", str(target), "--fail-on", "error")
+        assert code == 0
 
     def test_dirty_target_text(self, tmp_path):
         target = tmp_path / "dirty.py"

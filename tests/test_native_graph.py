@@ -39,10 +39,12 @@ from repro.graph import compile_graph, execute_graph
 from repro.runtime import native, native_graph
 from repro.runtime.native import clear_compiler_cache, find_c_compiler
 from repro.runtime.native_graph import (
+    EXACT_POW_EXPONENTS,
     NATIVE_GRAPH_FORMAT,
     compile_native_graph,
     native_ineligibility,
     plan_native_graph,
+    whitelist_ineligibility,
 )
 
 from .helpers import assert_native_matches_sim, random_image
@@ -134,6 +136,34 @@ def test_cli_edge_pipeline_is_hybrid(native_env):
     assert 0 < report.native_nodes < report.launches
     sim_nodes = [n for n in report.nodes if n.engine == "sim"]
     assert sim_nodes and all("gamma" in n.name for n in sim_nodes)
+
+
+@requires_cc
+def test_enhance_pipeline_square_gamma_native(native_env):
+    # scale -> gamma(2.0): pow(x, 2.0) strength-reduces to x*x, which the
+    # abstract interpreter proves bit-exact — the syntactic whitelist
+    # still rejects the node, so this pins the prove-based gate widening
+    # eligibility beyond the whitelist.
+    from repro.serve.planner import plan_request
+
+    frame = random_image(48, 48)
+
+    def build():
+        plan = plan_request({"pipeline": "enhance"}, frame)
+        return plan.graph, plan.output
+
+    report = assert_native_matches_sim(build, workers=1)
+    assert report.engine_used == "native"
+    assert report.fallback_reason is None
+    assert report.native_nodes == report.launches
+    assert all(n.engine == "native" for n in report.nodes)
+
+    plan = plan_request({"pipeline": "enhance"}, frame)
+    compile_graph(plan.graph, cache=False, workers=1)
+    gamma = next(n for n in plan.graph.nodes if "gamma" in n.name)
+    wl = whitelist_ineligibility(gamma)
+    assert wl is not None and "pow" in wl
+    assert native_ineligibility(gamma) is None
 
 
 @requires_cc
@@ -235,15 +265,17 @@ def test_randomized_point_chain_native(ops, seed, fuse):
         return g, current
 
     report = assert_native_matches_sim(build, workers=1, fuse=fuse)
-    if not any(op == "gamma" for op, _ in ops):
-        # pure add/scale/threshold chains lower bit-exactly, fused or not
+    exponents = [abs(p) + 0.5 for op, p in ops if op == "gamma"]
+    if all(e in EXACT_POW_EXPONENTS for e in exponents):
+        # add/scale/threshold always lower bit-exactly, and every
+        # gamma's pow() exponent was proven exact (strength-reduced to
+        # 1, sqrt, x, x*x or 1/x) — the whole chain runs native
         assert report.engine_used == "native"
         assert report.native_nodes == report.launches
     else:
-        # gamma's pow() pins its node (or the whole fused chain) to the
-        # simulator; output equality held either way
-        assert all(n.engine == "sim" for n in report.nodes
-                   if "Gamma" in n.kernel or n.fused_from)
+        # an inexact pow() exponent pins its node (or the whole fused
+        # chain) to the simulator; output equality held either way
+        assert report.native_nodes < report.launches
 
 
 # --------------------------------------------------------------------------
