@@ -157,9 +157,13 @@ def _run(client, size, warm_requests, burst, pipeline):
     dedup_hits = (_metric(final, "serve", "serve.dedup_hits")
                   - _metric(after, "serve", "serve.dedup_hits"))
 
-    warm_p50 = statistics.median(latencies)
-    warm_p99 = (statistics.quantiles(latencies, n=100)[98]
-                if len(latencies) >= 10 else max(latencies))
+    # quantiles through the shared histogram estimator, so the committed
+    # baseline numbers and the live serve.hist.request_ms metrics are
+    # computed by the same code (repro.obs.hist)
+    from repro.obs.hist import percentiles
+
+    pct = percentiles(latencies)
+    warm_p50, warm_p99 = pct["p50"], pct["p99"]
     warm_mean_s = statistics.fmean(latencies) / 1e3
     headline = {
         "cold_ms": round(cold_ms, 3),

@@ -51,9 +51,16 @@ def write_bench_json(name: str, headline: Dict[str, float],
     *headline* holds the benchmark's own numbers (speedups, wall times);
     *stages* is :func:`run_traced`'s per-span breakdown, so the artifact
     answers "where did the time go" without rerunning under a profiler.
+    Every document is stamped with
+    :data:`repro.obs.compare.BENCH_SCHEMA_VERSION` — the perf sentinel
+    (``repro perf`` / ``scripts/bench_compare.py``) refuses documents
+    whose version does not match, so a stale committed baseline can
+    never silently pass against a fresh run.
     Directory precedence: *out_dir* arg, ``$BENCH_JSON_DIR``, then the
     current working directory.
     """
+    from repro.obs.compare import BENCH_SCHEMA_VERSION
+
     out_dir = out_dir or os.environ.get("BENCH_JSON_DIR") or os.getcwd()
     path = os.path.join(out_dir, f"BENCH_{name}.json")
     doc = {
@@ -61,6 +68,7 @@ def write_bench_json(name: str, headline: Dict[str, float],
         "headline": headline,
         "stages": stages,
         "schema": "repro-bench-v1",
+        "schema_version": BENCH_SCHEMA_VERSION,
     }
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)

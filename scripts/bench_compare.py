@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Compare freshly generated BENCH_*.json against committed baselines.
+
+The perf-regression sentinel CLI (``repro perf`` is the same logic via
+the installed entry point).  Typical CI usage::
+
+    PYTHONPATH=src python benchmarks/bench_native_graph.py --json out/
+    PYTHONPATH=src python benchmarks/bench_pipeline_graph.py --json out/
+    PYTHONPATH=src python benchmarks/bench_serve.py --json out/
+    PYTHONPATH=src python scripts/bench_compare.py \\
+        --baseline-dir . --current-dir out --threshold 1.0
+
+Exit status: 0 = no regressions, 1 = regression or schema problem.
+All comparison logic lives in :mod:`repro.obs.compare`.
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.obs.compare import (  # noqa: E402
+    DEFAULT_BENCHMARKS,
+    run_compare,
+)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="perf-regression sentinel over BENCH_*.json")
+    parser.add_argument(
+        "--baseline-dir", default=".",
+        help="directory with committed BENCH_*.json (default: repo root)")
+    parser.add_argument(
+        "--current-dir", required=True,
+        help="directory with freshly generated BENCH_*.json")
+    parser.add_argument(
+        "--bench", action="append", dest="benches", metavar="NAME",
+        help="benchmark name (repeatable; default: "
+             f"{', '.join(DEFAULT_BENCHMARKS)})")
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="relative regression gate, 0.25 = 25%% worse "
+             "(default: %(default)s)")
+    parser.add_argument(
+        "--stage-threshold", type=float, default=None,
+        help="per-stage gate (default: same as --threshold)")
+    parser.add_argument(
+        "--noise-floor-ms", type=float, default=5.0,
+        help="absolute delta below which *_ms changes are noise "
+             "(default: %(default)s)")
+    parser.add_argument(
+        "--json-out", default=None,
+        help="also write the machine-readable report here")
+    parser.add_argument(
+        "--allow-missing", action="store_true",
+        help="skip benchmarks whose documents are absent instead of "
+             "failing")
+    args = parser.parse_args(argv)
+    return run_compare(
+        baseline_dir=args.baseline_dir,
+        current_dir=args.current_dir,
+        names=tuple(args.benches) if args.benches else DEFAULT_BENCHMARKS,
+        threshold=args.threshold,
+        noise_floor_ms=args.noise_floor_ms,
+        stage_threshold=args.stage_threshold,
+        json_out=args.json_out,
+        allow_missing=args.allow_missing,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

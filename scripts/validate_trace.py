@@ -9,7 +9,9 @@ then feeds the exported JSON through this script::
 Exit status is non-zero if any document fails
 :func:`repro.obs.validate_chrome_trace` (structure, span-id uniqueness,
 parent references and interval containment, per-thread stack
-discipline) or the extra minimum-coverage checks below.
+discipline), the embedded metrics snapshot carries keys outside the
+documented namespaces (:func:`repro.obs.validate_metric_keys`), or the
+extra minimum-coverage checks below.
 """
 
 from __future__ import annotations
@@ -18,7 +20,7 @@ import argparse
 import json
 import sys
 
-from repro.obs import validate_chrome_trace
+from repro.obs import validate_chrome_trace, validate_metric_keys
 
 
 def check_file(path: str, require: list) -> list:
@@ -34,8 +36,22 @@ def check_file(path: str, require: list) -> list:
     for name in require:
         if name not in names:
             problems.append(f"required span {name!r} absent")
-    if "metrics" not in doc.get("otherData", {}):
+    metrics = doc.get("otherData", {}).get("metrics")
+    if metrics is None:
         problems.append("otherData.metrics missing")
+    elif isinstance(metrics, dict):
+        # {source: {key: value}}: every key of every source must live
+        # in a documented namespace — an undocumented metric in an
+        # export is a schema break, not an enrichment
+        for source, keys in metrics.items():
+            if not isinstance(keys, dict):
+                problems.append(
+                    f"metrics source {source!r} is not an object")
+                continue
+            problems.extend(f"metrics[{source!r}]: {p}"
+                            for p in validate_metric_keys(keys))
+    else:
+        problems.append("otherData.metrics is not an object")
     return problems
 
 

@@ -34,7 +34,10 @@ import json
 import os
 import tempfile
 import threading
+import time
 from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..obs.hist import observe
 
 
 @dataclasses.dataclass
@@ -166,12 +169,21 @@ class CompilationCache:
     # -- main entry store ---------------------------------------------------
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """Return the payload for *key*, consulting memory then disk."""
+        """Return the payload for *key*, consulting memory then disk.
+
+        Service time lands in the ``cache.hist.hit_ms`` /
+        ``cache.hist.miss_ms`` histograms (a miss here is only the
+        lookup cost — the compile it triggers is timed by its own
+        spans), so a disk tier gone slow shows up as a fat hit tail.
+        """
+        started = time.perf_counter()
         with self._lock:
             payload = self._entries.get(key)
             if payload is not None:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
+                observe("cache.hist.hit_ms",
+                        (time.perf_counter() - started) * 1e3)
                 return payload
         payload = self._disk_read(key)
         with self._lock:
@@ -180,6 +192,9 @@ class CompilationCache:
                 self._insert(key, payload)
             else:
                 self.stats.misses += 1
+        observe("cache.hist.hit_ms" if payload is not None
+                else "cache.hist.miss_ms",
+                (time.perf_counter() - started) * 1e3)
         return payload
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:

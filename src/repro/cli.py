@@ -456,6 +456,21 @@ def cmd_serve(args) -> int:
     return code
 
 
+def cmd_perf(args) -> int:
+    from .obs.compare import DEFAULT_BENCHMARKS, run_compare
+
+    return run_compare(
+        baseline_dir=args.baseline_dir,
+        current_dir=args.current_dir,
+        names=tuple(args.benches) if args.benches else DEFAULT_BENCHMARKS,
+        threshold=args.threshold,
+        noise_floor_ms=args.noise_floor_ms,
+        stage_threshold=args.stage_threshold,
+        json_out=args.json_out,
+        allow_missing=args.allow_missing,
+    )
+
+
 def cmd_explore(args) -> int:
     from .evaluation.figure4 import figure4_exploration
     from .hwmodel import get_device
@@ -602,6 +617,33 @@ def build_parser() -> argparse.ArgumentParser:
                         "trace export here after the drain")
     add_cache_flags(p)
 
+    p = sub.add_parser(
+        "perf",
+        help="compare fresh BENCH_*.json against committed baselines "
+             "(the perf-regression sentinel; docs/OBSERVABILITY.md)")
+    p.add_argument("--baseline-dir", default=".", dest="baseline_dir",
+                   help="directory with committed BENCH_*.json")
+    p.add_argument("--current-dir", required=True, dest="current_dir",
+                   help="directory with freshly generated BENCH_*.json")
+    p.add_argument("--bench", action="append", dest="benches",
+                   metavar="NAME",
+                   help="benchmark name (repeatable; default: all "
+                        "committed baselines)")
+    p.add_argument("--threshold", type=float, default=0.25,
+                   help="relative regression gate (0.25 = 25%% worse)")
+    p.add_argument("--stage-threshold", type=float, default=None,
+                   dest="stage_threshold",
+                   help="per-stage gate (default: same as --threshold)")
+    p.add_argument("--noise-floor-ms", type=float, default=5.0,
+                   dest="noise_floor_ms",
+                   help="absolute delta below which *_ms changes are "
+                        "noise")
+    p.add_argument("--json-out", default=None, dest="json_out",
+                   help="also write the machine-readable report here")
+    p.add_argument("--allow-missing", action="store_true",
+                   dest="allow_missing",
+                   help="skip absent documents instead of failing")
+
     p = sub.add_parser("cache",
                        help="inspect or clear the on-disk compile cache")
     p.add_argument("--cache-dir", default=None,
@@ -646,6 +688,7 @@ COMMANDS = {
     "cache": cmd_cache,
     "serve": cmd_serve,
     "trace": cmd_trace,
+    "perf": cmd_perf,
 }
 
 

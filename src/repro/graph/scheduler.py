@@ -37,6 +37,7 @@ from typing import Dict, Optional, Union
 from ..cache.store import CompilationCache, get_default_cache
 from ..errors import CodegenError, GraphError
 from ..obs import child_of, current_id, get_registry, span
+from ..obs.hist import observe
 from ..runtime.compile import compile_ir, compile_kernel
 from ..sim.launch import padding_alignment
 from .builder import GraphNode, PipelineGraph
@@ -191,6 +192,7 @@ def _execute_graph(graph, cache, workers, fuse, pool, engine,
 
     store = _resolve_cache(cache)
     compile_wall_ms = compile_graph(graph, cache=store, workers=workers)
+    observe("graph.hist.compile_ms", compile_wall_ms)
 
     order = graph.topological_order()
 
@@ -324,6 +326,9 @@ def _execute_graph(graph, cache, workers, fuse, pool, engine,
                 # what returns current_bytes to zero
                 arena.release_all()
     exec_wall_ms = sp.duration_ms
+    observe("graph.hist.execute_ms", exec_wall_ms)
+    for wall in node_wall_ms.values():
+        observe("graph.hist.node_wall_ms", wall)
 
     node_reports = []
     for n in order:

@@ -26,6 +26,13 @@ prefix                 meaning
 ``serve.*``            request service (requests, batched, dedup_hits,
                        queue_depth, shed, completed, errors, timeouts,
                        cancelled, executions, drained)
+``native.*``           native JIT tier (compiles, artifact hits)
+``*.hist.*``           flattened latency histograms
+                       (:mod:`repro.obs.hist`): each histogram
+                       ``<subsystem>.hist.<measurement>`` renders
+                       ``.count/.sum/.min/.max/.p50/.p90/.p99`` keys —
+                       e.g. ``serve.hist.request_ms.p99``.  Registered
+                       as the ``"hist"`` source.
 =====================  ====================================================
 
 Counter *values* are plain ints/floats; rates are in ``[0, 1]``.

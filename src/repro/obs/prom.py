@@ -1,0 +1,104 @@
+"""Prometheus text-exposition rendering of the metrics registry.
+
+``GET /metrics?format=prometheus`` on a running ``repro serve`` answers
+with this rendering (text/plain, exposition format version 0.0.4); the
+default JSON answer is unchanged.  The same snapshot the JSON endpoint
+and the trace exporters embed is rendered, so the two formats can never
+disagree about a value.
+
+Mapping rules:
+
+* every counter/gauge key becomes ``repro_`` + the key with each
+  non-alphanumeric run collapsed to ``_`` (``cache.ir.hit_rate`` →
+  ``repro_cache_ir_hit_rate``), emitted as a ``gauge`` — the registry
+  does not distinguish monotone counters from gauges, and a gauge is
+  the honest common denominator;
+* every :class:`~repro.obs.hist.Histogram` is emitted as a native
+  Prometheus ``histogram``: cumulative ``_bucket{le="..."}`` series in
+  ascending bound order closed by ``le="+Inf"``, plus ``_sum`` and
+  ``_count`` (``serve.hist.request_ms`` →
+  ``repro_serve_hist_request_ms_bucket`` …).  The flattened
+  ``*.hist.*`` gauge keys are *excluded* from the gauge section — the
+  suffix ``.count`` would otherwise collide with the histogram's own
+  ``_count`` sample;
+* non-numeric values are skipped (Prometheus has no string samples);
+* output is deterministic: metric names sorted, one ``# TYPE`` line per
+  metric — the golden-output test compares the full document.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, Optional
+
+from .hist import HistogramSet, get_histograms
+from .metrics import get_registry
+
+_NAME_CLEAN = re.compile(r"[^a-zA-Z0-9_]+")
+
+#: prefix every exposed metric name carries
+PREFIX = "repro_"
+
+
+def prom_name(key: str) -> str:
+    """Canonical Prometheus metric name for a registry *key*."""
+    return PREFIX + _NAME_CLEAN.sub("_", key).strip("_")
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_bound(bound: float) -> str:
+    """``le`` label text: shortest repr round-tripping the bound."""
+    return _format_value(round(bound, 9))
+
+
+def render_prometheus(snapshot: Optional[Dict[str, Dict[str, Any]]] = None,
+                      histograms: Optional[HistogramSet] = None) -> str:
+    """Render *snapshot* (default: the process registry) and
+    *histograms* (default: the process set) as exposition text."""
+    if snapshot is None:
+        snapshot = get_registry().snapshot()
+    if histograms is None:
+        histograms = get_histograms()
+
+    # -- scalar gauges: collapse all sources into one key space ---------
+    scalars: Dict[str, float] = {}
+    for source in sorted(snapshot):
+        if source == "hist":
+            continue          # rendered natively below
+        for key, value in snapshot[source].items():
+            if isinstance(value, bool) or not isinstance(value,
+                                                         (int, float)):
+                continue
+            scalars[prom_name(key)] = float(value)
+
+    lines = []
+    for name in sorted(scalars):
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_format_value(scalars[name])}")
+
+    # -- native histograms ----------------------------------------------
+    for hist_name, hist in sorted(histograms.histograms().items()):
+        name = prom_name(hist_name)
+        snap = hist.snapshot()
+        lines.append(f"# TYPE {name} histogram")
+        for bound, cumulative in hist.cumulative_buckets():
+            lines.append(f'{name}_bucket{{le="{_format_bound(bound)}"}} '
+                         f"{cumulative}")
+        lines.append(f'{name}_bucket{{le="+Inf"}} {snap["count"]}')
+        lines.append(f"{name}_sum {_format_value(snap['sum'])}")
+        lines.append(f"{name}_count {snap['count']}")
+
+    return "\n".join(lines) + "\n"
+
+
+#: Content-Type a conforming scraper expects
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"

@@ -67,6 +67,36 @@ SERVE_SPANS = ("serve.request", "serve.plan", "serve.exec")
 #: ``absint.footprint`` wraps the derived access-footprint computation.
 ABSINT_SPANS = ("absint.fixpoint", "absint.footprint")
 
+#: Every metrics-registry key namespace a snapshot may carry
+#: (docs/OBSERVABILITY.md).  Keys are ``<namespace>.<rest>``; histogram
+#: keys additionally carry ``.hist.`` as their second dotted component
+#: (``serve.hist.request_ms.p99``).  ``scripts/validate_trace.py``
+#: rejects embedded metrics snapshots whose keys fall outside this
+#: table — an undocumented metric cannot ship silently.
+METRIC_NAMESPACES = ("cache", "pool", "graph", "serve", "native",
+                     "lint")
+
+
+def validate_metric_keys(metrics: Mapping[str, Any]) -> List[str]:
+    """Return a list of problems with a flat metrics mapping (empty =
+    valid): every key must start with a documented namespace prefix,
+    and ``*.hist.*`` keys must end in a known statistic suffix."""
+    problems: List[str] = []
+    hist_stats = ("count", "sum", "min", "max", "p50", "p90", "p99")
+    for key in metrics:
+        parts = key.split(".")
+        if parts[0] not in METRIC_NAMESPACES:
+            problems.append(
+                f"metric {key!r} outside documented namespaces "
+                f"{METRIC_NAMESPACES}")
+            continue
+        if len(parts) > 1 and parts[1] == "hist" \
+                and parts[-1] not in hist_stats:
+            problems.append(
+                f"histogram metric {key!r} has unknown statistic "
+                f"{parts[-1]!r} (expected one of {hist_stats})")
+    return problems
+
 
 def normalize_stage_timings(timings: Mapping[str, float]
                             ) -> Dict[str, float]:

@@ -65,6 +65,9 @@ class ExecuteResult:
 
     image: np.ndarray
     meta: Dict[str, Any]
+    #: server-minted correlation id — grep the server's structured log
+    #: or trace for it
+    request_id: str = ""
 
 
 _ERROR_TYPES = {429: ServerBusy, 503: ServerDraining,
@@ -156,7 +159,8 @@ class ServeClient:
                 body[key] = value
         doc = self._request("POST", "/v1/execute", body)
         return ExecuteResult(image=decode_image(doc["image"]),
-                             meta=doc.get("meta", {}))
+                             meta=doc.get("meta", {}),
+                             request_id=doc.get("request_id", ""))
 
     def execute_raw(self, body: Dict[str, Any]) -> Dict[str, Any]:
         """POST a prebuilt request body (tests exercising edge cases)."""

@@ -6,11 +6,19 @@ Endpoints:
   the result image or a typed error; the handler thread carries a
   ``serve.request`` span;
 * ``GET /healthz`` — liveness + readiness: ``{"status": "ok" |
-  "draining", "protocol": N}``; draining answers 503 so load balancers
-  stop routing here during shutdown;
+  "draining", "protocol": N, "uptime_s": ..., "started_at_unix": ...,
+  "engine": ..., "engine_fingerprint": ...}``; draining answers 503 so
+  load balancers stop routing here during shutdown;
 * ``GET /metrics`` — the process metrics registry snapshot as JSON
   (the same document the trace exporters embed), including the
-  ``serve.*`` namespace.
+  ``serve.*`` and flattened ``*.hist.*`` namespaces;
+  ``GET /metrics?format=prometheus`` renders the same snapshot as
+  Prometheus text exposition (:mod:`repro.obs.prom`) for scrapers.
+
+Every ``POST /v1/execute`` response carries the ``request_id`` minted
+at intake — in the JSON document (top level, and under ``meta`` on
+success) and as the ``X-Request-Id`` header — joining the response to
+its structured-log lines and its ``serve.*`` spans.
 
 :func:`run_server` is the ``repro serve`` entry point: it installs
 SIGTERM/SIGINT handlers that trigger a graceful drain (in-flight
@@ -27,8 +35,11 @@ import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from ..obs import get_registry, span
+from ..obs.prom import CONTENT_TYPE as PROM_CONTENT_TYPE
+from ..obs.prom import render_prometheus
 from .protocol import PROTOCOL_VERSION, error_response
 from .service import ServeConfig, ServeService
 
@@ -85,15 +96,30 @@ class _Handler(BaseHTTPRequestHandler):
     # -- endpoints -----------------------------------------------------------
 
     def do_GET(self) -> None:          # noqa: N802 - stdlib casing
-        if self.path == "/healthz":
-            if self.service.draining:
-                self._send_json(503, {"status": "draining",
-                                      "protocol": PROTOCOL_VERSION})
+        parts = urlsplit(self.path)
+        if parts.path == "/healthz":
+            doc = self.service.health()
+            self._send_json(503 if doc["status"] == "draining" else 200,
+                            doc)
+        elif parts.path == "/metrics":
+            fmt = parse_qs(parts.query).get("format", ["json"])[-1]
+            if fmt == "prometheus":
+                payload = render_prometheus().encode()
+                self.send_response(200)
+                self.send_header("Content-Type", PROM_CONTENT_TYPE)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                try:
+                    self.wfile.write(payload)
+                except (BrokenPipeError, ConnectionResetError):
+                    pass
+            elif fmt == "json":
+                self._send_json(200, get_registry().snapshot())
             else:
-                self._send_json(200, {"status": "ok",
-                                      "protocol": PROTOCOL_VERSION})
-        elif self.path == "/metrics":
-            self._send_json(200, get_registry().snapshot())
+                self._send_json(400, error_response(
+                    "bad_format",
+                    f"unknown metrics format {fmt!r} "
+                    f"(json | prometheus)"))
         else:
             self._send_json(404, error_response(
                 "not_found", f"no such endpoint {self.path!r}"))
@@ -126,10 +152,15 @@ class _Handler(BaseHTTPRequestHandler):
         with span("serve.request", path=self.path) as req_span:
             status, doc = self.service.handle(body)
             req_span.attrs["http_status"] = status
+            if isinstance(doc.get("request_id"), str):
+                req_span.attrs["request_id"] = doc["request_id"]
             meta = doc.get("meta")
             if isinstance(meta, dict) and "fingerprint" in meta:
                 req_span.attrs["fingerprint"] = meta["fingerprint"][:16]
-        self._send_json(status, doc, headers=self._retry_headers(doc))
+        headers = self._retry_headers(doc)
+        if isinstance(doc.get("request_id"), str):
+            headers["X-Request-Id"] = doc["request_id"]
+        self._send_json(status, doc, headers=headers)
 
 
 def create_server(host: str = "127.0.0.1", port: int = 0,

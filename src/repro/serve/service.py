@@ -49,6 +49,8 @@ from ..cache import CompilationCache
 from ..graph.pool import BufferPool
 from ..graph.scheduler import execute_graph
 from ..obs import get_registry, span
+from ..obs.hist import get_histograms, observe
+from ..obs.log import log_event, new_request_id
 from .planner import plan_request
 from .protocol import (PROTOCOL_VERSION, ProtocolError, decode_image,
                        encode_image, error_response, request_fingerprint)
@@ -146,6 +148,11 @@ class _Pending:
     body: Dict[str, Any]
     fingerprint: str
     deadline: float
+    #: id minted at intake; echoed in the response, the structured log
+    #: and the ``serve.*`` span attrs
+    request_id: str = ""
+    #: monotonic intake time — queue-wait/request-latency histograms
+    submitted_at: float = 0.0
     done: threading.Event = dataclasses.field(
         default_factory=threading.Event)
     #: (http_status, response_doc) once done is set
@@ -186,6 +193,9 @@ class ServeService:
         self._workers: List[threading.Thread] = []
         self._work: Deque[List[_Pending]] = collections.deque()
         self._dispatcher: Optional[threading.Thread] = None
+        self.started_at_unix = time.time()
+        self._started_monotonic = time.monotonic()
+        self._engine_fp: Optional[str] = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -207,24 +217,35 @@ class ServeService:
         registry.register_source("serve", self.metrics)
         registry.register_source("cache", self.cache.stats.metrics)
         registry.register_source("pool", self._pool_metrics)
+        # materialise the default histogram set so the "hist" source is
+        # registered before the first snapshot, not after the first
+        # request happens to record a latency
+        get_histograms()
+        log_event("serve.started", workers=self.config.workers,
+                  engine=self.config.engine,
+                  queue_limit=self.config.queue_limit)
         return self
 
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Graceful shutdown: reject queued work as retriable, let
         in-flight groups finish.  Returns True when fully drained."""
         with self._lock:
-            if not self._draining:
+            first = not self._draining
+            if first:
                 self._draining = True
                 flushed = list(self._queue)
                 self._queue.clear()
             else:
                 flushed = []
+        if first:
+            log_event("serve.draining", flushed=len(flushed))
         for pending in flushed:
             self.stats.bump("drained")
-            pending.finish(503, error_response(
+            self._deliver(pending, 503, error_response(
                 "draining", "server is draining; retry elsewhere",
                 retriable=True,
-                retry_after=self.config.retry_after_s))
+                retry_after=self.config.retry_after_s),
+                event="request.drained")
         deadline = (None if timeout is None
                     else time.monotonic() + timeout)
         with self._idle:
@@ -243,6 +264,34 @@ class ServeService:
     @property
     def draining(self) -> bool:
         return self._draining
+
+    # -- health --------------------------------------------------------------
+
+    def engine_fingerprint(self) -> str:
+        """Identity of what executes requests: the C compiler signature
+        when the configured engine can compile natively, ``"sim"``
+        otherwise.  Memoised — the compiler probe shells out once."""
+        if self._engine_fp is None:
+            fp = "sim"
+            if self.config.engine in ("native", "auto"):
+                from ..runtime.native import (compiler_signature,
+                                              find_c_compiler)
+                cc = find_c_compiler()
+                fp = compiler_signature(cc) if cc else "sim (no C compiler)"
+            self._engine_fp = fp
+        return self._engine_fp
+
+    def health(self) -> Dict[str, Any]:
+        """The ``/healthz`` document (status key set by the caller)."""
+        return {
+            "status": "draining" if self._draining else "ok",
+            "protocol": PROTOCOL_VERSION,
+            "uptime_s": round(
+                time.monotonic() - self._started_monotonic, 3),
+            "started_at_unix": round(self.started_at_unix, 3),
+            "engine": self.config.engine,
+            "engine_fingerprint": self.engine_fingerprint(),
+        }
 
     # -- metrics -------------------------------------------------------------
 
@@ -267,9 +316,14 @@ class ServeService:
 
     # -- intake --------------------------------------------------------------
 
-    def submit(self, body: Dict[str, Any]) -> _Pending:
+    def submit(self, body: Dict[str, Any],
+               request_id: Optional[str] = None) -> _Pending:
         """Fingerprint + enqueue *body*; raises :class:`ServeRejected`
-        subclasses (shed/drain) or :class:`ProtocolError` (400)."""
+        subclasses (shed/drain) or :class:`ProtocolError` (400).  The
+        *request_id* (minted here when the caller did not) rides the
+        raised documents too, so even a shed request is greppable."""
+        if request_id is None:
+            request_id = new_request_id()
         fingerprint, _ = request_fingerprint(
             body, default_engine=self.config.engine)
         timeout_ms = body.get("timeout_ms",
@@ -279,28 +333,41 @@ class ServeService:
             raise ProtocolError(
                 f"timeout_ms must be a positive number, got "
                 f"{timeout_ms!r}")
+        now = time.monotonic()
         pending = _Pending(body=body, fingerprint=fingerprint,
-                           deadline=time.monotonic() + timeout_ms / 1e3)
-        with self._lock:
-            if self._draining:
-                raise Draining(
-                    "server is draining; retry elsewhere",
-                    retriable=True,
-                    retry_after=self.config.retry_after_s)
-            # backpressure counts everything awaiting a worker, not just
-            # the pre-dispatch queue: with a zero batching window the
-            # dispatcher drains _queue into _work almost instantly, and
-            # sheds must engage on the same depth /metrics reports
-            if (len(self._queue) + len(self._work)
-                    >= self.config.queue_limit):
-                self.stats.bump("shed")
-                raise QueueFull(
-                    f"queue is at its {self.config.queue_limit}"
-                    f"-request limit",
-                    retry_after=self.config.retry_after_s)
-            self._queue.append(pending)
-            self._queue_wake.notify()
+                           deadline=now + timeout_ms / 1e3,
+                           request_id=request_id, submitted_at=now)
+        try:
+            with self._lock:
+                if self._draining:
+                    raise Draining(
+                        "server is draining; retry elsewhere",
+                        retriable=True,
+                        retry_after=self.config.retry_after_s)
+                # backpressure counts everything awaiting a worker, not
+                # just the pre-dispatch queue: with a zero batching
+                # window the dispatcher drains _queue into _work almost
+                # instantly, and sheds must engage on the same depth
+                # /metrics reports
+                if (len(self._queue) + len(self._work)
+                        >= self.config.queue_limit):
+                    self.stats.bump("shed")
+                    raise QueueFull(
+                        f"queue is at its {self.config.queue_limit}"
+                        f"-request limit",
+                        retry_after=self.config.retry_after_s)
+                self._queue.append(pending)
+                self._queue_wake.notify()
+        except ServeRejected as exc:
+            exc.doc["request_id"] = request_id
+            log_event("request.shed" if isinstance(exc, QueueFull)
+                      else "request.rejected",
+                      request_id=request_id,
+                      fingerprint=fingerprint[:16], code=exc.code)
+            raise
         self.stats.bump("requests")
+        log_event("request.received", request_id=request_id,
+                  fingerprint=fingerprint[:16])
         return pending
 
     def handle(self, body: Any) -> Tuple[int, Dict[str, Any]]:
@@ -309,24 +376,35 @@ class ServeService:
         This is the whole behaviour of ``POST /v1/execute`` minus HTTP
         framing, so tests can drive the service without sockets.
         """
+        request_id = new_request_id()
         if not isinstance(body, dict):
-            return 400, error_response("bad_request",
-                                       "request body must be an object")
+            log_event("request.rejected", request_id=request_id,
+                      code="bad_request")
+            return 400, error_response(
+                "bad_request", "request body must be an object",
+                request_id=request_id)
         try:
-            pending = self.submit(body)
+            pending = self.submit(body, request_id=request_id)
         except ServeRejected as exc:
             return exc.http_status, exc.doc
         except ProtocolError as exc:
-            return 400, error_response("bad_request", str(exc))
+            log_event("request.rejected", request_id=request_id,
+                      code="bad_request")
+            return 400, error_response("bad_request", str(exc),
+                                       request_id=request_id)
         remaining = pending.deadline - time.monotonic()
         if not pending.done.wait(timeout=max(0.0, remaining)):
             pending.abandoned = True
             self.stats.bump("timeouts")
             timeout_ms = body.get("timeout_ms",
                                   self.config.default_timeout_ms)
+            log_event("request.timeout", request_id=request_id,
+                      fingerprint=pending.fingerprint[:16],
+                      timeout_ms=float(timeout_ms))
             return 504, error_response(
                 "timeout",
-                f"no result within {timeout_ms:.0f} ms", retriable=True)
+                f"no result within {timeout_ms:.0f} ms", retriable=True,
+                request_id=request_id)
         assert pending.result is not None
         return pending.result
 
@@ -365,6 +443,14 @@ class ServeService:
                     self._inflight += 1
                     self._work.append(group)
                 self._work_wake.notify_all()
+                published = list(groups.values())
+            # observe/log outside the lock: sinks take their own locks
+            for group in published:
+                observe("serve.hist.batch_size", len(group))
+                log_event("request.grouped",
+                          request_id=group[0].request_id,
+                          fingerprint=group[0].fingerprint[:16],
+                          group=len(group))
 
     def _worker_loop(self) -> None:
         while True:
@@ -392,15 +478,47 @@ class ServeService:
                 self._pools.append(pool)
         return pool
 
+    def _deliver(self, pending: _Pending, status: int,
+                 doc: Dict[str, Any],
+                 event: str = "request.completed") -> None:
+        """Personalise *doc* for one waiter (its ``request_id``), record
+        the end-to-end latency and emit the lifecycle event."""
+        doc = dict(doc)
+        doc["request_id"] = pending.request_id
+        meta = doc.get("meta")
+        if isinstance(meta, dict):
+            meta = dict(meta)
+            meta["request_id"] = pending.request_id
+            doc["meta"] = meta
+        request_ms = (time.monotonic() - pending.submitted_at) * 1e3
+        observe("serve.hist.request_ms", request_ms)
+        log_event(event, request_id=pending.request_id,
+                  fingerprint=pending.fingerprint[:16],
+                  http_status=status, request_ms=round(request_ms, 3))
+        pending.finish(status, doc)
+
     def _run_group(self, group: List[_Pending]) -> None:
         if all(p.abandoned for p in group):
             # every waiter gave up during the queue wait: executing
             # would burn a worker on an answer nobody reads
             self.stats.bump("cancelled", len(group))
+            for pending in group:
+                log_event("request.cancelled",
+                          request_id=pending.request_id,
+                          fingerprint=pending.fingerprint[:16])
             return
         lead = group[0]
+        now = time.monotonic()
+        for pending in group:
+            observe("serve.hist.queue_wait_ms",
+                    (now - pending.submitted_at) * 1e3)
+            log_event("request.dispatched",
+                      request_id=pending.request_id,
+                      fingerprint=pending.fingerprint[:16],
+                      group=len(group))
         try:
-            status, doc = self._execute(lead.body, len(group))
+            status, doc = self._execute(lead.body, len(group),
+                                        lead.request_id)
         except ProtocolError as exc:
             status, doc = 400, error_response("bad_request", str(exc))
             self.stats.bump("errors", len(group))
@@ -415,10 +533,10 @@ class ServeService:
             else:
                 self.stats.bump("errors", len(group))
         for pending in group:
-            pending.finish(status, doc)
+            self._deliver(pending, status, doc)
 
-    def _execute(self, body: Dict[str, Any], group_size: int
-                 ) -> Tuple[int, Dict[str, Any]]:
+    def _execute(self, body: Dict[str, Any], group_size: int,
+                 lead_request_id: str = "") -> Tuple[int, Dict[str, Any]]:
         """Plan and run one request group on this worker's warm arena.
 
         ``serve.plan``/``serve.exec`` are deliberately *top-level*
@@ -431,13 +549,14 @@ class ServeService:
         fingerprint, _ = request_fingerprint(
             body, default_engine=self.config.engine)
         with span("serve.plan", fingerprint=fingerprint[:16],
-                  group=group_size):
+                  group=group_size, request_id=lead_request_id):
             data = decode_image(body.get("image"))
             plan = plan_request(body, data)
         engine = plan.engine if body.get("engine") else self.config.engine
         arena = self._arena()
         with span("serve.exec", fingerprint=fingerprint[:16],
-                  engine=engine, group=group_size):
+                  engine=engine, group=group_size,
+                  request_id=lead_request_id):
             self.stats.bump("executions")
             # reset in finally: a failed execute/encode must still zero
             # the per-run pool accounting, or the pool.* metrics drift

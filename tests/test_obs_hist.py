@@ -1,0 +1,295 @@
+"""Tests for the telemetry layer: histograms (:mod:`repro.obs.hist`),
+structured logging (:mod:`repro.obs.log`) and Prometheus exposition
+(:mod:`repro.obs.prom`).
+
+The two contracts that matter most:
+
+* **merge exactness** — per-thread histograms merged together must be
+  *bit-identical* to one histogram that saw every value, because the
+  bucket index is a pure function of the value (this is what makes
+  concurrent recording trustworthy);
+* **golden Prometheus output** — the exposition rendering is consumed
+  by external scrapers, so its exact text for a fixed snapshot is
+  pinned.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs.hist import (
+    GROWTH,
+    Histogram,
+    HistogramSet,
+    bucket_bounds,
+    bucket_index,
+    percentiles,
+)
+from repro.obs.log import EVENTS, EventLog, log_event, logging_to
+from repro.obs.prom import prom_name, render_prometheus
+from repro.obs.schema import validate_metric_keys
+
+
+class TestBuckets:
+    def test_index_is_monotone_and_covering(self):
+        for value in (1e-6, 0.5, 1.0, 1.5, 10.0, 123.456, 9e8):
+            idx = bucket_index(value)
+            lower, upper = bucket_bounds(idx)
+            assert lower <= value < upper or math.isclose(value, lower)
+
+    def test_bucket_width_is_growth(self):
+        lower, upper = bucket_bounds(7)
+        assert upper / lower == pytest.approx(GROWTH)
+
+    def test_boundary_values_land_deterministically(self):
+        # the same value always maps to the same bucket — the property
+        # merge exactness rests on
+        for value in (0.25, 1.0, 2.0, 77.7):
+            assert bucket_index(value) == bucket_index(value)
+
+
+class TestHistogram:
+    def test_count_sum_min_max(self):
+        hist = Histogram("t")
+        hist.record_many([5.0, 1.0, 3.0])
+        snap = hist.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(9.0)
+        assert snap["min"] == 1.0
+        assert snap["max"] == 5.0
+
+    def test_quantile_error_is_bounded_by_bucket_width(self):
+        rng = np.random.default_rng(7)
+        values = rng.lognormal(mean=2.0, sigma=1.0, size=5000)
+        hist = Histogram()
+        hist.record_many(values)
+        ordered = np.sort(values)
+        for q in (0.5, 0.9, 0.99):
+            exact = ordered[max(0, math.ceil(q * len(ordered)) - 1)]
+            estimate = hist.quantile(q)
+            assert abs(estimate - exact) / exact < GROWTH - 1.0 + 0.02
+
+    def test_single_value_reports_exactly(self):
+        hist = Histogram()
+        hist.record(42.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == 42.0
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_non_positive_values_underflow(self):
+        hist = Histogram()
+        hist.record_many([0.0, -3.0, 1.0])
+        snap = hist.snapshot()
+        assert snap["zero"] == 2
+        assert snap["count"] == 3
+        assert hist.quantile(0.5) <= 0.0
+
+    def test_metrics_rendering_shape(self):
+        hist = Histogram("serve.hist.request_ms")
+        hist.record_many([10.0, 20.0, 30.0])
+        out = hist.metrics()
+        assert out["serve.hist.request_ms.count"] == 3
+        assert out["serve.hist.request_ms.min"] == 10.0
+        assert out["serve.hist.request_ms.max"] == 30.0
+        assert (out["serve.hist.request_ms.p50"]
+                <= out["serve.hist.request_ms.p99"])
+        assert validate_metric_keys(out) == []
+
+    def test_percentiles_helper_matches_histogram(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        hist = Histogram()
+        hist.record_many(values)
+        pct = percentiles(values)
+        assert pct["p50"] == hist.quantile(0.5)
+        assert pct["p99"] == hist.quantile(0.99)
+
+
+class TestMergeExactness:
+    def test_merge_equals_single_histogram(self):
+        rng = np.random.default_rng(11)
+        values = rng.lognormal(mean=1.0, sigma=1.5, size=4000)
+        reference = Histogram()
+        reference.record_many(values)
+        parts = [Histogram() for _ in range(8)]
+        for i, chunk in enumerate(np.array_split(values, 8)):
+            parts[i].record_many(chunk)
+        merged = Histogram()
+        for part in parts:
+            merged.merge(part)
+        ref_snap, merged_snap = reference.snapshot(), merged.snapshot()
+        assert merged_snap["counts"] == ref_snap["counts"]
+        assert merged_snap["count"] == ref_snap["count"]
+        assert merged_snap["min"] == ref_snap["min"]
+        assert merged_snap["max"] == ref_snap["max"]
+        assert merged_snap["sum"] == pytest.approx(ref_snap["sum"])
+        for q in (0.5, 0.9, 0.99):
+            assert merged.quantile(q) == reference.quantile(q)
+
+    def test_concurrent_recording_loses_nothing(self):
+        """8 threads hammer one histogram AND their own private
+        histograms; the shared one must agree with the merge of the
+        private ones bucket-for-bucket."""
+        rng = np.random.default_rng(13)
+        chunks = [rng.lognormal(size=2000) for _ in range(8)]
+        shared = Histogram("shared")
+        locals_ = [Histogram() for _ in range(8)]
+
+        def work(i):
+            for value in chunks[i]:
+                shared.record(value)
+                locals_[i].record(value)
+
+        threads = [threading.Thread(target=work, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        merged = Histogram()
+        for part in locals_:
+            merged.merge(part)
+        assert shared.snapshot()["counts"] == merged.snapshot()["counts"]
+        assert shared.count == 8 * 2000
+
+    def test_cumulative_buckets_are_monotone(self):
+        hist = Histogram()
+        hist.record_many([0.0, 0.5, 1.0, 2.0, 4.0, 100.0])
+        series = hist.cumulative_buckets()
+        bounds = [b for b, _ in series]
+        counts = [c for _, c in series]
+        assert bounds == sorted(bounds)
+        assert counts == sorted(counts)
+        assert counts[-1] == 6
+
+
+class TestHistogramSet:
+    def test_observe_creates_and_records(self):
+        hists = HistogramSet()
+        hists.observe("graph.hist.execute_ms", 5.0)
+        hists.observe("graph.hist.execute_ms", 7.0)
+        assert hists.get("graph.hist.execute_ms").count == 2
+        out = hists.metrics()
+        assert out["graph.hist.execute_ms.count"] == 2
+        assert validate_metric_keys(out) == []
+
+    def test_get_missing_is_none(self):
+        assert HistogramSet().get("nope") is None
+
+
+class TestPrometheus:
+    def test_name_mangling(self):
+        assert prom_name("cache.ir.hit_rate") == "repro_cache_ir_hit_rate"
+        assert prom_name("serve.hist.request_ms") == \
+            "repro_serve_hist_request_ms"
+
+    def test_golden_output(self):
+        """The full exposition text for a fixed snapshot is pinned —
+        scrapers parse this format, so any change must be deliberate."""
+        hists = HistogramSet()
+        hist = hists.get_or_create("serve.hist.request_ms")
+        hist.record(10.0)
+        hist.record(10.0)
+        hist.record(100.0)
+        snapshot = {
+            "serve": {"serve.requests": 3, "serve.queue_depth": 0},
+            "cache": {"cache.ir.hit_rate": 0.75},
+            "hist": hists.metrics(),     # must be skipped as gauges
+        }
+        text = render_prometheus(snapshot, hists)
+        assert text == (
+            "# TYPE repro_cache_ir_hit_rate gauge\n"
+            "repro_cache_ir_hit_rate 0.75\n"
+            "# TYPE repro_serve_queue_depth gauge\n"
+            "repro_serve_queue_depth 0\n"
+            "# TYPE repro_serve_requests gauge\n"
+            "repro_serve_requests 3\n"
+            "# TYPE repro_serve_hist_request_ms histogram\n"
+            'repro_serve_hist_request_ms_bucket{le="11.313708499"} 2\n'
+            'repro_serve_hist_request_ms_bucket{le="107.634741152"} 3\n'
+            'repro_serve_hist_request_ms_bucket{le="+Inf"} 3\n'
+            "repro_serve_hist_request_ms_sum 120\n"
+            "repro_serve_hist_request_ms_count 3\n"
+        )
+
+    def test_non_numeric_values_skipped(self):
+        text = render_prometheus({"serve": {"serve.engine": "sim",
+                                            "serve.requests": 1}},
+                                 HistogramSet())
+        assert "engine" not in text
+        assert "repro_serve_requests 1" in text
+
+
+class TestEventLog:
+    def test_emit_is_one_json_line(self):
+        buf = io.StringIO()
+        log = EventLog(buf)
+        log.emit("request.received", {"request_id": "abc", "n": 2,
+                                      "weird": object()})
+        doc = json.loads(buf.getvalue())
+        assert doc["event"] == "request.received"
+        assert doc["request_id"] == "abc"
+        assert doc["n"] == 2
+        assert isinstance(doc["weird"], str)
+        assert doc["ts"] > 0
+        assert doc["thread"]
+
+    def test_log_event_noop_without_sink(self):
+        # must not raise, must not emit anywhere
+        log_event("request.received", request_id="x")
+
+    def test_logging_to_restores_previous_sink(self):
+        outer, inner = io.StringIO(), io.StringIO()
+        with logging_to(outer):
+            with logging_to(inner):
+                log_event("request.received", request_id="rid-inner")
+            log_event("request.completed", request_id="rid-outer")
+        assert "rid-inner" in inner.getvalue()
+        assert "rid-outer" in outer.getvalue()
+        assert "rid-inner" not in outer.getvalue()
+        log_event("request.received", request_id="rid-dropped")
+        assert "rid-dropped" not in outer.getvalue()
+
+    def test_broken_sink_never_raises(self):
+        class Broken(io.StringIO):
+            def write(self, *a):
+                raise OSError("gone")
+
+        EventLog(Broken()).emit("request.received", {})
+
+    def test_catalogue_is_dot_scoped(self):
+        assert all("." in name for name in EVENTS)
+        assert "request.received" in EVENTS
+        assert "request.completed" in EVENTS
+
+
+class TestMetricNamespaces:
+    def test_documented_namespaces_pass(self):
+        assert validate_metric_keys({
+            "cache.ir.hits": 1, "pool.allocs": 2,
+            "graph.launches": 3, "serve.requests": 4,
+            "native.compiles": 5, "lint.absint.runs": 6,
+            "serve.hist.request_ms.p99": 7.0,
+        }) == []
+
+    def test_unknown_namespace_fails(self):
+        problems = validate_metric_keys({"rogue.counter": 1})
+        assert len(problems) == 1
+        assert "rogue.counter" in problems[0]
+
+    def test_unknown_hist_statistic_fails(self):
+        problems = validate_metric_keys(
+            {"serve.hist.request_ms.p42": 1.0})
+        assert len(problems) == 1

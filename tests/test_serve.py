@@ -154,7 +154,13 @@ class TestHTTP:
     def test_healthz_shape(self, http_serve):
         client, _ = http_serve
         doc = client.healthz()
-        assert doc == {"status": "ok", "protocol": PROTOCOL_VERSION}
+        assert doc["status"] == "ok"
+        assert doc["protocol"] == PROTOCOL_VERSION
+        assert doc["uptime_s"] >= 0
+        # started_at_unix is wall-clock "now" give or take the fixture
+        assert abs(doc["started_at_unix"] - time.time()) < 300
+        assert doc["engine"] == "sim"
+        assert doc["engine_fingerprint"] == "sim"
 
     def test_metrics_shape(self, http_serve, frame):
         client, _ = http_serve
@@ -472,6 +478,138 @@ class TestRobustness:
             {"pipeline": "edge", "image": encode_image(frame),
              "engine": "sim"})
         assert status == 503
+
+
+# --------------------------------------------------------------------------
+# Observability: request ids, structured log, histograms, Prometheus
+# --------------------------------------------------------------------------
+
+
+class TestObservability:
+    def test_request_id_round_trip(self, http_serve, frame):
+        """One request's id appears in the response doc, the meta, the
+        X-Request-Id header, every structured-log line of its lifecycle
+        and the serve.request span — the whole correlation story."""
+        import io
+
+        from repro.obs import tracing
+        from repro.obs.log import EVENTS, logging_to
+
+        client, _ = http_serve
+        with logging_to(io.StringIO()) as log, tracing() as tracer:
+            result = client.execute(frame, pipeline="edge",
+                                    engine="sim")
+        rid = result.request_id
+        assert re.fullmatch(r"[0-9a-f]{16}", rid)
+        assert result.meta["request_id"] == rid
+
+        events = [json.loads(line)
+                  for line in log.stream.getvalue().splitlines()]
+        assert all(e["event"] in EVENTS for e in events)
+        mine = [e["event"] for e in events
+                if e.get("request_id") == rid]
+        assert mine == ["request.received", "request.grouped",
+                        "request.dispatched", "request.completed"]
+        completed = [e for e in events
+                     if e["event"] == "request.completed"
+                     and e["request_id"] == rid][0]
+        assert completed["http_status"] == 200
+        assert completed["request_ms"] > 0
+
+        by_name = {}
+        for span in tracer.spans():
+            by_name.setdefault(span.name, []).append(span)
+        req_spans = [s for s in by_name.get("serve.request", [])
+                     if s.attrs.get("request_id") == rid]
+        assert len(req_spans) == 1
+        # the worker spans carry the lead waiter's id
+        assert any(s.attrs.get("request_id") == rid
+                   for s in by_name.get("serve.exec", []))
+
+    def test_request_id_header_and_uniqueness(self, http_serve, frame):
+        import http.client as http_client
+
+        client, _ = http_serve
+        seen = set()
+        for i in range(3):
+            body = json.dumps(
+                {"pipeline": "edge", "image": encode_image(frame + i),
+                 "engine": "sim"}).encode()
+            conn = http_client.HTTPConnection(client.host, client.port,
+                                              timeout=10)
+            conn.request("POST", "/v1/execute", body=body,
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            doc = json.loads(response.read())
+            header = response.getheader("X-Request-Id")
+            conn.close()
+            assert response.status == 200
+            assert header == doc["request_id"]
+            seen.add(header)
+        assert len(seen) == 3
+
+    def test_rejections_carry_request_id(self, frame):
+        svc = ServeService(ServeConfig(
+            workers=1, batch_window_ms=400.0, queue_limit=1,
+            engine="sim")).start()
+        try:
+            svc.submit({"pipeline": "edge",
+                        "image": encode_image(frame), "engine": "sim"})
+            status, doc = svc.handle(
+                {"pipeline": "edge", "image": encode_image(frame + 1),
+                 "engine": "sim", "timeout_ms": 100})
+            assert status == 429
+            assert re.fullmatch(r"[0-9a-f]{16}", doc["request_id"])
+            status, doc = svc.handle(["not", "an", "object"])
+            assert status == 400
+            assert re.fullmatch(r"[0-9a-f]{16}", doc["request_id"])
+        finally:
+            svc.drain(timeout=10.0)
+
+    def test_request_histograms_populate(self, http_serve, frame):
+        client, _ = http_serve
+        for i in range(4):
+            client.execute(frame + i, pipeline="edge", engine="sim")
+        hist = client.metrics()["hist"]
+        assert hist["serve.hist.request_ms.count"] >= 4
+        p50 = hist["serve.hist.request_ms.p50"]
+        p99 = hist["serve.hist.request_ms.p99"]
+        assert 0 < p50 <= p99
+        assert hist["serve.hist.queue_wait_ms.count"] >= 4
+        assert hist["serve.hist.batch_size.count"] >= 4
+        # the scheduler and cache record through the same set
+        assert hist["graph.hist.execute_ms.count"] >= 4
+        assert hist["cache.hist.hit_ms.count"] >= 1
+
+    def test_prometheus_endpoint(self, http_serve, frame):
+        import http.client as http_client
+
+        client, _ = http_serve
+        client.execute(frame, pipeline="edge", engine="sim")
+        conn = http_client.HTTPConnection(client.host, client.port,
+                                          timeout=10)
+        conn.request("GET", "/metrics?format=prometheus")
+        response = conn.getresponse()
+        text = response.read().decode()
+        content_type = response.getheader("Content-Type")
+        conn.close()
+        assert response.status == 200
+        assert content_type.startswith("text/plain; version=0.0.4")
+        assert "# TYPE repro_serve_requests gauge" in text
+        assert "# TYPE repro_serve_hist_request_ms histogram" in text
+        assert 'repro_serve_hist_request_ms_bucket{le="+Inf"}' in text
+        assert "repro_serve_hist_request_ms_count" in text
+        # the flattened hist gauges must NOT leak into the gauge
+        # section (their .count would collide with _count)
+        assert "# TYPE repro_serve_hist_request_ms_count gauge" \
+            not in text
+
+    def test_unknown_metrics_format_is_400(self, http_serve):
+        client, _ = http_serve
+        from repro.serve import ServeError
+        with pytest.raises(ServeError) as exc_info:
+            client._request("GET", "/metrics?format=xml")
+        assert exc_info.value.http_status == 400
 
 
 # --------------------------------------------------------------------------
