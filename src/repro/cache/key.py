@@ -161,6 +161,23 @@ def ir_digest(ir: KernelIR) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+def pristine_ir_digest(ir: KernelIR) -> str:
+    """:func:`ir_digest` over the pre-analysis form of *ir*.
+
+    Codegen fills ``AccessorInfo.is_read``/``is_written`` in place, so
+    the digest of an IR object depends on whether it has been through a
+    backend yet.  Normalising the usage flags back to their defaults
+    gives every consumer — the compile drivers, the auto-tuner's
+    persistent :class:`~repro.mapping.optdb.TunedDatabase` keys — one
+    stable fingerprint per kernel, identical before and after
+    compilation and across processes.
+    """
+    pristine = dataclasses.replace(ir, accessors=[
+        dataclasses.replace(a, is_read=False, is_written=False)
+        for a in ir.accessors])
+    return ir_digest(pristine)
+
+
 def device_signature(device: DeviceSpec) -> Dict[str, Any]:
     """JSON-able rendering of a DeviceSpec (all model fields)."""
     raw = dataclasses.asdict(device)

@@ -8,6 +8,9 @@ Commands:
   published numbers side by side;
 * ``figure4``  — the configuration-space exploration;
 * ``explore``  — Algorithm 2 vs exhaustive exploration on any device;
+* ``tune``     — measurement-driven auto-tuning: search block
+  configurations by measured signal and persist winners in the tuned
+  database consulted by later compiles (see docs/TUNING.md);
 * ``demo``     — compile + simulate a filter on a synthetic angiography
   frame and report timing/configuration;
 * ``graph``    — run the edge-detection pipeline as a declarative
@@ -471,6 +474,75 @@ def cmd_perf(args) -> int:
     )
 
 
+def cmd_tune(args) -> int:
+    """Run the measurement-driven auto-tuner over builtin filters and
+    persist the winners (docs/TUNING.md)."""
+    import json as _json
+    import os
+
+    from .data.synthetic import angiography_image
+    from .mapping.optdb import TunedDatabase, default_tuned_database
+    from .mapping.tuner import tune_kernel
+
+    names = FILTERS if args.all else [args.filter]
+    if args.db:
+        db = TunedDatabase(path=args.db)
+    else:
+        db = default_tuned_database()
+        if db.path is None and not args.dry_run:
+            print("note: no on-disk store (--db or REPRO_OPTDB_PATH); "
+                  "winners live only in this process", file=sys.stderr)
+    cache = _cache_from_args(args)
+    frame = angiography_image(args.size, args.size, seed=0)
+
+    rows = []
+    for name in names:
+        kernel, _, _ = _build_filter(name, args.size, args.boundary,
+                                     frame)
+        result = tune_kernel(
+            kernel, backend=args.backend, device=args.device,
+            engine=args.engine, signal=args.signal, budget=args.budget,
+            seed_top=args.seed_top, repeats=args.repeats,
+            db=False if args.dry_run else db, cache=cache)
+        rows.append((name, result))
+
+    if args.json:
+        doc = [{
+            "filter": name,
+            "kernel": r.kernel,
+            "fingerprint": r.fingerprint,
+            "device": r.device,
+            "backend": r.backend,
+            "engine": r.engine,
+            "signal": r.signal,
+            "best_block": list(r.best_block),
+            "best_ms": r.best_ms,
+            "heuristic_block": list(r.heuristic_block),
+            "heuristic_ms": r.heuristic_ms,
+            "speedup_over_heuristic": r.speedup_over_heuristic,
+            "trials": r.trials,
+            "pruned": r.pruned,
+            "candidates": r.candidates,
+            "wall_ms": r.wall_ms,
+        } for name, r in rows]
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(f"auto-tune on {args.device} ({args.backend}), "
+              f"engine={args.engine}, budget={args.budget}")
+        print(f"{'filter':<11}{'heuristic':>11}{'tuned':>9}"
+              f"{'gain':>8}{'trials':>8}{'pruned':>8}")
+        for name, r in rows:
+            print(f"{name:<11}"
+                  f"{r.heuristic_block[0]:>6}x{r.heuristic_block[1]:<4}"
+                  f"{r.best_block[0]:>4}x{r.best_block[1]:<4}"
+                  f"{(r.speedup_over_heuristic - 1) * 100:>+7.1f}%"
+                  f"{r.trials:>8}{r.pruned:>8}")
+        if not args.dry_run:
+            where = db.path or "in-memory store"
+            print(f"{len(rows)} winner(s) recorded in {where}")
+    return 0
+
+
 def cmd_explore(args) -> int:
     from .evaluation.figure4 import figure4_exploration
     from .hwmodel import get_device
@@ -574,6 +646,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="parallelise the configuration walk over N "
                         "workers")
+
+    p = sub.add_parser(
+        "tune",
+        help="measure-and-persist winning block configurations "
+             "(docs/TUNING.md)")
+    p.add_argument("--filter", choices=FILTERS, default="bilateral")
+    p.add_argument("--all", action="store_true",
+                   help="tune every builtin filter")
+    p.add_argument("--backend", choices=["cuda", "opencl"],
+                   default="cuda")
+    p.add_argument("--device", default="Tesla C2050")
+    p.add_argument("--boundary", default="clamp")
+    p.add_argument("--size", type=int, default=512)
+    p.add_argument("--engine", choices=["sim", "native"], default="sim",
+                   help="execution tier the winner is tuned for (keys "
+                        "the database record)")
+    p.add_argument("--signal", choices=["model", "sim", "native"],
+                   default=None,
+                   help="measurement that scores trials (default: the "
+                        "engine's natural signal; model = deterministic "
+                        "timing model)")
+    p.add_argument("--budget", type=int, default=16,
+                   help="maximum configurations measured per kernel")
+    p.add_argument("--seed-top", type=int, default=4, dest="seed_top",
+                   help="best-modelled candidates measured besides the "
+                        "heuristic's choice")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="executions per trial (wall-clock signals take "
+                        "the best)")
+    p.add_argument("--db", default=None,
+                   help="tuned-database JSON path (default: "
+                        "$REPRO_OPTDB_PATH or in-memory)")
+    p.add_argument("--dry-run", action="store_true", dest="dry_run",
+                   help="search but record nothing")
+    p.add_argument("--json", action="store_true",
+                   help="print results as JSON instead of a table")
+    add_cache_flags(p)
 
     p = sub.add_parser("explore",
                        help="configuration exploration on any device")
@@ -685,6 +794,7 @@ COMMANDS = {
     "table": cmd_table,
     "figure4": cmd_figure4,
     "explore": cmd_explore,
+    "tune": cmd_tune,
     "cache": cmd_cache,
     "serve": cmd_serve,
     "trace": cmd_trace,

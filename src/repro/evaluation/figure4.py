@@ -20,6 +20,7 @@ from ..hwmodel.resources import estimate_resources
 from ..mapping.explore import (
     ExplorationPoint,
     ExplorationTask,
+    evaluate_block,
     explore_configurations,
     explore_many,
 )
@@ -64,6 +65,13 @@ def figure4_exploration(device: Union[str, DeviceSpec] = "Tesla C2050",
     window = (4 * sigma_d + 1, 4 * sigma_d + 1)
     resources = estimate_resources(ir, dev, use_texture=use_texture,
                                    border_variants=9)
+    task = ExplorationTask(
+        device=dev, mix=resources.instruction_mix,
+        width=width, height=height, window=window,
+        boundary_mode=boundary, backend=backend,
+        border=BorderMode.SPECIALIZED, use_texture=use_texture,
+        mask_memory=MaskMemory.CONSTANT,
+        regs_per_thread=resources.registers_per_thread)
     points = explore_configurations(
         dev, resources.instruction_mix, width, height, window,
         boundary_mode=boundary, backend=backend,
@@ -78,8 +86,16 @@ def figure4_exploration(device: Union[str, DeviceSpec] = "Tesla C2050",
         border_handling=True, image_size=(width, height), window=window)
     chosen = selection.block
     chosen_points = [p for p in points if p.block == chosen]
-    heuristic_ms = chosen_points[0].time_ms if chosen_points \
-        else best.time_ms
+    if chosen_points:
+        heuristic_ms = chosen_points[0].time_ms
+    else:
+        # The chosen block was not among the explored points.  This used
+        # to silently substitute best.time_ms, so heuristic_within read
+        # 1.0 (optimal) exactly when the heuristic had wandered off the
+        # explored space — the worst case reported as the best.  Score
+        # the chosen block directly instead; a block that cannot launch
+        # at all raises LaunchError rather than masquerading as optimal.
+        heuristic_ms = evaluate_block(task, chosen).time_ms
     return Figure4Result(
         points=points,
         best=best,

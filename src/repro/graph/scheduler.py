@@ -68,8 +68,13 @@ def _resolve_pool(pool: Union[bool, BufferPool]) -> Optional[BufferPool]:
 
 
 def _compile_node(node: GraphNode,
-                  store: Optional[CompilationCache]) -> None:
+                  store: Optional[CompilationCache],
+                  tuned_engine: str = "sim") -> None:
     options = dict(node.options)
+    # tuned-database winners are engine-specific (docs/TUNING.md): tell
+    # the compile which tier this graph run targets unless the node
+    # pinned its own
+    options.setdefault("tuned_engine", tuned_engine)
     with span("graph.node_compile", node=node.name):
         if node.is_fused:
             node.compiled = compile_ir(
@@ -82,7 +87,8 @@ def _compile_node(node: GraphNode,
 
 def compile_graph(graph: PipelineGraph,
                   cache: Union[None, bool, CompilationCache] = None,
-                  workers: Optional[int] = None) -> float:
+                  workers: Optional[int] = None,
+                  tuned_engine: str = "sim") -> float:
     """Compile every node (concurrently for ``workers != 1``) through one
     shared compilation cache; returns wall-clock milliseconds."""
     store = _resolve_cache(cache)
@@ -90,12 +96,13 @@ def compile_graph(graph: PipelineGraph,
         pending = [n for n in graph.nodes if n.compiled is None]
         if workers == 1 or len(pending) <= 1:
             for node in pending:
-                _compile_node(node, store)
+                _compile_node(node, store, tuned_engine)
         else:
             token = current_id()
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 futures = [pool.submit(_run_stitched, token,
-                                       _compile_node, n, store)
+                                       _compile_node, n, store,
+                                       tuned_engine)
                            for n in pending]
                 for f in futures:
                     f.result()       # surface the first compile error
@@ -191,7 +198,9 @@ def _execute_graph(graph, cache, workers, fuse, pool, engine,
             emit(graph_diags)
 
     store = _resolve_cache(cache)
-    compile_wall_ms = compile_graph(graph, cache=store, workers=workers)
+    compile_wall_ms = compile_graph(
+        graph, cache=store, workers=workers,
+        tuned_engine="native" if engine in ("native", "auto") else "sim")
     observe("graph.hist.compile_ms", compile_wall_ms)
 
     order = graph.topological_order()

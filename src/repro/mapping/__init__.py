@@ -7,9 +7,22 @@
   (Section V-D, Figure 4).
 * :mod:`repro.mapping.optdb` — the optimization-selection database fed by
   micro-benchmarks (Section V-B): texture path, scratchpad staging, memory
-  padding, constant-memory initialisation per device/backend.
+  padding, constant-memory initialisation per device/backend — plus the
+  persistent :class:`~repro.mapping.optdb.TunedDatabase` of measured
+  per-kernel winners.
+* :mod:`repro.mapping.tuner` — measurement-driven auto-tuning: budgeted
+  adaptive search over the candidate space scored by real signals
+  (docs/TUNING.md).
 """
 
 from .heuristic import SelectedConfig, candidate_configurations, select_configuration  # noqa: F401
-from .explore import ExplorationPoint, explore_configurations  # noqa: F401
-from .optdb import OptimizationDatabase, default_database  # noqa: F401
+from .explore import ExplorationPoint, evaluate_block, explore_configurations  # noqa: F401
+from .optdb import (  # noqa: F401
+    OptimizationDatabase,
+    TunedDatabase,
+    TunedEntry,
+    default_database,
+    default_tuned_database,
+    set_default_tuned_database,
+)
+from .tuner import TuneResult, tune_kernel  # noqa: F401

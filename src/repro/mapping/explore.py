@@ -181,6 +181,27 @@ def explore_configurations(device: DeviceSpec,
         return _sorted_points(points)
 
 
+def evaluate_block(task: ExplorationTask,
+                   block: Tuple[int, int]) -> ExplorationPoint:
+    """Evaluate one specific *block* under *task*'s launch parameters.
+
+    The point-wise unit behind both the exhaustive walk and the
+    auto-tuner's model signal (:mod:`repro.mapping.tuner`); also how
+    :func:`repro.evaluation.figure4.figure4_exploration` scores a
+    heuristic choice that the candidate walk did not visit.  Raises
+    :class:`~repro.errors.LaunchError` when the configuration cannot
+    launch at all — callers must not paper over that with a substitute
+    time.
+    """
+    t = estimate_time(_launch_spec(task, tuple(block)))
+    return ExplorationPoint(
+        block=(int(block[0]), int(block[1])),
+        threads=int(block[0]) * int(block[1]),
+        time_ms=t.total_ms,
+        occupancy=t.occupancy,
+    )
+
+
 def run_exploration_task(task: ExplorationTask) -> List[ExplorationPoint]:
     """Run one complete exploration (module-level, hence picklable)."""
     candidates = candidate_configurations(task.device, task.regs_per_thread,

@@ -58,6 +58,7 @@ from .schema import (                              # noqa: F401
     STAGE_KEYS,
     STAGE_SPANS,
     TIMING_KEYS,
+    TUNE_SPANS,
     normalize_stage_timings,
     stage_sum_ms,
     validate_chrome_trace,

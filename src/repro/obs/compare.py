@@ -44,7 +44,8 @@ from typing import Any, Dict, List, Optional, Sequence
 BENCH_SCHEMA_VERSION = 2
 
 #: the benchmarks with committed baselines, in comparison order
-DEFAULT_BENCHMARKS = ("native_graph", "pipeline_graph", "serve")
+DEFAULT_BENCHMARKS = ("native_graph", "pipeline_graph", "serve",
+                      "autotune")
 
 LOWER_IS_BETTER = ("_ms", "_bytes", "_misses", "_allocs")
 HIGHER_IS_BETTER = ("_rps", "_rate", "_hits", "_rps_warm")

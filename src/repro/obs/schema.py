@@ -67,6 +67,16 @@ SERVE_SPANS = ("serve.request", "serve.plan", "serve.exec")
 #: ``absint.footprint`` wraps the derived access-footprint computation.
 ABSINT_SPANS = ("absint.fixpoint", "absint.footprint")
 
+#: Span names the auto-tuner emits (:mod:`repro.mapping.tuner` and the
+#: compile driver's tuned-database consultation, docs/TUNING.md):
+#: ``tune.search`` wraps one :func:`~repro.mapping.tuner.tune_kernel`
+#: session (attrs: ``kernel``, ``engine``, ``signal``, ``budget``,
+#: ``trials``, ``best``), ``tune.trial`` one measured configuration
+#: (attrs: ``block``, ``signal``, ``score_ms``), and ``tune.lookup``
+#: one tuned-database consultation inside a compile (attrs: ``kernel``,
+#: ``engine``, ``hit``).
+TUNE_SPANS = ("tune.search", "tune.trial", "tune.lookup")
+
 #: Every metrics-registry key namespace a snapshot may carry
 #: (docs/OBSERVABILITY.md).  Keys are ``<namespace>.<rest>``; histogram
 #: keys additionally carry ``.hist.`` as their second dotted component
@@ -74,7 +84,7 @@ ABSINT_SPANS = ("absint.fixpoint", "absint.footprint")
 #: rejects embedded metrics snapshots whose keys fall outside this
 #: table — an undocumented metric cannot ship silently.
 METRIC_NAMESPACES = ("cache", "pool", "graph", "serve", "native",
-                     "lint")
+                     "lint", "tuner")
 
 
 def validate_metric_keys(metrics: Mapping[str, Any]) -> List[str]:

@@ -33,19 +33,25 @@ from ..backends.base import (
     MaskMemory,
     generate,
 )
-from ..cache.key import compute_key, ir_digest, kernel_fingerprint
+from ..cache.key import (
+    compute_key,
+    ir_digest,
+    kernel_fingerprint,
+    pristine_ir_digest,
+)
 from ..cache.serialize import entry_from_dict, entry_to_dict
 from ..cache.store import CompilationCache, get_default_cache
 from ..dsl.boundary import Boundary
 from ..dsl.kernel import Kernel
-from ..errors import DslError
+from ..errors import DslError, MappingError
 from ..frontend.parser import accessor_objects, parse_kernel
 from ..hwmodel.database import get_device
 from ..hwmodel.device import DeviceSpec
+from ..hwmodel.occupancy import compute_occupancy
 from ..hwmodel.resources import estimate_resources, smem_tile_bytes
 from ..ir.typecheck import typecheck_kernel
 from ..mapping.heuristic import select_configuration
-from ..mapping.optdb import default_database
+from ..mapping.optdb import TunedDatabase, default_database
 from ..obs import normalize_stage_timings, span
 from .program import CompiledKernel
 
@@ -152,12 +158,24 @@ def compile_kernel(kernel: Kernel,
                    pixels_per_thread: int = 1,
                    bake_params: bool = True,
                    cache: Union[None, bool, CompilationCache] = None,
-                   strict: bool = False
+                   strict: bool = False,
+                   tuned: Union[None, bool, TunedDatabase] = None,
+                   tuned_engine: str = "sim"
                    ) -> CompiledKernel:
     """Compile *kernel* for *backend*/*device* (see module docstring).
 
     Parameters left ``None`` are decided by the optimization database
-    (texture, scratchpad) or Algorithm 2 (block configuration).
+    (texture, scratchpad) or — when no measured winner is on file — by
+    Algorithm 2 (block configuration).
+
+    *tuned* selects the measured-winner store consulted before
+    Algorithm 2 (docs/TUNING.md): ``None``/``True`` use the
+    process-wide :func:`repro.mapping.optdb.default_tuned_database`,
+    ``False`` disables the lookup, or pass a
+    :class:`~repro.mapping.optdb.TunedDatabase` directly.
+    *tuned_engine* names the execution tier the compile is for
+    (``"sim"``/``"native"``) so a winner tuned for that tier is
+    preferred.
 
     Every compile runs the cheap :mod:`repro.lint` verify passes and
     attaches the findings to ``CompiledKernel.diagnostics``; with
@@ -214,7 +232,8 @@ def compile_kernel(kernel: Kernel,
             emit_config_macros=emit_config_macros, vectorize=vectorize,
             pixels_per_thread=pixels_per_thread, bake_params=bake_params,
             store=store, ir_dig=ir_dig, timings=timings, t_start=t_start,
-            strict=strict, root_span=root)
+            strict=strict, root_span=root, tuned=tuned,
+            tuned_engine=tuned_engine)
 
 
 def compile_ir(ir,
@@ -234,7 +253,9 @@ def compile_ir(ir,
                vectorize: int = 1,
                pixels_per_thread: int = 1,
                cache: Union[None, bool, CompilationCache] = None,
-               strict: bool = False
+               strict: bool = False,
+               tuned: Union[None, bool, TunedDatabase] = None,
+               tuned_engine: str = "sim"
                ) -> CompiledKernel:
     """Compile a *type-checked* :class:`~repro.ir.nodes.KernelIR` directly,
     skipping the Python frontend.
@@ -261,11 +282,7 @@ def compile_ir(ir,
             # is_read/is_written in place, and compile_kernel hashes before
             # that happens — normalising keeps the two paths' keys identical
             # and makes repeated compile_ir calls on one IR object stable
-            import dataclasses as _dc
-            pristine = _dc.replace(ir, accessors=[
-                _dc.replace(a, is_read=False, is_written=False)
-                for a in ir.accessors])
-            ir_dig = ir_digest(pristine)
+            ir_dig = pristine_ir_digest(ir)
         return _compile_from_ir(
             ir, dict(accessors), iteration_space,
             dev=dev, backend=backend, block=block, border=border,
@@ -275,7 +292,8 @@ def compile_ir(ir,
             emit_config_macros=emit_config_macros, vectorize=vectorize,
             pixels_per_thread=pixels_per_thread, bake_params=True,
             store=store, ir_dig=ir_dig, timings={}, t_start=t_start,
-            strict=strict, root_span=root)
+            strict=strict, root_span=root, tuned=tuned,
+            tuned_engine=tuned_engine)
 
 
 def _compile_from_ir(ir, accessor_objs, iteration_space, *,
@@ -284,7 +302,8 @@ def _compile_from_ir(ir, accessor_objs, iteration_space, *,
                      unroll, fold_constants, fast_math, emit_config_macros,
                      vectorize, pixels_per_thread, bake_params,
                      store, ir_dig, timings, t_start,
-                     strict=False, root_span=None) -> CompiledKernel:
+                     strict=False, root_span=None,
+                     tuned=None, tuned_engine="sim") -> CompiledKernel:
     """Stages 2-6 of the driver, shared by :func:`compile_kernel` (after
     its frontend stage) and :func:`compile_ir` (no frontend at all).
 
@@ -319,6 +338,34 @@ def _compile_from_ir(ir, accessor_objs, iteration_space, *,
     if isinstance(mask_memory, str):
         mask_memory = MaskMemory(mask_memory)
 
+    # ---- tuned-configuration lookup (docs/TUNING.md) ----------------------
+    # a measured winner for this exact kernel beats Algorithm 2's static
+    # model.  Resolved *before* the cache key is formed and folded into
+    # the request with "tuned" provenance, so a database change can never
+    # serve a stale artifact through the cache and a tuned compile never
+    # shares an entry with an explicit-block one (their select paths
+    # differ).  The common case — empty default database — costs one
+    # length check and nothing else.
+    tuned_block = None
+    if block is None and tuned is not False:
+        tdb = tuned if isinstance(tuned, TunedDatabase) else None
+        if tdb is None:
+            from ..mapping.optdb import default_tuned_database
+            tdb = default_tuned_database()
+        if len(tdb):
+            from ..mapping.tuner import TUNER_STATS
+            fp = ir_dig if ir_dig is not None else pristine_ir_digest(ir)
+            with span("tune.lookup", kernel=ir.name,
+                      engine=tuned_engine) as sp:
+                t_entry = tdb.lookup(fp, dev.name, backend, tuned_engine)
+                hit = (t_entry is not None
+                       and dev.valid_block(*t_entry.block))
+                sp.attrs["hit"] = hit
+            TUNER_STATS.note_lookup(hit)
+            if hit:
+                tuned_block = (int(t_entry.block[0]),
+                               int(t_entry.block[1]))
+
     # ---- cache lookup (single-flight per key) -----------------------------
     # the key lock held through *flight* serialises the miss -> compile
     # -> store window: when N threads race on one key, the first in
@@ -331,7 +378,13 @@ def _compile_from_ir(ir, accessor_objs, iteration_space, *,
                 from .. import __version__
                 request = {
                     "geometry": list(geometry),
-                    "block": list(block) if block is not None else "auto",
+                    # "auto" = Algorithm 2 decides; a tuned block keeps
+                    # its provenance in the key because the tuned select
+                    # path (occupancy re-validation, possible fallback)
+                    # is not the explicit-block path
+                    "block": (list(block) if block is not None
+                              else ["tuned"] + list(tuned_block)
+                              if tuned_block is not None else "auto"),
                     "border": border_mode.value,
                     "use_texture": use_texture,
                     "use_smem": use_smem,
@@ -418,7 +471,6 @@ def _compile_from_ir(ir, accessor_objs, iteration_space, *,
 
         selected_occ = 0.0
         if block is None:
-            # Algorithm 2
             with span("compile.select") as sp:
                 if use_smem:
                     # staging tile size depends on the block; pass the
@@ -427,15 +479,36 @@ def _compile_from_ir(ir, accessor_objs, iteration_space, *,
                                                       window, 4)
                 else:
                     smem_for_select = 0
-                selection = select_configuration(
-                    dev, resources.registers_per_thread, smem_for_select,
-                    border_handling=(border_mode == BorderMode.SPECIALIZED
-                                     and window != (1, 1)),
-                    image_size=geometry,
-                    window=window,
-                )
-                options.block = selection.block
-                selected_occ = selection.occupancy
+                if tuned_block is not None:
+                    # measured winner from the tuned database: re-validate
+                    # against this compile's actual resource usage (the
+                    # entry is keyed per kernel, not per codegen options);
+                    # an unlaunchable winner falls back to Algorithm 2 —
+                    # a deterministic function of the keyed inputs, so
+                    # the cache key stays sound
+                    try:
+                        occ = compute_occupancy(
+                            dev, tuned_block[0], tuned_block[1],
+                            resources.registers_per_thread,
+                            smem_for_select)
+                        options.block = tuned_block
+                        selected_occ = occ.occupancy
+                        sp.attrs["tuned"] = True
+                    except MappingError:
+                        tuned_block = None
+                if tuned_block is None:
+                    # Algorithm 2
+                    selection = select_configuration(
+                        dev, resources.registers_per_thread,
+                        smem_for_select,
+                        border_handling=(border_mode
+                                         == BorderMode.SPECIALIZED
+                                         and window != (1, 1)),
+                        image_size=geometry,
+                        window=window,
+                    )
+                    options.block = selection.block
+                    selected_occ = selection.occupancy
             timings["select_ms"] = sp.duration_ms
             # regenerate with the final configuration (the paper
             # regenerates because the dispatch constants depend on the
